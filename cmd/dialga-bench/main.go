@@ -1,0 +1,77 @@
+// Command dialga-bench regenerates the paper's evaluation figures on
+// the simulated testbed.
+//
+//	dialga-bench -fig fig10          # one figure, text table
+//	dialga-bench -all                # every figure
+//	dialga-bench -fig fig13 -csv     # CSV for plotting
+//	dialga-bench -all -quick         # fast smoke run (shapes untrusted)
+//
+// Figure ids follow the paper: fig03..fig07 are the §3 observations,
+// fig10..fig19 the §5 evaluation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dialga/internal/harness"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "", "figure id to run (fig03..fig19)")
+		all     = flag.Bool("all", false, "run every figure")
+		csv     = flag.Bool("csv", false, "emit CSV instead of a text table")
+		quick   = flag.Bool("quick", false, "small working sets and sweeps (fast, shapes untrusted)")
+		repeats = flag.Int("repeats", 1, "average multi-threaded points over N layout seeds")
+		verbose = flag.Bool("v", false, "log each run")
+		list    = flag.Bool("list", false, "list figure ids")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(harness.FigureIDs, "\n"))
+		return
+	}
+	r := &harness.Runner{Quick: *quick, Repeats: *repeats}
+	if *verbose {
+		r.Verbose = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	emit := func(f *harness.Figure) {
+		if *csv {
+			fmt.Print(f.CSV())
+			return
+		}
+		fmt.Println(f.Table())
+		if lo, hi, ok := f.ImprovementRange("DIALGA"); ok {
+			fmt.Printf("  DIALGA vs best other: %+.1f%% .. %+.1f%%\n\n", lo, hi)
+		}
+	}
+
+	switch {
+	case *all:
+		for _, id := range harness.FigureIDs {
+			f, err := r.ByID(id)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+				os.Exit(1)
+			}
+			emit(f)
+		}
+	case *fig != "":
+		f, err := r.ByID(*fig)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		emit(f)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.bin")
+	out := filepath.Join(dir, "out.bin")
+	shards := filepath.Join(dir, "shards")
+
+	payload := make([]byte, 100123)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	if err := os.WriteFile(in, payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := encode(8, 4, in, shards); err != nil {
+		t.Fatal(err)
+	}
+	// Remove m shards (mixed data + parity).
+	for _, i := range []int{0, 5, 9, 11} {
+		if err := os.Remove(shardPath(shards, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := decode(8, 4, out, shards); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("roundtrip corrupted the payload")
+	}
+}
+
+func TestDecodeTooFewShards(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.bin")
+	shards := filepath.Join(dir, "shards")
+	if err := os.WriteFile(in, []byte("hello world"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := encode(4, 2, in, shards); err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 1, 2} { // 3 > m=2 lost
+		os.Remove(shardPath(shards, i))
+	}
+	if err := decode(4, 2, filepath.Join(dir, "out.bin"), shards); err == nil {
+		t.Fatal("decode succeeded with fewer than k shards")
+	}
+}
+
+func TestEncodeTinyFile(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.bin")
+	out := filepath.Join(dir, "out.bin")
+	shards := filepath.Join(dir, "shards")
+	if err := os.WriteFile(in, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := encode(8, 4, in, shards); err != nil {
+		t.Fatal(err)
+	}
+	if err := decode(8, 4, out, shards); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(out)
+	if string(got) != "x" {
+		t.Fatalf("tiny file roundtrip got %q", got)
+	}
+}
+
+func TestDecodeBadHeader(t *testing.T) {
+	dir := t.TempDir()
+	shards := filepath.Join(dir, "shards")
+	os.MkdirAll(shards, 0o755)
+	for i := 0; i < 6; i++ {
+		os.WriteFile(shardPath(shards, i), []byte("garbage-garbage-garbage"), 0o644)
+	}
+	if err := decode(4, 2, filepath.Join(dir, "out.bin"), shards); err == nil {
+		t.Fatal("garbage shards accepted")
+	}
+}

@@ -1,0 +1,153 @@
+// Command dialga-inspect runs a single encode configuration on the
+// simulated testbed and dumps the full simulator statistics: throughput,
+// load latency, cache and prefetcher behaviour, and per-layer read
+// traffic. It is the diagnostic counterpart of dialga-bench.
+//
+// Example:
+//
+//	dialga-inspect -k 24 -m 4 -block 1024 -threads 8 -source pm -sw -dist 24
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dialga/internal/dialga"
+	"dialga/internal/engine"
+	"dialga/internal/isal"
+	"dialga/internal/mem"
+	"dialga/internal/workload"
+)
+
+func main() {
+	var (
+		k        = flag.Int("k", 8, "data blocks per stripe")
+		m        = flag.Int("m", 4, "parity blocks per stripe")
+		block    = flag.Int("block", 1024, "block size in bytes (multiple of 64)")
+		threads  = flag.Int("threads", 1, "concurrent encoding threads")
+		totalMB  = flag.Int("mb", 32, "data MiB encoded per thread")
+		source   = flag.String("source", "pm", "data source: pm or dram")
+		hwp      = flag.Bool("hwp", true, "hardware prefetcher enabled")
+		sw       = flag.Bool("sw", false, "software prefetching")
+		dist     = flag.Int("dist", 0, "software prefetch distance in cacheline tasks (0 = k)")
+		shuffle  = flag.Bool("shuffle", false, "static shuffle mapping (de-trains the HW prefetcher)")
+		bf       = flag.Bool("bf", false, "buffer-friendly non-uniform prefetch distance")
+		boost    = flag.Int("boost", 0, "buffer-friendly first-line distance boost (0 = default)")
+		reduce   = flag.Int("reduce", 0, "buffer-friendly rest-line distance reduction (0 = default)")
+		xp       = flag.Bool("xpline", false, "XPLine-expanded loop granularity")
+		freq     = flag.Float64("freq", 3.3, "CPU frequency in GHz")
+		simd     = flag.String("simd", "avx512", "SIMD width: avx256 or avx512")
+		seq      = flag.Bool("seq", false, "sequential (column) block placement instead of scattered")
+		dialgaOn = flag.Bool("dialga", false, "run the DIALGA adaptive scheduler instead of fixed kernel parameters")
+		trace    = flag.Bool("trace", false, "with -dialga: print the coordinator trace (CSV to stderr)")
+	)
+	flag.Parse()
+
+	cfg := mem.DefaultConfig()
+	cfg.HWPrefetchEnabled = *hwp
+	cfg.CPUFreqGHz = *freq
+	switch *simd {
+	case "avx256":
+		cfg.SIMD = mem.AVX256
+	case "avx512":
+		cfg.SIMD = mem.AVX512
+	default:
+		fmt.Fprintf(os.Stderr, "unknown SIMD width %q\n", *simd)
+		os.Exit(2)
+	}
+	var kind mem.DeviceKind
+	switch *source {
+	case "pm":
+		kind = mem.PM
+	case "dram":
+		kind = mem.DRAM
+	default:
+		fmt.Fprintf(os.Stderr, "unknown source %q\n", *source)
+		os.Exit(2)
+	}
+	placement := workload.Scattered
+	if *seq {
+		placement = workload.Sequential
+	}
+	d := *dist
+	if d == 0 {
+		d = *k
+	}
+	params := isal.KernelParams{
+		Shuffle:          *shuffle,
+		SWPrefetch:       *sw,
+		PrefetchDistance: d,
+		BufferFriendly:   *bf,
+		FirstLineBoost:   *boost,
+		RestReduce:       *reduce,
+		XPLineLoop:       *xp,
+	}
+
+	e, err := engine.New(cfg, kind)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for t := 0; t < *threads; t++ {
+		l, err := workload.New(workload.Config{
+			K: *k, M: *m, BlockSize: *block,
+			TotalDataBytes: *totalMB << 20,
+			Placement:      placement, Seed: 42,
+		}, t)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *dialgaOn {
+			sched := dialga.New(l, e.Config(), dialga.DefaultOptions())
+			if *trace {
+				tid := t
+				if tid == 0 {
+					fmt.Fprintln(os.Stderr, "thread,us,windowGBps,phase,distance,highMode,contended")
+				}
+				sched.Trace = func(ev dialga.TraceEvent) {
+					fmt.Fprintf(os.Stderr, "%d,%.1f,%.3f,%s,%d,%v,%v\n",
+						tid, ev.NowNS/1000, ev.WindowGBps, ev.Phase, ev.Distance, ev.HighMode, ev.Contended)
+				}
+			}
+			e.AddThread(sched)
+		} else {
+			e.AddThread(isal.NewProgram(l, e.Config(), params))
+		}
+	}
+	res, err := e.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("config: RS(%d,%d) k=%d m=%d block=%dB threads=%d source=%s hwp=%v sw=%v dist=%d shuffle=%v bf=%v xpline=%v %s @%.1fGHz\n",
+		*k+*m, *k, *k, *m, *block, *threads, kind, *hwp, *sw, d, *shuffle, *bf, *xp, cfg.SIMD, cfg.CPUFreqGHz)
+	fmt.Printf("throughput:        %8.3f GB/s  (%.2f ms for %d MiB x %d threads)\n",
+		res.ThroughputGBps, res.ElapsedNS/1e6, *totalMB, *threads)
+	fmt.Printf("avg load latency:  %8.1f ns\n", res.AvgLoadLatencyNS())
+	fmt.Printf("miss cycles/load:  %8.1f cyc\n", res.MissCyclesPerLoad(&cfg))
+	fmt.Printf("L1  hits/misses:   %d / %d\n", res.L1.Hits, res.L1.Misses)
+	fmt.Printf("L2  hits/misses:   %d / %d  prefetchFills=%d useless=%d late=%d\n",
+		res.L2.Hits, res.L2.Misses, res.L2.PrefetchFills, res.L2.UselessPrefetch, res.L2.LatePrefetchHits)
+	fmt.Printf("LLC hits/misses:   %d / %d\n", res.LLC.Hits, res.LLC.Misses)
+	fmt.Printf("HW prefetcher:     issued=%d allocs=%d evicts=%d uselessRatio=%.3f l2pfRatio=%.3f\n",
+		res.PF.Issued, res.PF.StreamAllocs, res.PF.StreamEvicts, res.UselessPrefetchRatio(), res.L2PrefetchRatio())
+	var sw64 uint64
+	var stallLoad, stallStore float64
+	for _, th := range res.Threads {
+		sw64 += th.SWPrefetches
+		stallLoad += th.LoadStallNS
+		stallStore += th.StoreStallNS
+	}
+	fmt.Printf("SW prefetches:     %d\n", sw64)
+	fmt.Printf("stall (load/store): %.2f / %.2f ms\n", stallLoad/1e6, stallStore/1e6)
+	fmt.Printf("read traffic:      encode=%.1f MiB  ctrl=%.1f MiB  media=%.1f MiB  (media amp %.3f)\n",
+		float64(res.EncodeReadBytes)/(1<<20), float64(res.CtrlReadBytes)/(1<<20), float64(res.MediaReadBytes)/(1<<20),
+		float64(res.MediaReadBytes)/float64(res.EncodeReadBytes))
+	fmt.Printf("PM buffer:         hits=%d misses=%d evictedUnused=%d\n",
+		res.Dev.BufHits, res.Dev.BufMisses, res.Dev.BufEvictedUnused)
+	fmt.Printf("write traffic:     ctrl=%.1f MiB media=%.1f MiB\n",
+		float64(res.Dev.CtrlWriteBytes)/(1<<20), float64(res.Dev.MediaWriteBytes)/(1<<20))
+}

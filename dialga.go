@@ -1,0 +1,129 @@
+// Package dialga is the public facade of the DIALGA reproduction: a Go
+// implementation of "Accelerating Erasure Coding on Persistent Memory
+// via Adaptive Prefetcher Scheduling" (ICPP '25).
+//
+// The repository contains two halves:
+//
+//   - a real, usable erasure-coding library (Reed-Solomon, LRC and
+//     XOR/bitmatrix codecs over GF(2^8)) — exposed here via Codec and
+//     LRC;
+//   - a cycle-level simulation of the paper's testbed (CPU caches, L2
+//     stream prefetcher, Optane-style persistent memory) on which the
+//     DIALGA scheduler and every baseline run — exposed here via
+//     Reproduce and the dialga-bench command.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record.
+package dialga
+
+import (
+	"dialga/internal/harness"
+	"dialga/internal/lrc"
+	"dialga/internal/rs"
+)
+
+// Codec is a systematic Reed-Solomon RS(k+m, k) erasure codec over
+// GF(2^8): k data blocks produce m parity blocks; any k of the k+m
+// blocks recover the stripe. Safe for concurrent use.
+type Codec struct {
+	code *rs.Code
+}
+
+// NewCodec constructs an RS(k+m, k) codec (Cauchy generator matrix).
+func NewCodec(k, m int) (*Codec, error) {
+	c, err := rs.New(k, m)
+	if err != nil {
+		return nil, err
+	}
+	return &Codec{code: c}, nil
+}
+
+// K returns the number of data blocks per stripe.
+func (c *Codec) K() int { return c.code.K() }
+
+// M returns the number of parity blocks per stripe.
+func (c *Codec) M() int { return c.code.M() }
+
+// Encode fills parity (m equally sized blocks) from data (k blocks).
+func (c *Codec) Encode(data, parity [][]byte) error { return c.code.Encode(data, parity) }
+
+// EncodeAppend allocates and returns the parity blocks for data.
+func (c *Codec) EncodeAppend(data [][]byte) ([][]byte, error) { return c.code.EncodeAppend(data) }
+
+// Reconstruct repairs a stripe in place: blocks holds k+m entries in
+// stripe order with nil for missing blocks (at most m may be nil).
+func (c *Codec) Reconstruct(blocks [][]byte) error { return c.code.Reconstruct(blocks) }
+
+// Verify reports whether parity is consistent with data.
+func (c *Codec) Verify(data, parity [][]byte) (bool, error) { return c.code.Verify(data, parity) }
+
+// Update applies an incremental parity update after data block idx
+// changes from oldData to newData.
+func (c *Codec) Update(idx int, oldData, newData []byte, parity [][]byte) error {
+	return c.code.Update(idx, oldData, newData, parity)
+}
+
+// LRC is an Azure-style locally repairable code LRC(k, m, l): m global
+// Reed-Solomon parities plus one XOR parity per group of k/l data
+// blocks, so single failures repair from k/l blocks instead of k.
+type LRC struct {
+	code *lrc.Code
+}
+
+// NewLRC constructs an LRC(k, m, l) codec; l must divide k.
+func NewLRC(k, m, l int) (*LRC, error) {
+	c, err := lrc.New(k, m, l)
+	if err != nil {
+		return nil, err
+	}
+	return &LRC{code: c}, nil
+}
+
+// K returns the data block count.
+func (c *LRC) K() int { return c.code.K() }
+
+// M returns the global parity count.
+func (c *LRC) M() int { return c.code.M() }
+
+// L returns the local group count.
+func (c *LRC) L() int { return c.code.L() }
+
+// EncodeAppend returns (global, local) parity blocks for data.
+func (c *LRC) EncodeAppend(data [][]byte) (global, local [][]byte, err error) {
+	return c.code.EncodeAppend(data)
+}
+
+// Reconstruct repairs a stripe of k+m+l blocks in place, preferring
+// cheap local repair when possible.
+func (c *LRC) Reconstruct(blocks [][]byte) error { return c.code.Reconstruct(blocks) }
+
+// RepairCost returns the number of blocks read to repair block idx
+// under the current erasure pattern.
+func (c *LRC) RepairCost(blocks [][]byte, idx int) int { return c.code.RepairCost(blocks, idx) }
+
+// Verify reports whether all parities are consistent with data.
+func (c *LRC) Verify(data, global, local [][]byte) (bool, error) {
+	return c.code.Verify(data, global, local)
+}
+
+// Split partitions a byte stream into exactly k equally sized shards
+// (zero-padded tail) suitable for Codec.Encode.
+func Split(data []byte, k int) ([][]byte, error) { return rs.Split(data, k) }
+
+// Join reassembles the original stream of the given length from the k
+// data shards produced by Split.
+func Join(shards [][]byte, size int) ([]byte, error) { return rs.Join(shards, size) }
+
+// Figure is a reproduced paper figure; see internal/harness.
+type Figure = harness.Figure
+
+// FigureIDs lists the reproducible paper figures in order.
+func FigureIDs() []string { return append([]string(nil), harness.FigureIDs...) }
+
+// Reproduce regenerates one paper figure on the simulated testbed.
+// Quick trims working sets and sweeps for smoke runs; full runs are
+// what EXPERIMENTS.md records.
+func Reproduce(figureID string, quick bool) (*Figure, error) {
+	r := &harness.Runner{Quick: quick}
+	return r.ByID(figureID)
+}

@@ -1,0 +1,177 @@
+package dialga
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func ExampleCodec() {
+	codec, _ := NewCodec(4, 2) // RS(6,4): 4 data + 2 parity
+
+	payload := []byte("the quick brown fox jumps over the lazy dog!")
+	data, _ := Split(payload, 4)
+	parity, _ := codec.EncodeAppend(data)
+
+	stripe := append(data, parity...)
+	stripe[1], stripe[4] = nil, nil // lose one data and one parity block
+	_ = codec.Reconstruct(stripe)
+
+	restored, _ := Join(stripe[:4], len(payload))
+	fmt.Println(string(restored))
+	// Output: the quick brown fox jumps over the lazy dog!
+}
+
+func ExampleLRC() {
+	lrc, _ := NewLRC(4, 2, 2) // 4 data, 2 global RS, 2 local XOR parities
+
+	data, _ := Split([]byte("locally repairable codes cut repair traffic"), 4)
+	global, local, _ := lrc.EncodeAppend(data)
+
+	stripe := append(append(data, global...), local...)
+	stripe[0] = nil // single failure: local repair reads k/l = 2 blocks
+	fmt.Println("repair cost:", lrc.RepairCost(stripe, 0), "blocks")
+	_ = lrc.Reconstruct(stripe)
+	restored, _ := Join(stripe[:4], 43)
+	fmt.Println(string(restored))
+	// Output:
+	// repair cost: 2 blocks
+	// locally repairable codes cut repair traffic
+}
+
+func TestFacadeCodecRoundtrip(t *testing.T) {
+	c, err := NewCodec(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.K() != 6 || c.M() != 3 {
+		t.Fatal("accessors wrong")
+	}
+	payload := make([]byte, 10000)
+	rand.New(rand.NewSource(1)).Read(payload)
+	data, err := Split(payload, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parity, err := c.EncodeAppend(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := c.Verify(data, parity)
+	if err != nil || !ok {
+		t.Fatal("verify failed")
+	}
+	stripe := append(append([][]byte{}, data...), parity...)
+	stripe[0], stripe[4], stripe[7] = nil, nil, nil
+	if err := c.Reconstruct(stripe); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Join(stripe[:6], len(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, payload) {
+		t.Fatal("payload corrupted")
+	}
+}
+
+func TestFacadeCodecEncodeInPlaceAndUpdate(t *testing.T) {
+	c, _ := NewCodec(4, 2)
+	r := rand.New(rand.NewSource(2))
+	data := make([][]byte, 4)
+	for i := range data {
+		data[i] = make([]byte, 256)
+		r.Read(data[i])
+	}
+	parity := make([][]byte, 2)
+	for i := range parity {
+		parity[i] = make([]byte, 256)
+	}
+	if err := c.Encode(data, parity); err != nil {
+		t.Fatal(err)
+	}
+	newBlock := make([]byte, 256)
+	r.Read(newBlock)
+	if err := c.Update(1, data[1], newBlock, parity); err != nil {
+		t.Fatal(err)
+	}
+	data[1] = newBlock
+	ok, _ := c.Verify(data, parity)
+	if !ok {
+		t.Fatal("update broke parity")
+	}
+}
+
+func TestFacadeLRC(t *testing.T) {
+	c, err := NewLRC(12, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.K() != 12 || c.M() != 4 || c.L() != 2 {
+		t.Fatal("accessors wrong")
+	}
+	r := rand.New(rand.NewSource(3))
+	data := make([][]byte, 12)
+	for i := range data {
+		data[i] = make([]byte, 128)
+		r.Read(data[i])
+	}
+	global, local, err := c.EncodeAppend(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := c.Verify(data, global, local)
+	if err != nil || !ok {
+		t.Fatal("verify failed")
+	}
+	stripe := append(append(append([][]byte{}, data...), global...), local...)
+	want := stripe[3]
+	stripe[3] = nil
+	if cost := c.RepairCost(stripe, 3); cost != 6 {
+		t.Fatalf("local repair cost = %d, want 6", cost)
+	}
+	if err := c.Reconstruct(stripe); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(stripe[3], want) {
+		t.Fatal("repair wrong")
+	}
+}
+
+func TestFacadeInvalidParams(t *testing.T) {
+	if _, err := NewCodec(0, 4); err == nil {
+		t.Fatal("bad codec params accepted")
+	}
+	if _, err := NewLRC(10, 4, 3); err == nil {
+		t.Fatal("l not dividing k accepted")
+	}
+}
+
+func TestFacadeFigureIDs(t *testing.T) {
+	ids := FigureIDs()
+	if len(ids) < 15 {
+		t.Fatalf("only %d figure ids", len(ids))
+	}
+	// The returned slice is a copy.
+	ids[0] = "mutated"
+	if FigureIDs()[0] == "mutated" {
+		t.Fatal("FigureIDs leaked internal storage")
+	}
+}
+
+func TestFacadeReproduce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("reproduction smoke skipped in -short mode")
+	}
+	f, err := Reproduce("fig03", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.ID != "fig03" || len(f.Series) == 0 {
+		t.Fatal("bad figure")
+	}
+	if _, err := Reproduce("nope", true); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}

@@ -1,0 +1,14 @@
+package main
+
+import (
+	"dialga/internal/engine"
+	"dialga/internal/isal"
+	"dialga/internal/mem"
+	"dialga/internal/workload"
+)
+
+// isalPlain builds the unscheduled ISA-L kernel for the baseline
+// comparison.
+func isalPlain(l *workload.Layout, cfg *mem.Config) engine.Program {
+	return isal.NewProgram(l, cfg, isal.KernelParams{})
+}

@@ -1,0 +1,66 @@
+// Concurrency reproduces the paper's multi-thread story (Obs. 5,
+// §5.3) in miniature: under high concurrency, aggressive hardware
+// prefetching thrashes the PM on-DIMM read buffer — media read traffic
+// amplifies and aggregate throughput collapses. DIALGA's coordinator
+// detects the pressure (thread threshold + sampled latency), disables
+// the prefetcher through the shuffle mapping, expands the loop to
+// XPLine granularity and caps the prefetch distance per Eq. 1.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dialga/internal/dialga"
+	"dialga/internal/engine"
+	"dialga/internal/isal"
+	"dialga/internal/mem"
+	"dialga/internal/workload"
+)
+
+func run(threads int, useDialga bool) (gbps, mediaAmp float64) {
+	cfg := mem.DefaultConfig()
+	e, err := engine.New(cfg, mem.PM)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for t := 0; t < threads; t++ {
+		l, err := workload.New(workload.Config{
+			K: 24, M: 4, BlockSize: 1024,
+			TotalDataBytes: 12 << 20,
+			Placement:      workload.Scattered,
+			Seed:           1,
+		}, t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if useDialga {
+			e.AddThread(dialga.New(l, e.Config(), dialga.DefaultOptions()))
+		} else {
+			e.AddThread(isal.NewProgram(l, e.Config(), isal.KernelParams{}))
+		}
+	}
+	res, err := e.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res.ThroughputGBps, float64(res.MediaReadBytes) / float64(res.EncodeReadBytes)
+}
+
+func main() {
+	fmt.Println("RS(28,24) 1KB encoding under concurrency on simulated PM")
+	fmt.Printf("%-8s  %22s  %22s\n", "threads", "ISA-L GB/s (media amp)", "DIALGA GB/s (media amp)")
+	for _, t := range []int{1, 4, 8, 12, 16, 18} {
+		bg, ba := run(t, false)
+		dg, da := run(t, true)
+		note := ""
+		if t > 12 {
+			note = "  <- above DIALGA's thread threshold"
+		}
+		fmt.Printf("%-8d  %12.2f (%5.2fx)  %13.2f (%5.2fx)%s\n", t, bg, ba, dg, da, note)
+	}
+	fmt.Println("\nPast the knee, ISA-L's prefetched XPLines are evicted from the 96KB")
+	fmt.Println("read buffer before use: media traffic amplifies and scaling collapses.")
+	fmt.Println("Above 12 threads DIALGA trials its high-pressure entry point, caps the")
+	fmt.Println("prefetch distance per Eq. 1, and keeps amplification near 1.")
+}

@@ -1,0 +1,143 @@
+// Storagenode is a toy PM-resident object store built on the LRC codec:
+// objects are striped as LRC(12, 4, 2), a background scrubber verifies
+// parity, and failed blocks are repaired — locally (6 reads) when the
+// failure pattern allows, globally (12 reads) otherwise. This is the
+// reliability use case that motivates erasure coding on PM in the
+// paper's introduction.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"dialga"
+)
+
+const (
+	k, m, l   = 12, 4, 2
+	blockSize = 4096
+)
+
+type object struct {
+	name   string
+	stripe [][]byte // k data + m global + l local
+	size   int
+}
+
+type node struct {
+	codec   *dialga.LRC
+	objects map[string]*object
+}
+
+func newNode() *node {
+	c, err := dialga.NewLRC(k, m, l)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return &node{codec: c, objects: map[string]*object{}}
+}
+
+// put stripes and encodes an object.
+func (n *node) put(name string, payload []byte) {
+	data := make([][]byte, k)
+	for i := range data {
+		data[i] = make([]byte, blockSize)
+		lo := i * blockSize
+		if lo < len(payload) {
+			hi := lo + blockSize
+			if hi > len(payload) {
+				hi = len(payload)
+			}
+			copy(data[i], payload[lo:hi])
+		}
+	}
+	global, local, err := n.codec.EncodeAppend(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stripe := append(append(append([][]byte{}, data...), global...), local...)
+	n.objects[name] = &object{name: name, stripe: stripe, size: len(payload)}
+}
+
+// get reassembles the payload, repairing first if needed.
+func (n *node) get(name string) []byte {
+	obj := n.objects[name]
+	if obj == nil {
+		return nil
+	}
+	if err := n.codec.Reconstruct(obj.stripe); err != nil {
+		log.Fatalf("object %s unrecoverable: %v", name, err)
+	}
+	var out []byte
+	for i := 0; i < k; i++ {
+		out = append(out, obj.stripe[i]...)
+	}
+	return out[:obj.size]
+}
+
+// scrub verifies every object and repairs damage, reporting repair cost.
+func (n *node) scrub() (repairedBlocks, blocksRead int) {
+	for _, obj := range n.objects {
+		for idx, b := range obj.stripe {
+			if b != nil {
+				continue
+			}
+			blocksRead += n.codec.RepairCost(obj.stripe, idx)
+			repairedBlocks++
+		}
+		if err := n.codec.Reconstruct(obj.stripe); err != nil {
+			log.Fatalf("scrub: %s unrecoverable: %v", obj.name, err)
+		}
+	}
+	return repairedBlocks, blocksRead
+}
+
+func main() {
+	n := newNode()
+	r := rand.New(rand.NewSource(7))
+
+	// Store 32 objects.
+	originals := map[string][]byte{}
+	for i := 0; i < 32; i++ {
+		name := fmt.Sprintf("obj-%02d", i)
+		payload := make([]byte, 1+r.Intn(k*blockSize))
+		r.Read(payload)
+		originals[name] = payload
+		n.put(name, payload)
+	}
+	fmt.Printf("stored %d objects as LRC(%d,%d,%d) stripes of %dB blocks\n",
+		len(n.objects), k, m, l, blockSize)
+
+	// Inject failures: single-block failures (locally repairable) and a
+	// few double failures (need global decode).
+	single, double := 0, 0
+	for name, obj := range n.objects {
+		switch {
+		case name < "obj-20": // 20 objects: one random lost block
+			obj.stripe[r.Intn(k)] = nil
+			single++
+		case name < "obj-26": // 6 objects: two lost blocks in one group
+			g := r.Intn(l)
+			lo := g * (k / l)
+			obj.stripe[lo] = nil
+			obj.stripe[lo+1] = nil
+			double++
+		}
+	}
+	fmt.Printf("injected %d single-block and %d double-block failures\n", single, double)
+
+	repaired, reads := n.scrub()
+	fmt.Printf("scrub repaired %d blocks reading %d blocks total\n", repaired, reads)
+	fmt.Printf("  (all-global decoding would have read %d blocks; local repair saved %.0f%%)\n",
+		repaired*k, 100*(1-float64(reads)/float64(repaired*k)))
+
+	// Verify every object survived intact.
+	for name, want := range originals {
+		if !bytes.Equal(n.get(name), want) {
+			log.Fatalf("object %s corrupted", name)
+		}
+	}
+	fmt.Println("all objects verified byte-identical after repair")
+}

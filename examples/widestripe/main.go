@@ -1,0 +1,64 @@
+// Widestripe reproduces the paper's wide-stripe story (Obs. 3, §5.2.1)
+// in miniature on the simulated PM testbed: as the stripe width k grows
+// past the L2 stream prefetcher's tracking capacity (32 streams on
+// Cascade Lake), ISA-L's throughput collapses — and DIALGA's pipelined
+// software prefetching recovers it without decomposing the stripe.
+//
+// Wide stripes matter because they cut storage overhead: VAST-style
+// systems run k>100 (§3.2), far beyond any hardware prefetcher.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dialga/internal/dialga"
+	"dialga/internal/engine"
+	"dialga/internal/isal"
+	"dialga/internal/mem"
+	"dialga/internal/workload"
+)
+
+func run(k int, useDialga bool) (gbps float64, pfIssued uint64) {
+	cfg := mem.DefaultConfig()
+	e, err := engine.New(cfg, mem.PM)
+	if err != nil {
+		log.Fatal(err)
+	}
+	l, err := workload.New(workload.Config{
+		K: k, M: 4, BlockSize: 1024,
+		TotalDataBytes: 8 << 20,
+		Placement:      workload.Scattered,
+		Seed:           1,
+	}, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if useDialga {
+		e.AddThread(dialga.New(l, e.Config(), dialga.DefaultOptions()))
+	} else {
+		e.AddThread(isal.NewProgram(l, e.Config(), isal.KernelParams{}))
+	}
+	res, err := e.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res.ThroughputGBps, res.PF.Issued
+}
+
+func main() {
+	fmt.Println("wide-stripe encoding on simulated PM (m=4, 1KB blocks)")
+	fmt.Printf("%-6s  %12s  %14s  %12s\n", "k", "ISA-L GB/s", "HW prefetches", "DIALGA GB/s")
+	for _, k := range []int{16, 24, 32, 40, 48, 64} {
+		base, pf := run(k, false)
+		dial, _ := run(k, true)
+		marker := ""
+		if pf == 0 {
+			marker = "  <- stream table overwhelmed"
+		}
+		fmt.Printf("%-6d  %12.2f  %14d  %12.2f%s\n", k, base, pf, dial, marker)
+	}
+	fmt.Println("\nPast k=32 the stream prefetcher tracks nothing (0 prefetches) and")
+	fmt.Println("ISA-L drops to un-prefetched latency; DIALGA's software prefetching")
+	fmt.Println("does not depend on the stream table and keeps wide stripes fast.")
+}

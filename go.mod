@@ -1,0 +1,3 @@
+module dialga
+
+go 1.22

@@ -1,0 +1,13 @@
+package dialga
+
+import (
+	"dialga/internal/engine"
+	"dialga/internal/isal"
+	"dialga/internal/workload"
+)
+
+// newPlain builds the unscheduled ISA-L kernel program for comparison
+// baselines in tests.
+func newPlain(l *workload.Layout) engine.Program {
+	return isal.NewProgram(l, cfgPtr(), isal.KernelParams{})
+}

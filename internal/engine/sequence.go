@@ -1,0 +1,46 @@
+package engine
+
+// Sequence chains programs back to back on one thread: the workload
+// shape (block size, stripe width) changes at each boundary, as in
+// production systems whose object sizes vary (the paper's §3.2
+// motivation, citing the Twitter cache study). Telemetry is propagated
+// to every telemetry-aware child, so adaptive programs re-tune when
+// their segment starts.
+type Sequence struct {
+	Programs []Program
+	idx      int
+}
+
+// NewSequence chains the given programs.
+func NewSequence(progs ...Program) *Sequence {
+	return &Sequence{Programs: progs}
+}
+
+// Next implements Program.
+func (s *Sequence) Next(op *Op) bool {
+	for s.idx < len(s.Programs) {
+		if s.Programs[s.idx].Next(op) {
+			return true
+		}
+		s.idx++
+	}
+	return false
+}
+
+// DataBytes implements Program.
+func (s *Sequence) DataBytes() uint64 {
+	var n uint64
+	for _, p := range s.Programs {
+		n += p.DataBytes()
+	}
+	return n
+}
+
+// Attach implements TelemetryAware.
+func (s *Sequence) Attach(t *Telemetry) {
+	for _, p := range s.Programs {
+		if ta, ok := p.(TelemetryAware); ok {
+			ta.Attach(t)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package engine
+
+import (
+	"testing"
+
+	"dialga/internal/mem"
+)
+
+// swOnlyProgram issues software prefetches far ahead and then loads:
+// throughput is bounded by superqueue slots x 64B / fill latency.
+type swOnlyProgram struct {
+	base  mem.Addr
+	lines int
+	dist  int
+	pos   int
+}
+
+func (p *swOnlyProgram) DataBytes() uint64 { return uint64(p.lines) * mem.CachelineSize }
+
+func (p *swOnlyProgram) Next(op *Op) bool {
+	if p.pos >= p.lines {
+		return false
+	}
+	n := 8
+	if p.pos+n > p.lines {
+		n = p.lines - p.pos
+	}
+	for i := 0; i < n; i++ {
+		if tgt := p.pos + i + p.dist; tgt < p.lines {
+			op.SWPrefetches = append(op.SWPrefetches, p.base+mem.Addr(tgt*mem.CachelineSize))
+		}
+		op.Loads = append(op.Loads, p.base+mem.Addr((p.pos+i)*mem.CachelineSize))
+	}
+	p.pos += n
+	return true
+}
+
+func TestSuperqueueBoundsPrefetchBandwidth(t *testing.T) {
+	cfg := mem.DefaultConfig()
+	cfg.HWPrefetchEnabled = false
+	run := func(sq int) float64 {
+		c := cfg
+		c.SQDepth = sq
+		e, err := New(c, mem.PM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.AddThread(&swOnlyProgram{base: 0, lines: 65536, dist: 256})
+		res, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.ThroughputGBps
+	}
+	small := run(8)
+	big := run(32)
+	if big <= small {
+		t.Fatalf("deeper superqueue (%v GB/s) not faster than shallow (%v GB/s)", big, small)
+	}
+	// The shallow queue's bandwidth must respect the slot bound:
+	// 8 slots x 64B per (at least) the buffer-hit latency.
+	bound := 8 * 64.0 / cfg.PMBufHitNS
+	if small > bound*1.15 {
+		t.Fatalf("throughput %v exceeds the physical slot bound %v", small, bound)
+	}
+}
+
+func TestLFBBoundsDemandBandwidth(t *testing.T) {
+	cfg := mem.DefaultConfig()
+	cfg.HWPrefetchEnabled = false
+	run := func(mlp int) float64 {
+		c := cfg
+		c.MLP = mlp
+		e, err := New(c, mem.PM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.AddThread(&seqProgram{base: 0, lines: 32768, perOp: 16})
+		res, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.ThroughputGBps
+	}
+	if run(16) <= run(4) {
+		t.Fatal("more line-fill buffers did not raise demand bandwidth")
+	}
+}
+
+func TestFillStallAccounted(t *testing.T) {
+	cfg := mem.DefaultConfig()
+	cfg.HWPrefetchEnabled = false
+	cfg.MLP = 2
+	cfg.SQDepth = 2
+	e, _ := New(cfg, mem.PM)
+	e.AddThread(&seqProgram{base: 0, lines: 4096, perOp: 16})
+	res, _ := e.Run()
+	var stall float64
+	for _, th := range res.Threads {
+		stall += th.FillStallNS
+	}
+	if stall <= 0 {
+		t.Fatal("tiny fill structures must cause fill stalls")
+	}
+}
+
+// A demand load to a line whose software prefetch is still in flight
+// must wait only the remaining time, not a full memory latency.
+func TestInFlightPrefetchPartialHiding(t *testing.T) {
+	cfg := mem.DefaultConfig()
+	cfg.HWPrefetchEnabled = false
+	// Distance 1 op (~8 lines): prefetches are late but in flight.
+	late := &swOnlyProgram{base: 0, lines: 16384, dist: 8}
+	e1, _ := New(cfg, mem.PM)
+	e1.AddThread(late)
+	resLate, _ := e1.Run()
+
+	none := &seqProgram{base: 0, lines: 16384, perOp: 8}
+	e2, _ := New(cfg, mem.PM)
+	e2.AddThread(none)
+	resNone, _ := e2.Run()
+
+	if resLate.ThroughputGBps <= resNone.ThroughputGBps {
+		t.Fatalf("late prefetch (%v) should still beat no prefetch (%v)",
+			resLate.ThroughputGBps, resNone.ThroughputGBps)
+	}
+}
+
+// A branching (naive) prefetch interface costs extra cycles per
+// prefetch and must slow the run (the §4.2.2 operator claim).
+func TestPrefetchOverheadCycles(t *testing.T) {
+	cfg := mem.DefaultConfig()
+	cfg.HWPrefetchEnabled = false
+	run := func(extra float64) float64 {
+		e, _ := New(cfg, mem.PM)
+		e.AddThread(&overheadProgram{swOnlyProgram{base: 0, lines: 16384, dist: 64}, extra})
+		res, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.ElapsedNS
+	}
+	branchless := run(0)
+	branching := run(8)
+	if branching <= branchless {
+		t.Fatalf("branching prefetch interface (%v ns) not slower than branchless (%v ns)",
+			branching, branchless)
+	}
+}
+
+type overheadProgram struct {
+	swOnlyProgram
+	extra float64
+}
+
+func (p *overheadProgram) Next(op *Op) bool {
+	if !p.swOnlyProgram.Next(op) {
+		return false
+	}
+	op.PrefetchExtraCycles = p.extra
+	return true
+}
+
+// Hardware prefetches are dropped, not stalled, when the superqueue is
+// busy: a prefetch-heavy phase cannot deadlock or stall the core.
+func TestHWPrefetchDropsUnderPressure(t *testing.T) {
+	cfg := mem.DefaultConfig()
+	cfg.SQDepth = 2
+	e, _ := New(cfg, mem.PM)
+	e.AddThread(&seqProgram{base: 0, lines: 16384, perOp: 16})
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PF.Issued == 0 {
+		t.Fatal("no prefetches issued at all")
+	}
+	// Fewer prefetch fills than issues = some were dropped.
+	if res.L2.PrefetchFills >= res.PF.Issued {
+		t.Fatal("expected some hardware prefetches to be dropped with a tiny superqueue")
+	}
+}

@@ -1,0 +1,100 @@
+package gf
+
+import "encoding/binary"
+
+// NibbleTables holds the two 16-entry lookup tables for a coefficient c,
+// mirroring the operand layout ISA-L feeds to VPSHUFB: Lo[x] = c*(x) for
+// the low nibble and Hi[x] = c*(x<<4) for the high nibble, so that
+// c*b == Lo[b&0xf] ^ Hi[b>>4].
+type NibbleTables struct {
+	Lo [16]byte
+	Hi [16]byte
+}
+
+// MakeNibbleTables builds the VPSHUFB-style split tables for coefficient c.
+func MakeNibbleTables(c byte) NibbleTables {
+	var t NibbleTables
+	for x := 0; x < 16; x++ {
+		t.Lo[x] = Mul(c, byte(x))
+		t.Hi[x] = Mul(c, byte(x<<4))
+	}
+	return t
+}
+
+// Mul applies the split-table multiply to a single byte.
+func (t *NibbleTables) Mul(b byte) byte {
+	return t.Lo[b&0xf] ^ t.Hi[b>>4]
+}
+
+// AddSlice XORs src into dst element-wise: dst[i] ^= src[i].
+// It processes eight bytes per iteration on the aligned middle section.
+// dst and src must be the same length.
+func AddSlice(dst, src []byte) {
+	if len(dst) != len(src) {
+		panic("gf: AddSlice length mismatch")
+	}
+	n := len(dst) &^ 7
+	for i := 0; i < n; i += 8 {
+		d := binary.LittleEndian.Uint64(dst[i:])
+		s := binary.LittleEndian.Uint64(src[i:])
+		binary.LittleEndian.PutUint64(dst[i:], d^s)
+	}
+	for i := n; i < len(dst); i++ {
+		dst[i] ^= src[i]
+	}
+}
+
+// MulSlice sets dst[i] = c*src[i]. dst and src must be the same length.
+func MulSlice(c byte, dst, src []byte) {
+	if len(dst) != len(src) {
+		panic("gf: MulSlice length mismatch")
+	}
+	switch c {
+	case 0:
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	case 1:
+		copy(dst, src)
+		return
+	}
+	row := &mulTable[c]
+	for i, b := range src {
+		dst[i] = row[b]
+	}
+}
+
+// MulSliceAdd accumulates dst[i] ^= c*src[i]. This is the inner kernel of
+// table-lookup Reed-Solomon encoding. dst and src must be the same length.
+func MulSliceAdd(c byte, dst, src []byte) {
+	if len(dst) != len(src) {
+		panic("gf: MulSliceAdd length mismatch")
+	}
+	switch c {
+	case 0:
+		return
+	case 1:
+		AddSlice(dst, src)
+		return
+	}
+	row := &mulTable[c]
+	for i, b := range src {
+		dst[i] ^= row[b]
+	}
+}
+
+// DotSlice computes dst = sum_j coeffs[j]*srcs[j] (element-wise over the
+// slices), overwriting dst. All slices must share dst's length and
+// len(coeffs) must equal len(srcs).
+func DotSlice(coeffs []byte, dst []byte, srcs [][]byte) {
+	if len(coeffs) != len(srcs) {
+		panic("gf: DotSlice coefficient/source count mismatch")
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for j, src := range srcs {
+		MulSliceAdd(coeffs[j], dst, src)
+	}
+}

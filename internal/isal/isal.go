@@ -1,0 +1,129 @@
+// Package isal provides the table-lookup erasure codec with the
+// interface shape of Intel ISA-L (ec_init_tables / ec_encode_data), plus
+// the simulator entry-point programs that model ISA-L's memory-access
+// pattern on the simulated testbed.
+//
+// The real ISA-L dispatches among assembly entry points per instruction
+// set; DIALGA statically extends those entry points with prefetching
+// variants (§4.1.2). Here the same idea appears twice:
+//
+//   - the byte-level codec (this file) encodes real data, one read per
+//     data block, exactly like ISA-L's GF table-lookup kernel;
+//   - Program (program.go) generates the kernel's memory-access stream
+//     for the engine, parameterized by the same entry-point variants
+//     (plain, shuffled, software-prefetch, XPLine-expanded).
+package isal
+
+import (
+	"fmt"
+
+	"dialga/internal/ecmatrix"
+	"dialga/internal/gf"
+	"dialga/internal/rs"
+)
+
+// Tables is the expanded coefficient table set, the analogue of the
+// gf_tables buffer ISA-L builds in ec_init_tables: one VPSHUFB-style
+// nibble-table pair per (data, parity) coefficient.
+type Tables struct {
+	K, M int
+	code *rs.Code
+	nib  [][]gf.NibbleTables // [m][k]
+}
+
+// InitTables builds encode tables for RS(k+m, k) with the default
+// Cauchy generator.
+func InitTables(k, m int) (*Tables, error) {
+	code, err := rs.New(k, m)
+	if err != nil {
+		return nil, err
+	}
+	return tablesFor(code, code.ParityMatrix())
+}
+
+func tablesFor(code *rs.Code, coeff *ecmatrix.Matrix) (*Tables, error) {
+	t := &Tables{K: coeff.Cols, M: coeff.Rows, code: code}
+	t.nib = make([][]gf.NibbleTables, t.M)
+	for i := 0; i < t.M; i++ {
+		t.nib[i] = make([]gf.NibbleTables, t.K)
+		for j := 0; j < t.K; j++ {
+			t.nib[i][j] = gf.MakeNibbleTables(coeff.At(i, j))
+		}
+	}
+	return t, nil
+}
+
+// EncodeData computes parity from data using the nibble-table kernel:
+// each data block is read exactly once; per 64 B of data, each parity
+// accumulator receives one table-lookup multiply-XOR — ISA-L's memory
+// pattern.
+func (t *Tables) EncodeData(data, parity [][]byte) error {
+	if len(data) != t.K || len(parity) != t.M {
+		return fmt.Errorf("isal: want %d data and %d parity blocks, got %d and %d",
+			t.K, t.M, len(data), len(parity))
+	}
+	size := len(data[0])
+	for _, b := range data {
+		if len(b) != size {
+			return fmt.Errorf("isal: ragged data blocks")
+		}
+	}
+	for _, p := range parity {
+		if len(p) != size {
+			return fmt.Errorf("isal: parity size mismatch")
+		}
+		for i := range p {
+			p[i] = 0
+		}
+	}
+	for j, src := range data {
+		for i := range parity {
+			nt := &t.nib[i][j]
+			dst := parity[i]
+			for x, b := range src {
+				dst[x] ^= nt.Lo[b&0xf] ^ nt.Hi[b>>4]
+			}
+		}
+	}
+	return nil
+}
+
+// DecodeTables builds tables that reconstruct the given missing stripe
+// indices from the listed survivors (exactly k of them). Decoding then
+// runs through EncodeData with the survivors as "data" — the identical
+// memory pattern the paper notes in §4.1 ("Other Coding Tasks").
+func (t *Tables) DecodeTables(survivors, missing []int) (*Tables, error) {
+	if len(survivors) != t.K {
+		return nil, fmt.Errorf("isal: need exactly k=%d survivors", t.K)
+	}
+	if len(missing) == 0 || len(missing) > t.M {
+		return nil, fmt.Errorf("isal: %d erasures outside [1,%d]", len(missing), t.M)
+	}
+	inv, err := t.code.DecodeMatrix(survivors)
+	if err != nil {
+		return nil, err
+	}
+	gen := t.code.Generator()
+	dec := ecmatrix.New(len(missing), t.K)
+	for r, idx := range missing {
+		if idx < t.K {
+			copy(dec.Row(r), inv.Row(idx))
+			continue
+		}
+		// Missing parity: its row over the survivors is
+		// parityRow * inv.
+		prow := gen.Row(idx)
+		for j := 0; j < t.K; j++ {
+			var acc byte
+			for c := 0; c < t.K; c++ {
+				acc ^= gf.Mul(prow[c], inv.At(c, j))
+			}
+			dec.Set(r, j, acc)
+		}
+	}
+	return tablesFor(t.code, dec)
+}
+
+// Code exposes the underlying RS code (for verification in tests and
+// examples).
+func (t *Tables) Code() *rs.Code { return t.code }

@@ -1,0 +1,166 @@
+package isal
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dialga/internal/rs"
+)
+
+func randBlocks(r *rand.Rand, n, size int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = make([]byte, size)
+		r.Read(out[i])
+	}
+	return out
+}
+
+func TestEncodeDataMatchesRS(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, p := range []struct{ k, m int }{{2, 2}, {8, 4}, {24, 4}} {
+		tab, err := InitTables(p.k, p.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rsc, err := rs.New(p.k, p.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := randBlocks(r, p.k, 1024)
+		want, _ := rsc.EncodeAppend(data)
+		got := randBlocks(r, p.m, 1024) // must be overwritten
+		if err := tab.EncodeData(data, got); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if !bytes.Equal(got[i], want[i]) {
+				t.Fatalf("k=%d m=%d parity %d differs from rs reference", p.k, p.m, i)
+			}
+		}
+	}
+}
+
+func TestEncodeDataValidation(t *testing.T) {
+	tab, _ := InitTables(4, 2)
+	r := rand.New(rand.NewSource(2))
+	data := randBlocks(r, 4, 64)
+	if err := tab.EncodeData(data[:3], randBlocks(r, 2, 64)); err == nil {
+		t.Fatal("short data accepted")
+	}
+	if err := tab.EncodeData(data, randBlocks(r, 1, 64)); err == nil {
+		t.Fatal("short parity accepted")
+	}
+	ragged := randBlocks(r, 4, 64)
+	ragged[1] = ragged[1][:32]
+	if err := tab.EncodeData(ragged, randBlocks(r, 2, 64)); err == nil {
+		t.Fatal("ragged data accepted")
+	}
+	if err := tab.EncodeData(data, randBlocks(r, 2, 32)); err == nil {
+		t.Fatal("parity size mismatch accepted")
+	}
+}
+
+func TestDecodeTables(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	tab, err := InitTables(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := randBlocks(r, 6, 512)
+	parity := randBlocks(r, 3, 512)
+	if err := tab.EncodeData(data, parity); err != nil {
+		t.Fatal(err)
+	}
+	full := append(append([][]byte{}, data...), parity...)
+
+	// Lose data blocks 1, 4 and parity 7.
+	missing := []int{1, 4, 7}
+	var survivors []int
+	for i := 0; i < 9 && len(survivors) < 6; i++ {
+		if i != 1 && i != 4 && i != 7 {
+			survivors = append(survivors, i)
+		}
+	}
+	dec, err := tab.DecodeTables(survivors, missing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := make([][]byte, 6)
+	for i, s := range survivors {
+		srcs[i] = full[s]
+	}
+	out := randBlocks(r, 3, 512)
+	if err := dec.EncodeData(srcs, out); err != nil {
+		t.Fatal(err)
+	}
+	for i, idx := range missing {
+		if !bytes.Equal(out[i], full[idx]) {
+			t.Fatalf("decoded block %d (stripe %d) wrong", i, idx)
+		}
+	}
+}
+
+func TestDecodeTablesValidation(t *testing.T) {
+	tab, _ := InitTables(4, 2)
+	if _, err := tab.DecodeTables([]int{0, 1, 2}, []int{3}); err == nil {
+		t.Fatal("short survivor list accepted")
+	}
+	if _, err := tab.DecodeTables([]int{0, 1, 2, 3}, nil); err == nil {
+		t.Fatal("empty missing list accepted")
+	}
+	if _, err := tab.DecodeTables([]int{0, 1, 2, 3}, []int{4, 5, 1}); err == nil {
+		t.Fatal("too many erasures accepted")
+	}
+}
+
+// Property: decode-tables reconstruction roundtrips for random erasures.
+func TestQuickDecodeRoundtrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 2 + r.Intn(8)
+		m := 1 + r.Intn(4)
+		tab, err := InitTables(k, m)
+		if err != nil {
+			return false
+		}
+		size := 8 * (1 + r.Intn(32))
+		data := randBlocks(r, k, size)
+		parity := randBlocks(r, m, size)
+		if err := tab.EncodeData(data, parity); err != nil {
+			return false
+		}
+		full := append(append([][]byte{}, data...), parity...)
+		nMiss := 1 + r.Intn(m)
+		perm := r.Perm(k + m)
+		missing := perm[:nMiss]
+		var survivors []int
+		for _, i := range perm[nMiss:] {
+			survivors = append(survivors, i)
+		}
+		survivors = survivors[:k]
+		dec, err := tab.DecodeTables(survivors, missing)
+		if err != nil {
+			return false
+		}
+		srcs := make([][]byte, k)
+		for i, s := range survivors {
+			srcs[i] = full[s]
+		}
+		out := randBlocks(r, nMiss, size)
+		if err := dec.EncodeData(srcs, out); err != nil {
+			return false
+		}
+		for i, idx := range missing {
+			if !bytes.Equal(out[i], full[idx]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,268 @@
+// Package lrc implements Azure-style Locally Repairable Codes.
+//
+// An LRC(k, m, l) code (§4.1 "Other Coding Tasks" of the DIALGA paper)
+// builds on an RS(k+m, k) code by dividing the k data blocks into l
+// groups and adding one local XOR parity per group. Single-block failures
+// repair from the (k/l) blocks of one group instead of k blocks; up to m
+// arbitrary data failures decode through the global RS parities.
+package lrc
+
+import (
+	"errors"
+	"fmt"
+
+	"dialga/internal/gf"
+	"dialga/internal/rs"
+)
+
+// Code is an immutable LRC(k, m, l) instance. Stripe layout:
+// blocks[0:k] data, blocks[k:k+m] global parity, blocks[k+m:k+m+l] local
+// parity (group g covers data blocks [g*k/l, (g+1)*k/l)).
+type Code struct {
+	k, m, l   int
+	groupSize int
+	global    *rs.Code
+}
+
+// New constructs an LRC(k, m, l) code. l must divide k.
+func New(k, m, l int) (*Code, error) {
+	if l <= 0 {
+		return nil, fmt.Errorf("lrc: l must be positive, got %d", l)
+	}
+	if k%l != 0 {
+		return nil, fmt.Errorf("lrc: l=%d must divide k=%d", l, k)
+	}
+	global, err := rs.New(k, m)
+	if err != nil {
+		return nil, err
+	}
+	return &Code{k: k, m: m, l: l, groupSize: k / l, global: global}, nil
+}
+
+// K returns the number of data blocks.
+func (c *Code) K() int { return c.k }
+
+// M returns the number of global parity blocks.
+func (c *Code) M() int { return c.m }
+
+// L returns the number of local groups (= local parity blocks).
+func (c *Code) L() int { return c.l }
+
+// TotalBlocks returns the stripe width k+m+l.
+func (c *Code) TotalBlocks() int { return c.k + c.m + c.l }
+
+// GroupOf returns the local group index of data block i.
+func (c *Code) GroupOf(i int) int { return i / c.groupSize }
+
+// GroupRange returns the [lo, hi) data-block range of group g.
+func (c *Code) GroupRange(g int) (lo, hi int) {
+	return g * c.groupSize, (g + 1) * c.groupSize
+}
+
+var errBlockShape = errors.New("lrc: blocks must be non-empty and equally sized")
+
+func blockSize(blocks [][]byte) (int, error) {
+	size := -1
+	for _, b := range blocks {
+		if b == nil {
+			continue
+		}
+		if size == -1 {
+			size = len(b)
+		} else if len(b) != size {
+			return 0, errBlockShape
+		}
+	}
+	if size <= 0 {
+		return 0, errBlockShape
+	}
+	return size, nil
+}
+
+// Encode computes m global and l local parity blocks for the k data
+// blocks, writing into global (m slices) and local (l slices).
+func (c *Code) Encode(data, global, local [][]byte) error {
+	if len(data) != c.k || len(global) != c.m || len(local) != c.l {
+		return fmt.Errorf("lrc: want %d data, %d global, %d local blocks; got %d/%d/%d",
+			c.k, c.m, c.l, len(data), len(global), len(local))
+	}
+	size, err := blockSize(data)
+	if err != nil {
+		return err
+	}
+	if err := c.global.Encode(data, global); err != nil {
+		return err
+	}
+	for g := 0; g < c.l; g++ {
+		lo, hi := c.GroupRange(g)
+		if len(local[g]) != size {
+			return errBlockShape
+		}
+		copy(local[g], data[lo])
+		for i := lo + 1; i < hi; i++ {
+			gf.AddSlice(local[g], data[i])
+		}
+	}
+	return nil
+}
+
+// EncodeAppend allocates and returns (global, local) parity blocks.
+func (c *Code) EncodeAppend(data [][]byte) (global, local [][]byte, err error) {
+	size, err := blockSize(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	global = make([][]byte, c.m)
+	for i := range global {
+		global[i] = make([]byte, size)
+	}
+	local = make([][]byte, c.l)
+	for i := range local {
+		local[i] = make([]byte, size)
+	}
+	if err := c.Encode(data, global, local); err != nil {
+		return nil, nil, err
+	}
+	return global, local, nil
+}
+
+// RepairLocal reconstructs a single missing data block using only its
+// local group: XOR of the group's surviving data blocks and the group's
+// local parity. blocks is the full stripe (len k+m+l) with nil entries
+// for missing blocks; only the target block is reconstructed.
+func (c *Code) RepairLocal(blocks [][]byte, idx int) error {
+	if idx < 0 || idx >= c.k {
+		return fmt.Errorf("lrc: local repair only covers data blocks, got index %d", idx)
+	}
+	if len(blocks) != c.TotalBlocks() {
+		return fmt.Errorf("lrc: stripe has %d blocks, want %d", len(blocks), c.TotalBlocks())
+	}
+	size, err := blockSize(blocks)
+	if err != nil {
+		return err
+	}
+	g := c.GroupOf(idx)
+	lp := blocks[c.k+c.m+g]
+	if lp == nil {
+		return errors.New("lrc: local parity for the group is missing; use Reconstruct")
+	}
+	out := make([]byte, size)
+	copy(out, lp)
+	lo, hi := c.GroupRange(g)
+	for i := lo; i < hi; i++ {
+		if i == idx {
+			continue
+		}
+		if blocks[i] == nil {
+			return errors.New("lrc: another block in the group is missing; use Reconstruct")
+		}
+		gf.AddSlice(out, blocks[i])
+	}
+	blocks[idx] = out
+	return nil
+}
+
+// Reconstruct repairs a stripe in place, preferring local repair when a
+// missing data block's group is otherwise intact, and falling back to
+// global RS decode. Local parities are rebuilt from data afterwards.
+// blocks must have length k+m+l with nil entries for missing blocks.
+func (c *Code) Reconstruct(blocks [][]byte) error {
+	if len(blocks) != c.TotalBlocks() {
+		return fmt.Errorf("lrc: stripe has %d blocks, want %d", len(blocks), c.TotalBlocks())
+	}
+	size, err := blockSize(blocks)
+	if err != nil {
+		return err
+	}
+	// Pass 1: local repair for cheaply repairable data blocks.
+	for idx := 0; idx < c.k; idx++ {
+		if blocks[idx] != nil {
+			continue
+		}
+		if c.locallyRepairable(blocks, idx) {
+			if err := c.RepairLocal(blocks, idx); err != nil {
+				return err
+			}
+		}
+	}
+	// Pass 2: global decode for whatever data/global-parity is left.
+	rsStripe := blocks[:c.k+c.m]
+	missing := 0
+	for _, b := range rsStripe {
+		if b == nil {
+			missing++
+		}
+	}
+	if missing > 0 {
+		if err := c.global.Reconstruct(rsStripe); err != nil {
+			return err
+		}
+	}
+	// Pass 3: rebuild any missing local parities from (now complete) data.
+	for g := 0; g < c.l; g++ {
+		if blocks[c.k+c.m+g] != nil {
+			continue
+		}
+		lo, hi := c.GroupRange(g)
+		lp := make([]byte, size)
+		copy(lp, blocks[lo])
+		for i := lo + 1; i < hi; i++ {
+			gf.AddSlice(lp, blocks[i])
+		}
+		blocks[c.k+c.m+g] = lp
+	}
+	return nil
+}
+
+func (c *Code) locallyRepairable(blocks [][]byte, idx int) bool {
+	g := c.GroupOf(idx)
+	if blocks[c.k+c.m+g] == nil {
+		return false
+	}
+	lo, hi := c.GroupRange(g)
+	for i := lo; i < hi; i++ {
+		if i != idx && blocks[i] == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// RepairCost returns the number of blocks read to repair block idx with
+// the cheapest available strategy given the erasure pattern in blocks:
+// groupSize for a local repair, k for a global decode.
+func (c *Code) RepairCost(blocks [][]byte, idx int) int {
+	if idx < c.k && c.locallyRepairable(blocks, idx) {
+		return c.groupSize
+	}
+	return c.k
+}
+
+// Verify reports whether all parities are consistent with the data.
+func (c *Code) Verify(data, global, local [][]byte) (bool, error) {
+	ok, err := c.global.Verify(data, global)
+	if err != nil || !ok {
+		return ok, err
+	}
+	size, err := blockSize(data)
+	if err != nil {
+		return false, err
+	}
+	buf := make([]byte, size)
+	for g := 0; g < c.l; g++ {
+		lo, hi := c.GroupRange(g)
+		copy(buf, data[lo])
+		for i := lo + 1; i < hi; i++ {
+			gf.AddSlice(buf, data[i])
+		}
+		if len(local[g]) != size {
+			return false, errBlockShape
+		}
+		for j := range buf {
+			if buf[j] != local[g][j] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}

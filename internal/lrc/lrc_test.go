@@ -1,0 +1,274 @@
+package lrc
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randBlocks(r *rand.Rand, n, size int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = make([]byte, size)
+		r.Read(out[i])
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(12, 4, 5); err == nil {
+		t.Fatal("l not dividing k accepted")
+	}
+	if _, err := New(12, 4, 0); err == nil {
+		t.Fatal("l=0 accepted")
+	}
+	if _, err := New(0, 4, 1); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	c, err := New(12, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.K() != 12 || c.M() != 4 || c.L() != 2 || c.TotalBlocks() != 18 {
+		t.Fatal("accessors wrong")
+	}
+	if c.GroupOf(0) != 0 || c.GroupOf(5) != 0 || c.GroupOf(6) != 1 || c.GroupOf(11) != 1 {
+		t.Fatal("GroupOf wrong")
+	}
+	lo, hi := c.GroupRange(1)
+	if lo != 6 || hi != 12 {
+		t.Fatalf("GroupRange(1) = [%d,%d)", lo, hi)
+	}
+}
+
+func TestEncodeVerify(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, p := range []struct{ k, m, l int }{{4, 2, 2}, {12, 4, 2}, {24, 4, 4}, {48, 4, 4}} {
+		c, err := New(p.k, p.m, p.l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := randBlocks(r, p.k, 300)
+		global, local, err := c.EncodeAppend(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, err := c.Verify(data, global, local)
+		if err != nil || !ok {
+			t.Fatalf("verify failed for %+v: %v", p, err)
+		}
+		local[0][5] ^= 0xff
+		ok, _ = c.Verify(data, global, local)
+		if ok {
+			t.Fatal("verify passed with corrupt local parity")
+		}
+		local[0][5] ^= 0xff
+		global[0][7] ^= 1
+		ok, _ = c.Verify(data, global, local)
+		if ok {
+			t.Fatal("verify passed with corrupt global parity")
+		}
+	}
+}
+
+func fullStripe(data, global, local [][]byte) [][]byte {
+	out := append([][]byte{}, data...)
+	out = append(out, global...)
+	return append(out, local...)
+}
+
+func TestRepairLocalSingleFailure(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	c, _ := New(12, 4, 3)
+	data := randBlocks(r, 12, 128)
+	global, local, _ := c.EncodeAppend(data)
+	for idx := 0; idx < 12; idx++ {
+		stripe := fullStripe(data, global, local)
+		want := stripe[idx]
+		stripe[idx] = nil
+		if err := c.RepairLocal(stripe, idx); err != nil {
+			t.Fatalf("local repair of %d failed: %v", idx, err)
+		}
+		if !bytes.Equal(stripe[idx], want) {
+			t.Fatalf("local repair of %d produced wrong data", idx)
+		}
+	}
+}
+
+func TestRepairLocalRefusals(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	c, _ := New(8, 2, 2)
+	data := randBlocks(r, 8, 64)
+	global, local, _ := c.EncodeAppend(data)
+
+	stripe := fullStripe(data, global, local)
+	stripe[0], stripe[1] = nil, nil // two failures in group 0
+	if err := c.RepairLocal(stripe, 0); err == nil {
+		t.Fatal("local repair with two group failures accepted")
+	}
+
+	stripe = fullStripe(data, global, local)
+	stripe[0] = nil
+	stripe[8+2+0] = nil // group-0 local parity gone
+	if err := c.RepairLocal(stripe, 0); err == nil {
+		t.Fatal("local repair without local parity accepted")
+	}
+
+	stripe = fullStripe(data, global, local)
+	if err := c.RepairLocal(stripe, 9); err == nil {
+		t.Fatal("local repair of a parity index accepted")
+	}
+}
+
+func TestReconstructMixedFailures(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	c, _ := New(12, 4, 2)
+	data := randBlocks(r, 12, 96)
+	global, local, _ := c.EncodeAppend(data)
+	ref := fullStripe(data, global, local)
+
+	cases := [][]int{
+		{0},              // single data: local path
+		{0, 6},           // one per group: two local repairs
+		{0, 1},           // two in one group: global decode
+		{12},             // one global parity
+		{16},             // one local parity
+		{0, 12, 16},      // data + global parity + local parity
+		{0, 1, 2, 3},     // m failures in one group
+		{0, 1, 6, 7},     // two per group, needs global
+		{12, 13, 14, 15}, // all global parities
+	}
+	for _, erased := range cases {
+		stripe := make([][]byte, len(ref))
+		copy(stripe, ref)
+		for _, e := range erased {
+			stripe[e] = nil
+		}
+		if err := c.Reconstruct(stripe); err != nil {
+			t.Fatalf("reconstruct %v failed: %v", erased, err)
+		}
+		for i := range ref {
+			if !bytes.Equal(stripe[i], ref[i]) {
+				t.Fatalf("block %d wrong after reconstructing %v", i, erased)
+			}
+		}
+	}
+}
+
+func TestReconstructBeyondCapability(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	c, _ := New(8, 2, 2)
+	data := randBlocks(r, 8, 64)
+	global, local, _ := c.EncodeAppend(data)
+	stripe := fullStripe(data, global, local)
+	// 3 data failures in one group, local parity also gone: exceeds m=2
+	// global capability and not locally repairable.
+	stripe[0], stripe[1], stripe[2], stripe[10] = nil, nil, nil, nil
+	if err := c.Reconstruct(stripe); err == nil {
+		t.Fatal("unrecoverable pattern accepted")
+	}
+}
+
+func TestRepairCost(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	c, _ := New(12, 4, 3) // group size 4
+	data := randBlocks(r, 12, 32)
+	global, local, _ := c.EncodeAppend(data)
+	stripe := fullStripe(data, global, local)
+	stripe[0] = nil
+	if got := c.RepairCost(stripe, 0); got != 4 {
+		t.Fatalf("local repair cost = %d, want 4", got)
+	}
+	stripe[1] = nil
+	if got := c.RepairCost(stripe, 0); got != 12 {
+		t.Fatalf("global repair cost = %d, want 12", got)
+	}
+}
+
+// Property: local parity of each group is the XOR of the group's data.
+func TestQuickLocalParityIsGroupXOR(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		l := 1 + r.Intn(4)
+		k := l * (1 + r.Intn(5))
+		c, err := New(k, 2, l)
+		if err != nil {
+			return false
+		}
+		size := 1 + r.Intn(100)
+		data := randBlocks(r, k, size)
+		_, local, err := c.EncodeAppend(data)
+		if err != nil {
+			return false
+		}
+		for g := 0; g < l; g++ {
+			lo, hi := c.GroupRange(g)
+			for j := 0; j < size; j++ {
+				var want byte
+				for i := lo; i < hi; i++ {
+					want ^= data[i][j]
+				}
+				if local[g][j] != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: any m random erasures among data+global blocks reconstruct.
+func TestQuickReconstruct(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c, err := New(12, 4, 2)
+		if err != nil {
+			return false
+		}
+		data := randBlocks(r, 12, 48)
+		global, local, err := c.EncodeAppend(data)
+		if err != nil {
+			return false
+		}
+		ref := fullStripe(data, global, local)
+		stripe := make([][]byte, len(ref))
+		copy(stripe, ref)
+		for _, e := range r.Perm(16)[:4] {
+			stripe[e] = nil
+		}
+		if err := c.Reconstruct(stripe); err != nil {
+			return false
+		}
+		for i := range ref {
+			if !bytes.Equal(stripe[i], ref[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkLRCEncode_12_4_2_1K(b *testing.B) {
+	c, err := New(12, 4, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(7))
+	data := randBlocks(r, 12, 1024)
+	global := randBlocks(r, 4, 1024)
+	local := randBlocks(r, 2, 1024)
+	b.SetBytes(12 * 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Encode(data, global, local); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

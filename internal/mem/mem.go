@@ -1,0 +1,239 @@
+// Package mem defines the shared vocabulary of the memory-hierarchy
+// simulator: addresses, access granularities, device kinds, SIMD widths
+// and the calibrated latency/cost model.
+//
+// The DIALGA paper's testbed (Xeon Gold 6240, 6 channels of DDR4 +
+// Optane DCPMM 100) is not reachable from Go, so the simulator models
+// the architectural mechanisms the paper's observations rest on:
+// the 64 B cacheline / 256 B XPLine granularity mismatch, the on-DIMM
+// read buffer, the L2 stream prefetcher, and frequency-independent
+// memory latency. Absolute numbers are calibrated to the Optane
+// characterization literature; experiments compare shapes, not GB/s.
+package mem
+
+import "fmt"
+
+// Addr is a simulated physical byte address.
+type Addr uint64
+
+// Access granularities (bytes).
+const (
+	// CachelineSize is the CPU cache transfer granularity.
+	CachelineSize = 64
+	// XPLineSize is the PM media access granularity (Optane XPLine).
+	XPLineSize = 256
+	// PageSize is the 4 KiB boundary hardware prefetchers do not cross.
+	PageSize = 4096
+)
+
+// Line returns the cacheline index of addr.
+func (a Addr) Line() uint64 { return uint64(a) / CachelineSize }
+
+// LineAddr returns addr rounded down to its cacheline base.
+func (a Addr) LineAddr() Addr { return a &^ (CachelineSize - 1) }
+
+// XPLine returns the XPLine index of addr.
+func (a Addr) XPLine() uint64 { return uint64(a) / XPLineSize }
+
+// Page returns the 4 KiB page index of addr.
+func (a Addr) Page() uint64 { return uint64(a) / PageSize }
+
+// PageOffset returns the byte offset of addr within its page.
+func (a Addr) PageOffset() uint64 { return uint64(a) % PageSize }
+
+// DeviceKind distinguishes the two memory technologies of the testbed.
+type DeviceKind int
+
+const (
+	// DRAM is conventional DDR4.
+	DRAM DeviceKind = iota
+	// PM is Optane-style persistent memory with an on-DIMM read buffer.
+	PM
+)
+
+// String implements fmt.Stringer.
+func (k DeviceKind) String() string {
+	switch k {
+	case DRAM:
+		return "DRAM"
+	case PM:
+		return "PM"
+	}
+	return fmt.Sprintf("DeviceKind(%d)", int(k))
+}
+
+// SIMDWidth is the vector register width used by the encode kernels.
+type SIMDWidth int
+
+const (
+	// AVX256 processes 32 bytes per vector op.
+	AVX256 SIMDWidth = 32
+	// AVX512 processes 64 bytes per vector op (one cacheline).
+	AVX512 SIMDWidth = 64
+)
+
+// String implements fmt.Stringer.
+func (w SIMDWidth) String() string {
+	switch w {
+	case AVX256:
+		return "AVX256"
+	case AVX512:
+		return "AVX512"
+	}
+	return fmt.Sprintf("SIMDWidth(%d)", int(w))
+}
+
+// Config carries the full hardware model configuration. The zero value
+// is not usable; start from DefaultConfig.
+type Config struct {
+	// CPUFreqGHz converts compute cycles to nanoseconds. Memory
+	// latencies are specified in ns and are frequency-independent,
+	// which is what produces the paper's Fig. 4 plateau on PM.
+	CPUFreqGHz float64
+	// SIMD selects the vector width of the encode kernel.
+	SIMD SIMDWidth
+
+	// Cache geometry.
+	L1Size, L1Ways   int
+	L2Size, L2Ways   int
+	LLCSize, LLCWays int
+
+	// Cache hit latencies, cycles.
+	L1LatCycles, L2LatCycles, LLCLatCycles float64
+
+	// Device timing.
+	DRAMLatencyNS float64 // DRAM load-to-use latency
+	PMBufHitNS    float64 // PM load hitting the on-DIMM read buffer
+	PMMediaNS     float64 // PM load requiring a media (XPLine) fetch
+
+	// Channel geometry and bandwidth.
+	Channels         int
+	DRAMChanGBps     float64 // per-channel DRAM bandwidth
+	PMMediaReadGBps  float64 // per-channel PM media read bandwidth
+	PMMediaWriteGBps float64 // per-channel PM media write bandwidth
+	PMReadBufBytes   int     // total on-DIMM read buffer capacity
+	// PMLineSize is the PM media access granularity in bytes (the
+	// XPLine on Optane: 256 B; flash-backed devices such as Samsung
+	// CMM-H use larger internal pages — §6 "Generality").
+	PMLineSize int
+
+	// Core microarchitecture.
+	MLP                    int     // line-fill buffers: max outstanding demand fills
+	SQDepth                int     // L2 superqueue: max outstanding memory fills of any kind
+	LoadIssueCyc           float64 // issue cost per demand load
+	StoreIssueCyc          float64 // issue cost per non-temporal store
+	PrefetchIssueCyc       float64 // issue cost per software prefetch (branchless)
+	ComputeCycPerVecParity float64 // GF mul-acc cycles per SIMD vector per parity
+	XORCycPerVec           float64 // XOR cycles per SIMD vector (XOR-based codecs)
+
+	// Hardware prefetcher parameters.
+	HWPrefetchEnabled bool
+	StreamTableSize   int // unidirectional streams tracked (32 CLX, 64 ICX)
+	StreamTrigger     int // sequential hits before first issue
+	StreamMaxDegree   int // max lines prefetched ahead
+}
+
+// DefaultConfig returns the calibrated model of the paper's testbed:
+// Xeon Gold 6240 (3.3 GHz, 32 KB L1d, 1 MB L2, 24.75 MB LLC) with six
+// channels of DDR4-2666 and Optane DCPMM 100.
+func DefaultConfig() Config {
+	return Config{
+		CPUFreqGHz: 3.3,
+		SIMD:       AVX512,
+
+		L1Size: 32 << 10, L1Ways: 8,
+		L2Size: 1 << 20, L2Ways: 16,
+		LLCSize: 24.75 * (1 << 20), LLCWays: 11,
+
+		L1LatCycles: 4, L2LatCycles: 14, LLCLatCycles: 48,
+
+		DRAMLatencyNS: 85,
+		PMBufHitNS:    160,
+		PMMediaNS:     330,
+
+		Channels:         6,
+		DRAMChanGBps:     14.0,
+		PMMediaReadGBps:  6.0,
+		PMMediaWriteGBps: 2.0,
+		PMReadBufBytes:   96 << 10,
+		PMLineSize:       XPLineSize,
+
+		MLP:                    10,
+		SQDepth:                32,
+		LoadIssueCyc:           3,
+		StoreIssueCyc:          2,
+		PrefetchIssueCyc:       3,
+		ComputeCycPerVecParity: 5,
+		XORCycPerVec:           1.5,
+
+		HWPrefetchEnabled: true,
+		StreamTableSize:   32,
+		StreamTrigger:     4,
+		StreamMaxDegree:   4,
+	}
+}
+
+// CMMHConfig returns a model of a flash-backed memory-semantic device
+// in the spirit of Samsung CMM-H (§6 "Generality"): a much larger
+// internal DRAM buffer hiding a large-granularity, high-latency flash
+// tier. DIALGA's mechanisms target exactly this structure — higher
+// latency than DRAM, an internal buffer, and a granularity mismatch —
+// so its scheduling transfers.
+func CMMHConfig() Config {
+	cfg := DefaultConfig()
+	cfg.PMLineSize = 4096        // flash page granularity
+	cfg.PMReadBufBytes = 4 << 20 // multi-MB internal DRAM buffer
+	cfg.PMBufHitNS = 140         // near-DRAM on buffer hit
+	cfg.PMMediaNS = 1800         // flash-tier read on miss
+	cfg.PMMediaReadGBps = 3.0    // per-channel flash read bandwidth
+	cfg.PMMediaWriteGBps = 1.0
+	return cfg
+}
+
+// CyclesToNS converts cycles to nanoseconds at the configured frequency.
+func (c *Config) CyclesToNS(cycles float64) float64 { return cycles / c.CPUFreqGHz }
+
+// NSToCycles converts nanoseconds to cycles at the configured frequency.
+func (c *Config) NSToCycles(ns float64) float64 { return ns * c.CPUFreqGHz }
+
+// VectorsPerLine returns how many SIMD ops cover one 64 B cacheline.
+func (c *Config) VectorsPerLine() float64 {
+	return float64(CachelineSize) / float64(c.SIMD)
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	if c.CPUFreqGHz <= 0 {
+		return fmt.Errorf("mem: CPUFreqGHz must be positive, got %g", c.CPUFreqGHz)
+	}
+	if c.SIMD != AVX256 && c.SIMD != AVX512 {
+		return fmt.Errorf("mem: unsupported SIMD width %d", c.SIMD)
+	}
+	if c.Channels <= 0 {
+		return fmt.Errorf("mem: Channels must be positive, got %d", c.Channels)
+	}
+	if c.MLP <= 0 {
+		return fmt.Errorf("mem: MLP must be positive, got %d", c.MLP)
+	}
+	if c.SQDepth <= 0 {
+		return fmt.Errorf("mem: SQDepth must be positive, got %d", c.SQDepth)
+	}
+	if c.PMLineSize < CachelineSize || c.PMLineSize%CachelineSize != 0 {
+		return fmt.Errorf("mem: PMLineSize %d must be a multiple of the cacheline size", c.PMLineSize)
+	}
+	if c.PMReadBufBytes < c.PMLineSize {
+		return fmt.Errorf("mem: PM read buffer smaller than one media line")
+	}
+	for _, g := range []struct {
+		name       string
+		size, ways int
+	}{{"L1", c.L1Size, c.L1Ways}, {"L2", c.L2Size, c.L2Ways}, {"LLC", c.LLCSize, c.LLCWays}} {
+		if g.size <= 0 || g.ways <= 0 {
+			return fmt.Errorf("mem: %s cache geometry invalid (%d bytes, %d ways)", g.name, g.size, g.ways)
+		}
+		if g.size%(g.ways*CachelineSize) != 0 {
+			return fmt.Errorf("mem: %s size %d not divisible by ways*linesize", g.name, g.size)
+		}
+	}
+	return nil
+}

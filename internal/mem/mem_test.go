@@ -1,0 +1,83 @@
+package mem
+
+import "testing"
+
+func TestAddrHelpers(t *testing.T) {
+	a := Addr(4096 + 256 + 64 + 3)
+	if a.Line() != (4096+256+64+3)/64 {
+		t.Fatal("Line wrong")
+	}
+	if a.LineAddr() != Addr(4096+256+64) {
+		t.Fatal("LineAddr wrong")
+	}
+	if a.XPLine() != (4096+256+64+3)/256 {
+		t.Fatal("XPLine wrong")
+	}
+	if a.Page() != 1 {
+		t.Fatal("Page wrong")
+	}
+	if a.PageOffset() != 256+64+3 {
+		t.Fatal("PageOffset wrong")
+	}
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	mut := []func(*Config){
+		func(c *Config) { c.CPUFreqGHz = 0 },
+		func(c *Config) { c.SIMD = 7 },
+		func(c *Config) { c.Channels = 0 },
+		func(c *Config) { c.MLP = 0 },
+		func(c *Config) { c.PMReadBufBytes = 1 },
+		func(c *Config) { c.L1Size = 0 },
+		func(c *Config) { c.L2Size = 100 }, // not divisible
+	}
+	for i, f := range mut {
+		cfg := DefaultConfig()
+		f(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestFrequencyConversion(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CPUFreqGHz = 2.0
+	if cfg.CyclesToNS(10) != 5 {
+		t.Fatal("CyclesToNS wrong")
+	}
+	if cfg.NSToCycles(5) != 10 {
+		t.Fatal("NSToCycles wrong")
+	}
+}
+
+func TestVectorsPerLine(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SIMD = AVX512
+	if cfg.VectorsPerLine() != 1 {
+		t.Fatal("AVX512 should cover a line in 1 vector")
+	}
+	cfg.SIMD = AVX256
+	if cfg.VectorsPerLine() != 2 {
+		t.Fatal("AVX256 should need 2 vectors per line")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if DRAM.String() != "DRAM" || PM.String() != "PM" {
+		t.Fatal("DeviceKind strings wrong")
+	}
+	if AVX256.String() != "AVX256" || AVX512.String() != "AVX512" {
+		t.Fatal("SIMDWidth strings wrong")
+	}
+	if DeviceKind(9).String() == "" || SIMDWidth(9).String() == "" {
+		t.Fatal("unknown values should still format")
+	}
+}

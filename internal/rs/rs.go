@@ -1,0 +1,324 @@
+// Package rs implements systematic Reed-Solomon erasure coding over
+// GF(2^8) in the RS(k+m, k) configuration used throughout the DIALGA
+// paper: k data blocks are encoded into m parity blocks forming a stripe
+// of k+m blocks, any k of which suffice to reconstruct the stripe.
+//
+// The encoder uses the table-lookup strategy of ISA-L: each parity byte
+// is a GF dot product of the corresponding data bytes, computed with
+// per-coefficient multiplication tables, reading every data block exactly
+// once.
+package rs
+
+import (
+	"errors"
+	"fmt"
+
+	"dialga/internal/ecmatrix"
+	"dialga/internal/gf"
+)
+
+// MatrixKind selects the generator-matrix construction.
+type MatrixKind int
+
+const (
+	// CauchyMatrix is the default: systematic Cauchy generator,
+	// MDS for all k+m <= 256.
+	CauchyMatrix MatrixKind = iota
+	// VandermondeMatrix is the systematized extended Vandermonde
+	// construction (ISA-L's gf_gen_rs_matrix lineage).
+	VandermondeMatrix
+)
+
+// Code is an immutable RS(k+m, k) code instance. It is safe for
+// concurrent use.
+type Code struct {
+	k, m   int
+	gen    *ecmatrix.Matrix // (k+m) x k systematic generator
+	parity *ecmatrix.Matrix // m x k parity rows
+}
+
+// New constructs an RS code with k data and m parity blocks using a
+// Cauchy generator matrix.
+func New(k, m int) (*Code, error) { return NewWithMatrix(k, m, CauchyMatrix) }
+
+// NewWithMatrix constructs an RS code with an explicit matrix kind.
+func NewWithMatrix(k, m int, kind MatrixKind) (*Code, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("rs: k must be positive, got %d", k)
+	}
+	if m <= 0 {
+		return nil, fmt.Errorf("rs: m must be positive, got %d", m)
+	}
+	if k+m > gf.FieldSize {
+		return nil, fmt.Errorf("rs: k+m = %d exceeds field size %d", k+m, gf.FieldSize)
+	}
+	var gen *ecmatrix.Matrix
+	switch kind {
+	case CauchyMatrix:
+		gen = ecmatrix.Cauchy(k, m)
+	case VandermondeMatrix:
+		gen = ecmatrix.Vandermonde(k, m)
+	default:
+		return nil, fmt.Errorf("rs: unknown matrix kind %d", kind)
+	}
+	return &Code{k: k, m: m, gen: gen, parity: ecmatrix.ParityRows(gen, k)}, nil
+}
+
+// K returns the number of data blocks per stripe.
+func (c *Code) K() int { return c.k }
+
+// M returns the number of parity blocks per stripe.
+func (c *Code) M() int { return c.m }
+
+// Generator returns a copy of the (k+m) x k generator matrix.
+func (c *Code) Generator() *ecmatrix.Matrix { return c.gen.Clone() }
+
+// ParityMatrix returns a copy of the m x k parity rows.
+func (c *Code) ParityMatrix() *ecmatrix.Matrix { return c.parity.Clone() }
+
+var (
+	// ErrBlockCount indicates the slice-of-blocks argument has the
+	// wrong number of blocks for this code.
+	ErrBlockCount = errors.New("rs: wrong number of blocks")
+	// ErrBlockSize indicates blocks of differing (or zero) lengths.
+	ErrBlockSize = errors.New("rs: blocks must be non-empty and equally sized")
+	// ErrTooManyErasures indicates more than m blocks are missing.
+	ErrTooManyErasures = errors.New("rs: more erasures than parity blocks")
+)
+
+func checkBlocks(blocks [][]byte, want int) (int, error) {
+	if len(blocks) != want {
+		return 0, fmt.Errorf("%w: got %d, want %d", ErrBlockCount, len(blocks), want)
+	}
+	size := -1
+	for _, b := range blocks {
+		if b == nil {
+			continue
+		}
+		if size == -1 {
+			size = len(b)
+		} else if len(b) != size {
+			return 0, ErrBlockSize
+		}
+	}
+	if size <= 0 {
+		return 0, ErrBlockSize
+	}
+	return size, nil
+}
+
+// Encode computes the m parity blocks for the given k data blocks,
+// writing into parity (which must contain m slices of the data block
+// size).
+func (c *Code) Encode(data, parity [][]byte) error {
+	size, err := checkBlocks(data, c.k)
+	if err != nil {
+		return err
+	}
+	if len(parity) != c.m {
+		return fmt.Errorf("%w: got %d parity blocks, want %d", ErrBlockCount, len(parity), c.m)
+	}
+	for _, p := range parity {
+		if len(p) != size {
+			return ErrBlockSize
+		}
+	}
+	for i := 0; i < c.m; i++ {
+		gf.DotSlice(c.parity.Row(i), parity[i], data)
+	}
+	return nil
+}
+
+// EncodeAppend is a convenience wrapper that allocates and returns the
+// parity blocks.
+func (c *Code) EncodeAppend(data [][]byte) ([][]byte, error) {
+	size, err := checkBlocks(data, c.k)
+	if err != nil {
+		return nil, err
+	}
+	parity := make([][]byte, c.m)
+	for i := range parity {
+		parity[i] = make([]byte, size)
+	}
+	if err := c.Encode(data, parity); err != nil {
+		return nil, err
+	}
+	return parity, nil
+}
+
+// Verify reports whether the parity blocks are consistent with the data
+// blocks.
+func (c *Code) Verify(data, parity [][]byte) (bool, error) {
+	size, err := checkBlocks(data, c.k)
+	if err != nil {
+		return false, err
+	}
+	if len(parity) != c.m {
+		return false, ErrBlockCount
+	}
+	buf := make([]byte, size)
+	for i := 0; i < c.m; i++ {
+		if len(parity[i]) != size {
+			return false, ErrBlockSize
+		}
+		gf.DotSlice(c.parity.Row(i), buf, data)
+		for j := range buf {
+			if buf[j] != parity[i][j] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// Reconstruct repairs a stripe in place. blocks must hold k+m entries in
+// stripe order (data blocks 0..k-1 then parity k..k+m-1); missing blocks
+// are nil. On success every nil entry is replaced with its reconstructed
+// content. At most m entries may be nil.
+func (c *Code) Reconstruct(blocks [][]byte) error {
+	size, err := checkBlocks(blocks, c.k+c.m)
+	if err != nil {
+		return err
+	}
+	var missing []int
+	var survivors []int
+	for i, b := range blocks {
+		if b == nil {
+			missing = append(missing, i)
+		} else {
+			survivors = append(survivors, i)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	if len(missing) > c.m {
+		return fmt.Errorf("%w: %d missing, m=%d", ErrTooManyErasures, len(missing), c.m)
+	}
+	// Decode the data blocks from the first k survivors.
+	chosen := survivors[:c.k]
+	sub := c.gen.SubMatrix(chosen)
+	inv, err := sub.Invert()
+	if err != nil {
+		// Cannot happen for an MDS generator; surface it anyway.
+		return fmt.Errorf("rs: survivor matrix singular: %w", err)
+	}
+	srcs := make([][]byte, c.k)
+	for i, idx := range chosen {
+		srcs[i] = blocks[idx]
+	}
+	// Rebuild missing data blocks.
+	for _, idx := range missing {
+		if idx >= c.k {
+			continue
+		}
+		out := make([]byte, size)
+		gf.DotSlice(inv.Row(idx), out, srcs)
+		blocks[idx] = out
+	}
+	// Rebuild missing parity blocks: decodeRow = parityRow * inv gives
+	// coefficients over the survivor blocks; equivalently re-encode from
+	// the (now complete) data blocks.
+	var needParity bool
+	for _, idx := range missing {
+		if idx >= c.k {
+			needParity = true
+		}
+	}
+	if needParity {
+		data := blocks[:c.k]
+		for _, idx := range missing {
+			if idx < c.k {
+				continue
+			}
+			out := make([]byte, size)
+			gf.DotSlice(c.parity.Row(idx-c.k), out, data)
+			blocks[idx] = out
+		}
+	}
+	return nil
+}
+
+// ReconstructData repairs only the data blocks of a stripe in place,
+// skipping parity rebuilds — the fast path for serving reads from a
+// degraded stripe. blocks must hold k+m entries in stripe order with
+// nil for missing blocks; on return blocks[0:k] are all present.
+func (c *Code) ReconstructData(blocks [][]byte) error {
+	size, err := checkBlocks(blocks, c.k+c.m)
+	if err != nil {
+		return err
+	}
+	var missingData []int
+	var survivors []int
+	missing := 0
+	for i, b := range blocks {
+		if b == nil {
+			missing++
+			if i < c.k {
+				missingData = append(missingData, i)
+			}
+		} else {
+			survivors = append(survivors, i)
+		}
+	}
+	if missing > c.m {
+		return fmt.Errorf("%w: %d missing, m=%d", ErrTooManyErasures, missing, c.m)
+	}
+	if len(missingData) == 0 {
+		return nil
+	}
+	chosen := survivors[:c.k]
+	sub := c.gen.SubMatrix(chosen)
+	inv, err := sub.Invert()
+	if err != nil {
+		return fmt.Errorf("rs: survivor matrix singular: %w", err)
+	}
+	srcs := make([][]byte, c.k)
+	for i, idx := range chosen {
+		srcs[i] = blocks[idx]
+	}
+	for _, idx := range missingData {
+		out := make([]byte, size)
+		gf.DotSlice(inv.Row(idx), out, srcs)
+		blocks[idx] = out
+	}
+	return nil
+}
+
+// DecodeMatrix returns the k x k matrix that reconstructs the original
+// data blocks from the survivor blocks listed in survivors (stripe
+// indices, exactly k of them). This is the matrix an ISA-L style decoder
+// feeds to the same table-lookup kernel as encoding, which is why decode
+// shares encode's memory-access pattern (§4.1 "Other Coding Tasks").
+func (c *Code) DecodeMatrix(survivors []int) (*ecmatrix.Matrix, error) {
+	if len(survivors) != c.k {
+		return nil, fmt.Errorf("%w: need exactly k=%d survivors", ErrBlockCount, c.k)
+	}
+	sub := c.gen.SubMatrix(survivors)
+	return sub.Invert()
+}
+
+// Update performs an incremental parity update after data block idx
+// changes from oldData to newData, adjusting parity in place. This is
+// the read-modify-write path a PM store uses for small overwrites.
+func (c *Code) Update(idx int, oldData, newData []byte, parity [][]byte) error {
+	if idx < 0 || idx >= c.k {
+		return fmt.Errorf("rs: update index %d out of range [0,%d)", idx, c.k)
+	}
+	if len(oldData) != len(newData) {
+		return ErrBlockSize
+	}
+	if len(parity) != c.m {
+		return ErrBlockCount
+	}
+	delta := make([]byte, len(oldData))
+	copy(delta, oldData)
+	gf.AddSlice(delta, newData)
+	for i := 0; i < c.m; i++ {
+		if len(parity[i]) != len(delta) {
+			return ErrBlockSize
+		}
+		gf.MulSliceAdd(c.parity.At(i, idx), parity[i], delta)
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+package rs
+
+import "fmt"
+
+// Split partitions data into exactly k equally sized shards, padding
+// the tail shard with zeros. The shard size is ceil(len(data)/k),
+// with a minimum of 1 so zero-length inputs still produce valid shards.
+// The first shards alias data's storage where possible; the tail shard
+// is copied when padding is required.
+func Split(data []byte, k int) ([][]byte, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("rs: Split needs positive k, got %d", k)
+	}
+	shardSize := (len(data) + k - 1) / k
+	if shardSize == 0 {
+		shardSize = 1
+	}
+	shards := make([][]byte, k)
+	for i := 0; i < k; i++ {
+		lo := i * shardSize
+		hi := lo + shardSize
+		switch {
+		case lo >= len(data):
+			shards[i] = make([]byte, shardSize)
+		case hi > len(data):
+			s := make([]byte, shardSize)
+			copy(s, data[lo:])
+			shards[i] = s
+		default:
+			shards[i] = data[lo:hi:hi]
+		}
+	}
+	return shards, nil
+}
+
+// Join reassembles the original byte stream of length size from k data
+// shards produced by Split.
+func Join(shards [][]byte, size int) ([]byte, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("rs: Join needs at least one shard")
+	}
+	total := 0
+	for i, s := range shards {
+		if s == nil {
+			return nil, fmt.Errorf("rs: Join shard %d is missing", i)
+		}
+		if len(s) != len(shards[0]) {
+			return nil, fmt.Errorf("rs: Join shards are ragged")
+		}
+		total += len(s)
+	}
+	if size < 0 || size > total {
+		return nil, fmt.Errorf("rs: Join size %d outside [0, %d]", size, total)
+	}
+	out := make([]byte, 0, size)
+	for _, s := range shards {
+		if len(out)+len(s) > size {
+			out = append(out, s[:size-len(out)]...)
+			break
+		}
+		out = append(out, s...)
+	}
+	return out, nil
+}

@@ -1,0 +1,97 @@
+package rs
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitJoinRoundtrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 7, 8, 100, 1000, 4096, 100001} {
+		for _, k := range []int{1, 2, 8, 13} {
+			data := make([]byte, n)
+			r.Read(data)
+			shards, err := Split(data, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(shards) != k {
+				t.Fatalf("n=%d k=%d: %d shards", n, k, len(shards))
+			}
+			for i := 1; i < k; i++ {
+				if len(shards[i]) != len(shards[0]) {
+					t.Fatalf("n=%d k=%d: ragged shards", n, k)
+				}
+			}
+			back, err := Join(shards, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(back, data) {
+				t.Fatalf("n=%d k=%d: roundtrip mismatch", n, k)
+			}
+		}
+	}
+}
+
+func TestSplitValidation(t *testing.T) {
+	if _, err := Split([]byte("x"), 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestJoinValidation(t *testing.T) {
+	if _, err := Join(nil, 0); err == nil {
+		t.Fatal("no shards accepted")
+	}
+	if _, err := Join([][]byte{{1}, nil}, 1); err == nil {
+		t.Fatal("nil shard accepted")
+	}
+	if _, err := Join([][]byte{{1}, {2, 3}}, 2); err == nil {
+		t.Fatal("ragged shards accepted")
+	}
+	if _, err := Join([][]byte{{1, 2}}, 5); err == nil {
+		t.Fatal("oversize accepted")
+	}
+}
+
+// Property: split -> encode -> lose m shards -> reconstruct -> join
+// recovers the payload for random parameters.
+func TestQuickFullPipeline(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 1 + r.Intn(10)
+		m := 1 + r.Intn(4)
+		c, err := New(k, m)
+		if err != nil {
+			return false
+		}
+		payload := make([]byte, r.Intn(5000))
+		r.Read(payload)
+		data, err := Split(payload, k)
+		if err != nil {
+			return false
+		}
+		parity, err := c.EncodeAppend(data)
+		if err != nil {
+			return false
+		}
+		stripe := append(append([][]byte{}, data...), parity...)
+		for _, i := range r.Perm(k + m)[:m] {
+			stripe[i] = nil
+		}
+		if err := c.Reconstruct(stripe); err != nil {
+			return false
+		}
+		back, err := Join(stripe[:k], len(payload))
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(back, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

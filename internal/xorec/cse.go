@@ -1,0 +1,153 @@
+package xorec
+
+import "dialga/internal/ecmatrix"
+
+// CSESchedule builds an encoding schedule with common-subexpression
+// elimination in the spirit of Luo et al.'s efficient XOR schedules
+// (the paper's [17], cited in §2.2 as "optimize the encoding bitmatrix
+// to reduce memory accesses and computations"): packet pairs that
+// co-occur in multiple parity rows are computed once into temporary
+// packets and reused.
+//
+// Temporaries occupy block numbers k+m, k+m+1, ... (one packet per
+// (block, bit) slot, W slots per block); executeSchedule and the
+// simulator Program both address them through the same scratch
+// numbering as parity blocks.
+func CSESchedule(bm *ecmatrix.BitMatrix, k, m int) Schedule {
+	rows := bm.Rows
+	cols := bm.Cols
+
+	// Each parity row is a set of source terms. Terms 0..cols-1 are
+	// data packets (block c/W, bit c%W); terms >= cols are temporaries.
+	rowTerms := make([]map[int]bool, rows)
+	for r := 0; r < rows; r++ {
+		set := map[int]bool{}
+		for c := 0; c < cols; c++ {
+			if bm.At(r, c) {
+				set[c] = true
+			}
+		}
+		rowTerms[r] = set
+	}
+
+	type pair struct{ a, b int }
+	nextTemp := cols
+	// tempDef[t] = the pair a temporary computes.
+	tempDef := map[int]pair{}
+	var tempOrder []int
+
+	// Greedy pairing: repeatedly extract the pair with the highest
+	// co-occurrence count (>= 2) across rows.
+	for {
+		counts := map[pair]int{}
+		var best pair
+		bestN := 1
+		for _, set := range rowTerms {
+			terms := make([]int, 0, len(set))
+			for t := range set {
+				terms = append(terms, t)
+			}
+			// Deterministic order for reproducible schedules.
+			sortInts(terms)
+			for i := 0; i < len(terms); i++ {
+				for j := i + 1; j < len(terms); j++ {
+					p := pair{terms[i], terms[j]}
+					counts[p]++
+					if counts[p] > bestN || (counts[p] == bestN+1) {
+						if counts[p] > bestN {
+							best = p
+							bestN = counts[p]
+						}
+					}
+				}
+			}
+		}
+		if bestN < 2 {
+			break
+		}
+		t := nextTemp
+		nextTemp++
+		tempDef[t] = best
+		tempOrder = append(tempOrder, t)
+		for _, set := range rowTerms {
+			if set[best.a] && set[best.b] {
+				delete(set, best.a)
+				delete(set, best.b)
+				set[t] = true
+			}
+		}
+	}
+
+	termBlockBit := func(term int) (int, int) {
+		if term < cols {
+			return term / W, term % W
+		}
+		// Temporaries live after the parity blocks.
+		idx := term - cols
+		return k + m + idx/W, idx % W
+	}
+
+	var sched Schedule
+	// Emit temporaries in creation order (definitions only reference
+	// data packets or earlier temporaries).
+	for _, t := range tempOrder {
+		def := tempDef[t]
+		db, dbit := termBlockBit(t)
+		ab, abit := termBlockBit(def.a)
+		bb, bbit := termBlockBit(def.b)
+		sched = append(sched,
+			XOROp{SrcBlock: ab, SrcBit: abit, DstBlock: db, DstBit: dbit, Copy: true},
+			XOROp{SrcBlock: bb, SrcBit: bbit, DstBlock: db, DstBit: dbit},
+		)
+	}
+	// Emit parity rows from their reduced term sets.
+	for r := 0; r < rows; r++ {
+		dstBlock := k + r/W
+		dstBit := r % W
+		terms := make([]int, 0, len(rowTerms[r]))
+		for t := range rowTerms[r] {
+			terms = append(terms, t)
+		}
+		sortInts(terms)
+		first := true
+		for _, t := range terms {
+			sb, sbit := termBlockBit(t)
+			sched = append(sched, XOROp{
+				SrcBlock: sb, SrcBit: sbit,
+				DstBlock: dstBlock, DstBit: dstBit,
+				Copy: first,
+			})
+			first = false
+		}
+	}
+	return sched
+}
+
+// TempBlocks returns the number of scratch blocks (beyond the m parity
+// blocks) a schedule requires for its temporaries.
+func (s Schedule) TempBlocks(k, m int) int {
+	max := k + m - 1
+	for _, op := range s {
+		if op.SrcBlock > max {
+			max = op.SrcBlock
+		}
+		if op.DstBlock > max {
+			max = op.DstBlock
+		}
+	}
+	return max - (k + m - 1)
+}
+
+func sortInts(a []int) {
+	// Insertion sort: term sets are small and this avoids pulling in
+	// sort for a hot inner loop.
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}

@@ -1,0 +1,168 @@
+package xorec
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"dialga/internal/ecmatrix"
+)
+
+// executeWithTemps runs a schedule that may reference temporary blocks:
+// the parity slice is extended with scratch blocks.
+func executeWithTemps(t *testing.T, sched Schedule, k, m int, data [][]byte) [][]byte {
+	t.Helper()
+	size := len(data[0])
+	temps := sched.TempBlocks(k, m)
+	out := make([][]byte, m+temps)
+	for i := range out {
+		out[i] = make([]byte, size)
+	}
+	if err := executeSchedule(sched, data, out, size); err != nil {
+		t.Fatal(err)
+	}
+	return out[:m]
+}
+
+func TestCSEScheduleMatchesNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, p := range []struct{ k, m int }{{4, 2}, {8, 4}, {12, 3}, {24, 4}} {
+		gen := ecmatrix.Cauchy(p.k, p.m)
+		bm := ecmatrix.ToBitMatrix(ecmatrix.ParityRows(gen, p.k))
+		naive := NaiveSchedule(bm, p.k, p.m)
+		cse := CSESchedule(bm, p.k, p.m)
+
+		data := randBlocks(r, p.k, 256)
+		want := make([][]byte, p.m)
+		for i := range want {
+			want[i] = make([]byte, 256)
+		}
+		if err := executeSchedule(naive, data, want, 256); err != nil {
+			t.Fatal(err)
+		}
+		got := executeWithTemps(t, cse, p.k, p.m, data)
+		for i := range want {
+			if !bytes.Equal(got[i], want[i]) {
+				t.Fatalf("k=%d m=%d: CSE parity %d differs", p.k, p.m, i)
+			}
+		}
+	}
+}
+
+func TestCSEScheduleReducesOps(t *testing.T) {
+	for _, p := range []struct{ k, m int }{{8, 4}, {24, 4}} {
+		gen := ecmatrix.Cauchy(p.k, p.m)
+		bm := ecmatrix.ToBitMatrix(ecmatrix.ParityRows(gen, p.k))
+		naive := NaiveSchedule(bm, p.k, p.m)
+		cse := CSESchedule(bm, p.k, p.m)
+		if len(cse) >= len(naive) {
+			t.Errorf("k=%d m=%d: CSE schedule (%d ops) not smaller than naive (%d ops)",
+				p.k, p.m, len(cse), len(naive))
+		}
+		t.Logf("k=%d m=%d: naive=%d smart=%d cse=%d (temps=%d)",
+			p.k, p.m, len(naive), len(SmartSchedule(bm, p.k, p.m)), len(cse), cse.TempBlocks(p.k, p.m))
+	}
+}
+
+func TestCSEScheduleDeterministic(t *testing.T) {
+	gen := ecmatrix.Cauchy(8, 4)
+	bm := ecmatrix.ToBitMatrix(ecmatrix.ParityRows(gen, 8))
+	a := CSESchedule(bm, 8, 4)
+	b := CSESchedule(bm, 8, 4)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic schedule")
+		}
+	}
+}
+
+func TestTempBlocksZeroWithoutTemps(t *testing.T) {
+	enc, _ := NewEncoder(4, 2, Options{})
+	if n := enc.Schedule().TempBlocks(4, 2); n != 0 {
+		t.Fatalf("naive schedule reports %d temp blocks", n)
+	}
+}
+
+func TestLRCSchedule(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	enc, err := NewEncoder(8, 4, Options{SmartSchedule: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := enc.LRCSchedule(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := randBlocks(r, 8, 256)
+	// Execute: outputs are 4 global + 2 local parities (+ temps if any).
+	temps := sched.TempBlocks(8, 6)
+	out := make([][]byte, 6+temps)
+	for i := range out {
+		out[i] = make([]byte, 256)
+	}
+	if err := executeSchedule(sched, data, out, 256); err != nil {
+		t.Fatal(err)
+	}
+	// Globals match the plain encoder.
+	want, _ := enc.EncodeAppend(data)
+	for i := 0; i < 4; i++ {
+		if !bytes.Equal(out[i], want[i]) {
+			t.Fatalf("LRC global parity %d differs", i)
+		}
+	}
+	// Locals are group XORs.
+	for g := 0; g < 2; g++ {
+		for j := 0; j < 256; j++ {
+			var x byte
+			for b := g * 4; b < (g+1)*4; b++ {
+				x ^= data[b][j]
+			}
+			if out[4+g][j] != x {
+				t.Fatalf("LRC local parity %d wrong at %d", g, j)
+			}
+		}
+	}
+	if _, err := enc.LRCSchedule(3); err == nil {
+		t.Fatal("l not dividing k accepted")
+	}
+}
+
+func TestEncoderWithCSE(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	cse, err := NewEncoder(8, 4, Options{CSESchedule: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, _ := NewEncoder(8, 4, Options{})
+	data := randBlocks(r, 8, 512)
+	want, _ := plain.EncodeAppend(data)
+	got, err := cse.EncodeAppend(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("CSE encoder parity %d differs", i)
+		}
+	}
+	// Decode still works (decode schedules are built independently).
+	full := append(append([][]byte{}, data...), got...)
+	dec, err := cse.NewDecoder([]int{0, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	work := make([][]byte, len(full))
+	copy(work, full)
+	work[0], work[9] = nil, nil
+	if err := dec.Decode(work); err != nil {
+		t.Fatal(err)
+	}
+	for i := range full {
+		if !bytes.Equal(work[i], full[i]) {
+			t.Fatalf("decode after CSE encode wrong at %d", i)
+		}
+	}
+}

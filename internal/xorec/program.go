@@ -1,0 +1,136 @@
+package xorec
+
+import (
+	"dialga/internal/engine"
+	"dialga/internal/mem"
+	"dialga/internal/workload"
+)
+
+// scratchRegionOffset places the per-thread parity scratch area used by
+// the XOR kernels, relative to the layout's parity region. Optimized
+// XOR libraries accumulate parity packets in a small reused buffer that
+// stays cache-resident and write the finished parity out afterwards.
+const scratchRegionOffset = 4 << 30
+
+// Program replays an XOR schedule's memory-access pattern over a
+// layout: per stripe, each packet operation reads its source packet
+// (data block or cache-resident scratch parity), XORs, and at stripe
+// end flushes the scratch parities to the stripe's parity blocks with
+// non-temporal stores.
+//
+// This is the access pattern the paper contrasts with ISA-L's (§2.2):
+// data packets are read from scattered positions and re-read across
+// operations, with short per-packet sequential runs — hostile to the
+// stream prefetcher.
+type Program struct {
+	Layout *workload.Layout
+	Cfg    *mem.Config
+	Sched  Schedule
+
+	scratch    mem.Addr
+	packetSize int
+	stripe     int
+	phase      int // 0 = schedule ops, 1 = flush
+	opIdx      int
+	flushIdx   int
+}
+
+// NewProgram builds the XOR access program. The schedule must have been
+// built for the layout's (k, m); block size must be a multiple of 8.
+func NewProgram(l *workload.Layout, cfg *mem.Config, sched Schedule) *Program {
+	return &Program{
+		Layout:     l,
+		Cfg:        cfg,
+		Sched:      sched,
+		scratch:    l.Parity[0][0] + scratchRegionOffset,
+		packetSize: l.BlockSize / W,
+	}
+}
+
+// DataBytes implements engine.Program.
+func (p *Program) DataBytes() uint64 { return p.Layout.DataBytes() }
+
+// packetAddr returns the base address of packet (block, bit) for the
+// current stripe.
+func (p *Program) packetAddr(block, bit int) mem.Addr {
+	off := mem.Addr(bit * p.packetSize)
+	if block < p.Layout.K {
+		return p.Layout.Data[p.stripe][block] + off
+	}
+	return p.scratch + mem.Addr((block-p.Layout.K)*p.Layout.BlockSize) + off
+}
+
+// appendPacketLines appends the 64 B lines covering [base, base+packetSize).
+func (p *Program) appendPacketLines(dst []mem.Addr, base mem.Addr) []mem.Addr {
+	first := uint64(base) / mem.CachelineSize
+	last := (uint64(base) + uint64(p.packetSize) - 1) / mem.CachelineSize
+	for l := first; l <= last; l++ {
+		dst = append(dst, mem.Addr(l*mem.CachelineSize))
+	}
+	return dst
+}
+
+// opBatch is the number of packet operations fused into one engine op.
+// Out-of-order execution overlaps the independent packet loads of
+// adjacent XOR operations, so their cache misses must be allowed to
+// overlap up to the machine's MLP just as in the table-lookup kernel.
+const opBatch = 16
+
+// Next implements engine.Program.
+func (p *Program) Next(op *engine.Op) bool {
+	for {
+		if p.stripe >= p.Layout.Stripes {
+			return false
+		}
+		if p.phase == 0 {
+			if p.opIdx < len(p.Sched) {
+				vecs := float64(p.packetSize) / float64(p.Cfg.SIMD)
+				if vecs < 1 {
+					vecs = 1
+				}
+				for n := 0; n < opBatch && p.opIdx < len(p.Sched); n++ {
+					s := p.Sched[p.opIdx]
+					p.opIdx++
+					// Destination packets are the reused scratch
+					// accumulators: they stay L1-resident and their
+					// read-modify-write cost is part of the XOR pass,
+					// so only source packets generate memory traffic.
+					if s.SrcBlock >= p.Layout.K {
+						// Parity-sourced copy/XOR (delta scheduling):
+						// also scratch-resident.
+						op.ComputeCycles += vecs * p.Cfg.XORCycPerVec
+						continue
+					}
+					op.Loads = p.appendPacketLines(op.Loads, p.packetAddr(s.SrcBlock, s.SrcBit))
+					if s.Copy {
+						op.ComputeCycles += vecs * p.Cfg.XORCycPerVec / 2
+					} else {
+						op.ComputeCycles += vecs * p.Cfg.XORCycPerVec
+					}
+				}
+				return true
+			}
+			p.phase = 1
+			p.flushIdx = 0
+		}
+		// Flush phase: one op per parity block.
+		if p.flushIdx < p.Layout.M {
+			i := p.flushIdx
+			p.flushIdx++
+			lines := p.Layout.LinesPerBlock()
+			src := p.scratch + mem.Addr(i*p.Layout.BlockSize)
+			dst := p.Layout.Parity[p.stripe][i]
+			for l := 0; l < lines; l++ {
+				off := mem.Addr(l * mem.CachelineSize)
+				op.Loads = append(op.Loads, src+off)
+				op.Stores = append(op.Stores, dst+off)
+			}
+			op.ComputeCycles = float64(lines) * p.Cfg.VectorsPerLine()
+			return true
+		}
+		// Stripe complete.
+		p.phase = 0
+		p.opIdx = 0
+		p.stripe++
+	}
+}
