@@ -6,7 +6,12 @@
 package dialga
 
 import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"dialga/internal/dialga"
@@ -160,6 +165,117 @@ func benchCodecEncode(b *testing.B, k, m, size int) {
 func BenchmarkCodecRS_12_8(b *testing.B)  { benchCodecEncode(b, 8, 4, 1024) }
 func BenchmarkCodecRS_28_24(b *testing.B) { benchCodecEncode(b, 24, 4, 1024) }
 func BenchmarkCodecRS_52_48(b *testing.B) { benchCodecEncode(b, 48, 4, 1024) }
+
+// --- streaming pipeline benchmarks (internal/stream) ---
+
+// streamBenchPayload is the per-iteration input for the streaming
+// benchmarks; MB/s throughput is reported via b.SetBytes.
+const streamBenchPayload = 16 << 20
+
+// BenchmarkStreamEncode sweeps worker count and stripe size over the
+// concurrent pipeline. Compare against
+// BenchmarkStreamEncodeScalarBaseline (the single-threaded
+// whole-buffer EncodeAppend path) to measure the pipeline's speedup
+// rather than assume it.
+func BenchmarkStreamEncode(b *testing.B) {
+	codec, err := NewCodec(8, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, streamBenchPayload)
+	rand.New(rand.NewSource(1)).Read(payload)
+
+	workerSweep := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p != 1 && p != 2 && p != 4 {
+		workerSweep = append(workerSweep, p)
+	}
+	for _, stripe := range []int{64 << 10, 1 << 20} {
+		for _, workers := range workerSweep {
+			b.Run(fmt.Sprintf("stripe=%dKiB/workers=%d", stripe>>10, workers), func(b *testing.B) {
+				opts := StreamOptions{Codec: codec, StripeSize: stripe, Workers: workers}
+				enc, err := NewStreamEncoder(opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				writers := make([]io.Writer, enc.Shards())
+				for i := range writers {
+					writers[i] = io.Discard
+				}
+				b.SetBytes(streamBenchPayload)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := enc.Encode(context.Background(), bytes.NewReader(payload), writers); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkStreamEncodeScalarBaseline is the pre-pipeline path: one
+// goroutine, whole-buffer Split + EncodeAppend per stripe, fresh
+// parity allocations — what cmd/dialga-encode did before the
+// streaming rewrite, restated per-stripe for a like-for-like byte
+// count.
+func BenchmarkStreamEncodeScalarBaseline(b *testing.B) {
+	codec, err := NewCodec(8, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, streamBenchPayload)
+	rand.New(rand.NewSource(1)).Read(payload)
+	const stripe = 1 << 20
+	b.SetBytes(streamBenchPayload)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for off := 0; off < len(payload); off += stripe {
+			end := off + stripe
+			if end > len(payload) {
+				end = len(payload)
+			}
+			data, err := Split(payload[off:end], 8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := codec.EncodeAppend(data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkStreamDecode measures degraded-mode streaming decode with
+// two erased shards, forcing reconstruction of every stripe.
+func BenchmarkStreamDecode(b *testing.B) {
+	codec, err := NewCodec(8, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := StreamOptions{Codec: codec, StripeSize: 1 << 20}
+	payload := make([]byte, streamBenchPayload)
+	rand.New(rand.NewSource(2)).Read(payload)
+	bufs := make([]bytes.Buffer, 12)
+	writers := make([]io.Writer, 12)
+	for i := range bufs {
+		writers[i] = &bufs[i]
+	}
+	if _, err := StreamEncode(context.Background(), opts, bytes.NewReader(payload), writers); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(streamBenchPayload)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		readers := make([]io.Reader, 12)
+		for j := range bufs {
+			readers[j] = bytes.NewReader(bufs[j].Bytes())
+		}
+		readers[0], readers[5] = nil, nil
+		if _, err := StreamDecode(context.Background(), opts, readers, io.Discard, int64(len(payload))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // --- ablations (DESIGN.md §5) ---
 

@@ -1,44 +1,121 @@
 // Command dialga-encode is a real file erasure-coding tool built on the
-// repository's byte-level RS codec: it splits a file into k data shards
-// plus m parity shards, verifies stripes, and reconstructs the original
-// file from any k surviving shards.
+// repository's streaming RS pipeline: it chunks a file into stripes,
+// encodes them on a worker pool into k data + m parity shard files, and
+// reconstructs the original file from any k surviving shards — all in
+// O(stripe) memory, so files far larger than RAM round-trip.
 //
 //	dialga-encode -mode encode -k 8 -m 4 -in data.bin -dir shards/
 //	dialga-encode -mode decode -k 8 -m 4 -out restored.bin -dir shards/
 //
 // Shards are named shard.000 .. shard.(k+m-1); delete up to m of them
-// and decode still succeeds.
+// and decode still succeeds. Each shard file starts with a self-
+// describing header (geometry, shard index, stripe count, file size),
+// so decoding with mismatched -k/-m flags, a shard copied from another
+// geometry, or a truncated shard file fails loudly instead of silently
+// corrupting output.
 package main
 
 import (
+	"bufio"
+	"context"
 	"encoding/binary"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
 	"dialga/internal/rs"
+	"dialga/internal/stream"
 )
 
-const shardMagic = 0xd1a16aec
+const (
+	shardMagic    = 0xd1a16aec
+	headerVersion = 2
+	headerSize    = 40
+)
+
+// shardHeader is the self-describing per-shard-file header.
+//
+// Layout (little-endian, headerSize bytes):
+//
+//	off  0  u32  magic
+//	off  4  u32  version
+//	off  8  u32  k (data shards)
+//	off 12  u32  m (parity shards)
+//	off 16  u32  shard index in [0, k+m)
+//	off 20  u32  shard payload bytes per stripe
+//	off 24  u64  stripe count
+//	off 32  u64  original file size
+type shardHeader struct {
+	K, M        uint32
+	Index       uint32
+	ShardSize   uint32
+	StripeCount uint64
+	FileSize    uint64
+}
+
+func (h shardHeader) marshal() []byte {
+	buf := make([]byte, headerSize)
+	binary.LittleEndian.PutUint32(buf[0:], shardMagic)
+	binary.LittleEndian.PutUint32(buf[4:], headerVersion)
+	binary.LittleEndian.PutUint32(buf[8:], h.K)
+	binary.LittleEndian.PutUint32(buf[12:], h.M)
+	binary.LittleEndian.PutUint32(buf[16:], h.Index)
+	binary.LittleEndian.PutUint32(buf[20:], h.ShardSize)
+	binary.LittleEndian.PutUint64(buf[24:], h.StripeCount)
+	binary.LittleEndian.PutUint64(buf[32:], h.FileSize)
+	return buf
+}
+
+func parseShardHeader(buf []byte) (shardHeader, error) {
+	var h shardHeader
+	if len(buf) < headerSize {
+		return h, fmt.Errorf("header truncated: %d bytes, want %d", len(buf), headerSize)
+	}
+	if magic := binary.LittleEndian.Uint32(buf[0:]); magic != shardMagic {
+		return h, fmt.Errorf("bad magic %#x", magic)
+	}
+	if v := binary.LittleEndian.Uint32(buf[4:]); v != headerVersion {
+		return h, fmt.Errorf("unsupported shard header version %d (want %d)", v, headerVersion)
+	}
+	h.K = binary.LittleEndian.Uint32(buf[8:])
+	h.M = binary.LittleEndian.Uint32(buf[12:])
+	h.Index = binary.LittleEndian.Uint32(buf[16:])
+	h.ShardSize = binary.LittleEndian.Uint32(buf[20:])
+	h.StripeCount = binary.LittleEndian.Uint64(buf[24:])
+	h.FileSize = binary.LittleEndian.Uint64(buf[32:])
+	if h.K == 0 || h.M == 0 {
+		return h, fmt.Errorf("invalid geometry k=%d m=%d", h.K, h.M)
+	}
+	if h.Index >= h.K+h.M {
+		return h, fmt.Errorf("shard index %d outside geometry k+m=%d", h.Index, h.K+h.M)
+	}
+	if h.ShardSize == 0 && h.StripeCount > 0 {
+		return h, fmt.Errorf("zero shard size with %d stripes", h.StripeCount)
+	}
+	return h, nil
+}
 
 func main() {
 	var (
-		mode = flag.String("mode", "", "encode or decode")
-		k    = flag.Int("k", 8, "data shards")
-		m    = flag.Int("m", 4, "parity shards")
-		in   = flag.String("in", "", "input file (encode)")
-		out  = flag.String("out", "", "output file (decode)")
-		dir  = flag.String("dir", "shards", "shard directory")
+		mode    = flag.String("mode", "", "encode or decode")
+		k       = flag.Int("k", 8, "data shards")
+		m       = flag.Int("m", 4, "parity shards")
+		in      = flag.String("in", "", "input file (encode)")
+		out     = flag.String("out", "", "output file (decode)")
+		dir     = flag.String("dir", "shards", "shard directory")
+		stripe  = flag.Int("stripe", stream.DefaultStripeSize, "stripe size in bytes (data payload per stripe)")
+		workers = flag.Int("workers", 0, "encoding workers (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
 	var err error
 	switch *mode {
 	case "encode":
-		err = encode(*k, *m, *in, *dir)
+		err = encode(*k, *m, *in, *dir, *stripe, *workers)
 	case "decode":
-		err = decode(*k, *m, *out, *dir)
+		err = decode(*k, *m, *out, *dir, *workers)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -53,15 +130,7 @@ func shardPath(dir string, i int) string {
 	return filepath.Join(dir, fmt.Sprintf("shard.%03d", i))
 }
 
-// header is 16 bytes: magic, original file size, shard payload size.
-func writeHeader(buf []byte, fileSize, shardSize uint64) {
-	binary.LittleEndian.PutUint32(buf[0:], shardMagic)
-	binary.LittleEndian.PutUint32(buf[4:], 0)
-	binary.LittleEndian.PutUint64(buf[8:], fileSize)
-	_ = shardSize
-}
-
-func encode(k, m int, in, dir string) error {
+func encode(k, m int, in, dir string, stripeSize, workers int) error {
 	if in == "" {
 		return fmt.Errorf("encode needs -in")
 	}
@@ -69,48 +138,136 @@ func encode(k, m int, in, dir string) error {
 	if err != nil {
 		return err
 	}
-	raw, err := os.ReadFile(in)
+	enc, err := stream.NewEncoder(stream.Options{Codec: code, StripeSize: stripeSize, Workers: workers})
 	if err != nil {
 		return err
 	}
-	data, err := rs.Split(raw, k)
+	f, err := os.Open(in)
 	if err != nil {
 		return err
 	}
-	shardSize := len(data[0])
-	parity, err := code.EncodeAppend(data)
+	defer f.Close()
+	fi, err := f.Stat()
 	if err != nil {
 		return err
 	}
+	fileSize := uint64(fi.Size())
+	stripes := (fileSize + uint64(enc.StripeSize()) - 1) / uint64(enc.StripeSize())
+
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	all := append(append([][]byte{}, data...), parity...)
-	hdr := make([]byte, 16)
-	writeHeader(hdr, uint64(len(raw)), uint64(shardSize))
-	for i, shard := range all {
-		f, err := os.Create(shardPath(dir, i))
+	files := make([]*os.File, k+m)
+	writers := make([]io.Writer, k+m)
+	bws := make([]*bufio.Writer, k+m)
+	defer func() {
+		for _, sf := range files {
+			if sf != nil {
+				sf.Close()
+			}
+		}
+	}()
+	for i := range files {
+		sf, err := os.Create(shardPath(dir, i))
 		if err != nil {
 			return err
 		}
-		if _, err := f.Write(hdr); err != nil {
-			f.Close()
+		files[i] = sf
+		hdr := shardHeader{
+			K: uint32(k), M: uint32(m), Index: uint32(i),
+			ShardSize: uint32(enc.ShardSize()), StripeCount: stripes, FileSize: fileSize,
+		}
+		if _, err := sf.Write(hdr.marshal()); err != nil {
 			return err
 		}
-		if _, err := f.Write(shard); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
+		bws[i] = bufio.NewWriter(sf)
+		writers[i] = bws[i]
 	}
-	fmt.Printf("encoded %d bytes into %d data + %d parity shards of %d bytes in %s\n",
-		len(raw), k, m, shardSize, dir)
+
+	if err := enc.Encode(context.Background(), bufio.NewReaderSize(f, 1<<20), writers); err != nil {
+		return err
+	}
+	st := enc.Stats()
+	if st.BytesIn != fileSize || st.Stripes != stripes {
+		return fmt.Errorf("input changed during encode: read %d bytes / %d stripes, expected %d / %d",
+			st.BytesIn, st.Stripes, fileSize, stripes)
+	}
+	for i := range files {
+		if err := bws[i].Flush(); err != nil {
+			return err
+		}
+		if err := files[i].Close(); err != nil {
+			return err
+		}
+		files[i] = nil
+	}
+	fmt.Printf("encoded %d bytes into %d data + %d parity shards (%d stripes of %d bytes/shard) in %s\n",
+		fileSize, k, m, stripes, enc.ShardSize(), dir)
 	return nil
 }
 
-func decode(k, m int, out, dir string) error {
+// openShards opens and validates every present shard file, returning
+// one reader per stripe-order slot (nil = missing shard), the
+// agreed-upon header, and a closer for the opened files. Any header
+// inconsistency — mismatched flags, cross-geometry shards, truncated
+// or ragged files — is an error.
+func openShards(k, m int, dir string) (readers []io.Reader, agreed shardHeader, present int, closeAll func(), err error) {
+	readers = make([]io.Reader, k+m)
+	var files []*os.File
+	closeAll = func() {
+		for _, f := range files {
+			f.Close()
+		}
+	}
+	defer func() {
+		if err != nil {
+			closeAll()
+		}
+	}()
+	for i := 0; i < k+m; i++ {
+		f, openErr := os.Open(shardPath(dir, i))
+		if openErr != nil {
+			continue // missing shard
+		}
+		files = append(files, f)
+		hdrBuf := make([]byte, headerSize)
+		if _, err = io.ReadFull(f, hdrBuf); err != nil {
+			return nil, agreed, 0, closeAll, fmt.Errorf("shard %d: reading header: %w", i, err)
+		}
+		h, parseErr := parseShardHeader(hdrBuf)
+		if parseErr != nil {
+			return nil, agreed, 0, closeAll, fmt.Errorf("shard %d: %w", i, parseErr)
+		}
+		if int(h.K) != k || int(h.M) != m {
+			return nil, agreed, 0, closeAll, fmt.Errorf("shard %d: encoded with k=%d m=%d, flags say k=%d m=%d",
+				i, h.K, h.M, k, m)
+		}
+		if int(h.Index) != i {
+			return nil, agreed, 0, closeAll, fmt.Errorf("shard %d: header says index %d (file renamed or copied?)", i, h.Index)
+		}
+		if present == 0 {
+			agreed = h
+		} else if h.ShardSize != agreed.ShardSize || h.StripeCount != agreed.StripeCount || h.FileSize != agreed.FileSize {
+			return nil, agreed, 0, closeAll, fmt.Errorf("shard %d: header disagrees with shard %d (mixed encodings?)", i, agreed.Index)
+		}
+		fi, statErr := f.Stat()
+		if statErr != nil {
+			return nil, agreed, 0, closeAll, statErr
+		}
+		want := int64(headerSize) + int64(h.StripeCount)*int64(h.ShardSize)
+		if fi.Size() != want {
+			return nil, agreed, 0, closeAll, fmt.Errorf("shard %d: %d bytes on disk, want %d (truncated or ragged)", i, fi.Size(), want)
+		}
+		readers[i] = bufio.NewReaderSize(f, 1<<20)
+		present++
+	}
+	if present < k {
+		return nil, agreed, 0, closeAll, fmt.Errorf("only %d shards present, need at least %d", present, k)
+	}
+	return readers, agreed, present, closeAll, nil
+}
+
+func decode(k, m int, out, dir string, workers int) error {
 	if out == "" {
 		return fmt.Errorf("decode needs -out")
 	}
@@ -118,34 +275,39 @@ func decode(k, m int, out, dir string) error {
 	if err != nil {
 		return err
 	}
-	blocks := make([][]byte, k+m)
-	var fileSize uint64
-	var present int
-	for i := range blocks {
-		raw, err := os.ReadFile(shardPath(dir, i))
-		if err != nil {
-			continue // missing shard
-		}
-		if len(raw) < 16 || binary.LittleEndian.Uint32(raw[0:]) != shardMagic {
-			return fmt.Errorf("shard %d: bad header", i)
-		}
-		fileSize = binary.LittleEndian.Uint64(raw[8:])
-		blocks[i] = raw[16:]
-		present++
-	}
-	if present < k {
-		return fmt.Errorf("only %d shards present, need at least %d", present, k)
-	}
-	if err := code.Reconstruct(blocks); err != nil {
-		return err
-	}
-	outBuf, err := rs.Join(blocks[:k], int(fileSize))
+	readers, hdr, present, closeShards, err := openShards(k, m, dir)
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(out, outBuf, 0o644); err != nil {
+	defer closeShards()
+	dec, err := stream.NewDecoder(stream.Options{
+		Codec:      code,
+		StripeSize: int(hdr.ShardSize) * k,
+		Workers:    workers,
+	})
+	if err != nil {
 		return err
 	}
-	fmt.Printf("reconstructed %d bytes from %d shards into %s\n", fileSize, present, out)
+	if dec.ShardSize() != int(hdr.ShardSize) && hdr.StripeCount > 0 {
+		return fmt.Errorf("shard size %d does not fit geometry k=%d", hdr.ShardSize, k)
+	}
+	of, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer of.Close()
+	w := bufio.NewWriterSize(of, 1<<20)
+	if err := dec.Decode(context.Background(), readers, w, int64(hdr.FileSize)); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if err := of.Close(); err != nil {
+		return err
+	}
+	st := dec.Stats()
+	fmt.Printf("reconstructed %d bytes from %d shards (%d stripes, %d reconstructed) into %s\n",
+		hdr.FileSize, present, st.Stripes, st.Reconstructed, out)
 	return nil
 }

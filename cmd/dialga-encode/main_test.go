@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/binary"
 	"os"
 	"path/filepath"
 	"testing"
@@ -20,7 +21,7 @@ func TestEncodeDecodeRoundtrip(t *testing.T) {
 	if err := os.WriteFile(in, payload, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := encode(8, 4, in, shards); err != nil {
+	if err := encode(8, 4, in, shards, 1<<20, 0); err != nil {
 		t.Fatal(err)
 	}
 	// Remove m shards (mixed data + parity).
@@ -29,7 +30,7 @@ func TestEncodeDecodeRoundtrip(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := decode(8, 4, out, shards); err != nil {
+	if err := decode(8, 4, out, shards, 0); err != nil {
 		t.Fatal(err)
 	}
 	got, err := os.ReadFile(out)
@@ -41,6 +42,96 @@ func TestEncodeDecodeRoundtrip(t *testing.T) {
 	}
 }
 
+// TestEncodeDecodeMultiStripe uses a stripe size far smaller than the
+// payload so the pipeline runs many stripes, and drops shards so every
+// stripe needs reconstruction.
+func TestEncodeDecodeMultiStripe(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.bin")
+	out := filepath.Join(dir, "out.bin")
+	shards := filepath.Join(dir, "shards")
+
+	payload := make([]byte, 5*64<<10+7777)
+	for i := range payload {
+		payload[i] = byte(i*131 + i>>9)
+	}
+	if err := os.WriteFile(in, payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := encode(4, 2, in, shards, 16<<10, 3); err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{1, 4} {
+		if err := os.Remove(shardPath(shards, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := decode(4, 2, out, shards, 3); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("multi-stripe roundtrip corrupted the payload")
+	}
+}
+
+// TestLargeFileStreams round-trips a file much larger than the
+// pipeline's stripe memory budget (window * stripe), demonstrating
+// O(stripe) rather than O(file) memory. 64 MiB keeps CI fast; the
+// behaviour is size-independent.
+func TestLargeFileStreams(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-file roundtrip skipped in -short mode")
+	}
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.bin")
+	out := filepath.Join(dir, "out.bin")
+	shards := filepath.Join(dir, "shards")
+
+	f, err := os.Create(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const chunk = 1 << 20
+	buf := make([]byte, chunk)
+	for i := 0; i < 64; i++ {
+		for j := range buf {
+			buf[j] = byte(i + j*7)
+		}
+		if _, err := f.Write(buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := encode(8, 4, in, shards, 1<<20, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{2, 7, 10} {
+		if err := os.Remove(shardPath(shards, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := decode(8, 4, out, shards, 0); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("large-file roundtrip corrupted the payload")
+	}
+}
+
 func TestDecodeTooFewShards(t *testing.T) {
 	dir := t.TempDir()
 	in := filepath.Join(dir, "in.bin")
@@ -48,13 +139,13 @@ func TestDecodeTooFewShards(t *testing.T) {
 	if err := os.WriteFile(in, []byte("hello world"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := encode(4, 2, in, shards); err != nil {
+	if err := encode(4, 2, in, shards, 1<<20, 0); err != nil {
 		t.Fatal(err)
 	}
 	for _, i := range []int{0, 1, 2} { // 3 > m=2 lost
 		os.Remove(shardPath(shards, i))
 	}
-	if err := decode(4, 2, filepath.Join(dir, "out.bin"), shards); err == nil {
+	if err := decode(4, 2, filepath.Join(dir, "out.bin"), shards, 0); err == nil {
 		t.Fatal("decode succeeded with fewer than k shards")
 	}
 }
@@ -67,10 +158,10 @@ func TestEncodeTinyFile(t *testing.T) {
 	if err := os.WriteFile(in, []byte("x"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := encode(8, 4, in, shards); err != nil {
+	if err := encode(8, 4, in, shards, 1<<20, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := decode(8, 4, out, shards); err != nil {
+	if err := decode(8, 4, out, shards, 0); err != nil {
 		t.Fatal(err)
 	}
 	got, _ := os.ReadFile(out)
@@ -79,14 +170,166 @@ func TestEncodeTinyFile(t *testing.T) {
 	}
 }
 
+func TestEncodeEmptyFile(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.bin")
+	out := filepath.Join(dir, "out.bin")
+	shards := filepath.Join(dir, "shards")
+	if err := os.WriteFile(in, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := encode(4, 2, in, shards, 1<<20, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := decode(4, 2, out, shards, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty file roundtrip produced %d bytes", len(got))
+	}
+}
+
 func TestDecodeBadHeader(t *testing.T) {
 	dir := t.TempDir()
 	shards := filepath.Join(dir, "shards")
 	os.MkdirAll(shards, 0o755)
 	for i := 0; i < 6; i++ {
-		os.WriteFile(shardPath(shards, i), []byte("garbage-garbage-garbage"), 0o644)
+		os.WriteFile(shardPath(shards, i), []byte("garbage-garbage-garbage-garbage-garbage!"), 0o644)
 	}
-	if err := decode(4, 2, filepath.Join(dir, "out.bin"), shards); err == nil {
+	if err := decode(4, 2, filepath.Join(dir, "out.bin"), shards, 0); err == nil {
 		t.Fatal("garbage shards accepted")
+	}
+}
+
+// TestDecodeMismatchedGeometry pins the headline satellite fix: shards
+// encoded as RS(8+4) must be rejected when decoded with -k/-m flags
+// for a different geometry, instead of silently corrupting output.
+func TestDecodeMismatchedGeometry(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.bin")
+	shards := filepath.Join(dir, "shards")
+	payload := make([]byte, 50000)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	if err := os.WriteFile(in, payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := encode(8, 4, in, shards, 1<<20, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := decode(6, 6, filepath.Join(dir, "out.bin"), shards, 0); err == nil {
+		t.Fatal("decode accepted mismatched k/m flags")
+	}
+	if err := decode(4, 2, filepath.Join(dir, "out.bin"), shards, 0); err == nil {
+		t.Fatal("decode accepted a smaller geometry")
+	}
+}
+
+// TestDecodeForeignShard rejects a shard file copied in from an
+// encoding with a different geometry.
+func TestDecodeForeignShard(t *testing.T) {
+	dir := t.TempDir()
+	inA := filepath.Join(dir, "a.bin")
+	inB := filepath.Join(dir, "b.bin")
+	shardsA := filepath.Join(dir, "shardsA")
+	shardsB := filepath.Join(dir, "shardsB")
+	if err := os.WriteFile(inA, bytes.Repeat([]byte("A"), 10000), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(inB, bytes.Repeat([]byte("B"), 20000), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := encode(4, 2, inA, shardsA, 1<<20, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := encode(4, 2, inB, shardsB, 1<<20, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Same geometry, different encoding: headers disagree on file size.
+	data, err := os.ReadFile(shardPath(shardsB, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(shardPath(shardsA, 2), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := decode(4, 2, filepath.Join(dir, "out.bin"), shardsA, 0); err == nil {
+		t.Fatal("decode accepted a shard from a different encoding")
+	}
+}
+
+// TestDecodeShardIndexMismatch rejects a shard renamed into another
+// slot.
+func TestDecodeShardIndexMismatch(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.bin")
+	shards := filepath.Join(dir, "shards")
+	if err := os.WriteFile(in, bytes.Repeat([]byte("z"), 5000), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := encode(4, 2, in, shards, 1<<20, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Swap two shard files on disk.
+	a, _ := os.ReadFile(shardPath(shards, 0))
+	b, _ := os.ReadFile(shardPath(shards, 3))
+	os.WriteFile(shardPath(shards, 0), b, 0o644)
+	os.WriteFile(shardPath(shards, 3), a, 0o644)
+	if err := decode(4, 2, filepath.Join(dir, "out.bin"), shards, 0); err == nil {
+		t.Fatal("decode accepted renamed shard files")
+	}
+}
+
+// TestDecodeTruncatedShard rejects a shard whose payload does not match
+// stripeCount * shardSize.
+func TestDecodeTruncatedShard(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.bin")
+	shards := filepath.Join(dir, "shards")
+	if err := os.WriteFile(in, bytes.Repeat([]byte("q"), 30000), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := encode(4, 2, in, shards, 1<<20, 0); err != nil {
+		t.Fatal(err)
+	}
+	p := shardPath(shards, 1)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p, data[:len(data)-100], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := decode(4, 2, filepath.Join(dir, "out.bin"), shards, 0); err == nil {
+		t.Fatal("decode accepted a truncated shard file")
+	}
+}
+
+func TestHeaderRoundtrip(t *testing.T) {
+	h := shardHeader{K: 8, M: 4, Index: 11, ShardSize: 131072, StripeCount: 2048, FileSize: 1 << 31}
+	got, err := parseShardHeader(h.marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("header roundtrip: got %+v want %+v", got, h)
+	}
+	// Old v1 headers (16 bytes, no version field) must be rejected.
+	old := make([]byte, 16)
+	binary.LittleEndian.PutUint32(old[0:], shardMagic)
+	binary.LittleEndian.PutUint64(old[8:], 12345)
+	if _, err := parseShardHeader(old); err == nil {
+		t.Fatal("v1 header accepted")
+	}
+	// Corrupt index.
+	bad := h
+	bad.Index = 12
+	if _, err := parseShardHeader(bad.marshal()); err == nil {
+		t.Fatal("out-of-range shard index accepted")
 	}
 }

@@ -17,9 +17,13 @@
 package dialga
 
 import (
+	"context"
+	"io"
+
 	"dialga/internal/harness"
 	"dialga/internal/lrc"
 	"dialga/internal/rs"
+	"dialga/internal/stream"
 )
 
 // Codec is a systematic Reed-Solomon RS(k+m, k) erasure codec over
@@ -56,6 +60,11 @@ func (c *Codec) Reconstruct(blocks [][]byte) error { return c.code.Reconstruct(b
 
 // Verify reports whether parity is consistent with data.
 func (c *Codec) Verify(data, parity [][]byte) (bool, error) { return c.code.Verify(data, parity) }
+
+// ReconstructData repairs only the data blocks of a stripe in place,
+// skipping parity rebuilds — the fast path for serving reads from a
+// degraded stripe. The streaming decoder uses it automatically.
+func (c *Codec) ReconstructData(blocks [][]byte) error { return c.code.ReconstructData(blocks) }
 
 // Update applies an incremental parity update after data block idx
 // changes from oldData to newData.
@@ -107,12 +116,75 @@ func (c *LRC) Verify(data, global, local [][]byte) (bool, error) {
 }
 
 // Split partitions a byte stream into exactly k equally sized shards
-// (zero-padded tail) suitable for Codec.Encode.
+// (zero-padded tail) suitable for Codec.Encode. Shards that fit
+// entirely inside data alias its storage — mutating them mutates the
+// input. Use SplitCopy when the shards are modified independently.
 func Split(data []byte, k int) ([][]byte, error) { return rs.Split(data, k) }
+
+// SplitCopy is Split with every shard freshly allocated: the returned
+// shards never alias data.
+func SplitCopy(data []byte, k int) ([][]byte, error) { return rs.SplitCopy(data, k) }
 
 // Join reassembles the original stream of the given length from the k
 // data shards produced by Split.
 func Join(shards [][]byte, size int) ([]byte, error) { return rs.Join(shards, size) }
+
+// Streaming pipeline — see internal/stream. The pipeline chunks an
+// io.Reader into stripes, encodes them on a worker pool, and emits
+// shards through an order-preserving bounded window, so files of any
+// size are processed in O(stripe) memory.
+
+// StreamOptions configures a streaming pipeline. StreamOptions.Codec
+// accepts a *Codec directly; wrap an *LRC with its StreamCodec method.
+type StreamOptions = stream.Options
+
+// StreamCodec is the stripe-level codec interface the pipeline drives.
+type StreamCodec = stream.Codec
+
+// StreamStats is a snapshot of pipeline counters: stripes, bytes
+// in/out, reconstruction counts, and a stripe-latency histogram.
+type StreamStats = stream.Stats
+
+// StreamEncoder is a reusable streaming erasure encoder.
+type StreamEncoder = stream.Encoder
+
+// StreamDecoder is a reusable streaming erasure decoder.
+type StreamDecoder = stream.Decoder
+
+// NewStreamEncoder validates opts and returns a streaming encoder.
+func NewStreamEncoder(opts StreamOptions) (*StreamEncoder, error) { return stream.NewEncoder(opts) }
+
+// NewStreamDecoder validates opts and returns a streaming decoder.
+func NewStreamDecoder(opts StreamOptions) (*StreamDecoder, error) { return stream.NewDecoder(opts) }
+
+// StreamEncode pipes r through a concurrent encoding pipeline, writing
+// shard i of every stripe to shards[i] (k data writers then m parity
+// writers). It returns the pipeline counters alongside any error.
+func StreamEncode(ctx context.Context, opts StreamOptions, r io.Reader, shards []io.Writer) (StreamStats, error) {
+	enc, err := stream.NewEncoder(opts)
+	if err != nil {
+		return StreamStats{}, err
+	}
+	err = enc.Encode(ctx, r, shards)
+	return enc.Stats(), err
+}
+
+// StreamDecode reconstructs the original stream from k+m shard readers
+// (nil entries and mid-stream failures tolerated, up to m per stripe)
+// and writes exactly size bytes to w; size < 0 decodes until EOF,
+// including the encoder's tail padding.
+func StreamDecode(ctx context.Context, opts StreamOptions, shards []io.Reader, w io.Writer, size int64) (StreamStats, error) {
+	dec, err := stream.NewDecoder(opts)
+	if err != nil {
+		return StreamStats{}, err
+	}
+	err = dec.Decode(ctx, shards, w, size)
+	return dec.Stats(), err
+}
+
+// StreamCodec adapts the LRC to the streaming pipeline: its m global
+// and l local parities appear as m+l parity shards in stripe order.
+func (c *LRC) StreamCodec() StreamCodec { return stream.WrapLRC(c.code) }
 
 // Figure is a reproduced paper figure; see internal/harness.
 type Figure = harness.Figure

@@ -5,8 +5,15 @@ import "fmt"
 // Split partitions data into exactly k equally sized shards, padding
 // the tail shard with zeros. The shard size is ceil(len(data)/k),
 // with a minimum of 1 so zero-length inputs still produce valid shards.
-// The first shards alias data's storage where possible; the tail shard
-// is copied when padding is required.
+//
+// Aliasing contract (pinned by TestSplitAliasingContract): every shard
+// that fits entirely inside data is a sub-slice of data — writing to
+// it writes through to the input, and vice versa. Only shards that
+// need zero padding (and shards past the end of data) are freshly
+// allocated. This makes Split a zero-copy view for full-length inputs
+// (len(data) a multiple of k), which is what the internal/stream
+// pipeline relies on when slicing its pooled stripe buffers. Callers
+// that mutate shards they don't own must use SplitCopy.
 func Split(data []byte, k int) ([][]byte, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("rs: Split needs positive k, got %d", k)
@@ -29,6 +36,23 @@ func Split(data []byte, k int) ([][]byte, error) {
 		default:
 			shards[i] = data[lo:hi:hi]
 		}
+	}
+	return shards, nil
+}
+
+// SplitCopy is Split without the aliasing: every shard is freshly
+// allocated, so mutating the returned shards never touches data and
+// mutating data never changes the shards. Use it whenever the shards
+// outlive or are modified independently of the input buffer.
+func SplitCopy(data []byte, k int) ([][]byte, error) {
+	shards, err := Split(data, k)
+	if err != nil {
+		return nil, err
+	}
+	for i, s := range shards {
+		c := make([]byte, len(s))
+		copy(c, s)
+		shards[i] = c
 	}
 	return shards, nil
 }

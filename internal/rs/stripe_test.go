@@ -36,6 +36,76 @@ func TestSplitJoinRoundtrip(t *testing.T) {
 	}
 }
 
+// TestSplitAliasingContract pins the documented aliasing behaviour of
+// Split: shards that fit entirely inside the input are views of it,
+// and only padded/past-the-end shards are copies.
+func TestSplitAliasingContract(t *testing.T) {
+	// Full-length input: every shard aliases, zero copies.
+	full := []byte("abcdefgh") // 8 bytes, k=4 -> shardSize 2, no padding
+	shards, err := Split(full, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range shards {
+		s[0] = 'X'
+		if full[i*2] != 'X' {
+			t.Fatalf("shard %d does not alias the input", i)
+		}
+	}
+
+	// Ragged input: head shards alias, the padded tail is a copy.
+	ragged := []byte("abcdefghij") // 10 bytes, k=4 -> shardSize 3
+	shards, err = Split(ragged, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards[0][0] = 'Y'
+	if ragged[0] != 'Y' {
+		t.Fatal("head shard must alias the input")
+	}
+	shards[3][0] = 'Z' // tail shard covers ragged[9:10] plus padding
+	if ragged[9] == 'Z' {
+		t.Fatal("padded tail shard must be a copy")
+	}
+}
+
+func TestSplitCopyNeverAliases(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 1, 8, 10, 4096, 100001} {
+		for _, k := range []int{1, 3, 8} {
+			data := make([]byte, n)
+			r.Read(data)
+			orig := append([]byte(nil), data...)
+			shards, err := SplitCopy(data, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Mutating every shard must leave the input untouched.
+			for _, s := range shards {
+				for i := range s {
+					s[i] ^= 0xff
+				}
+			}
+			if !bytes.Equal(data, orig) {
+				t.Fatalf("n=%d k=%d: SplitCopy shard aliased the input", n, k)
+			}
+			// And the (un-mutated) shards must Join back losslessly.
+			for _, s := range shards {
+				for i := range s {
+					s[i] ^= 0xff
+				}
+			}
+			back, err := Join(shards, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(back, orig) {
+				t.Fatalf("n=%d k=%d: SplitCopy roundtrip mismatch", n, k)
+			}
+		}
+	}
+}
+
 func TestSplitValidation(t *testing.T) {
 	if _, err := Split([]byte("x"), 0); err == nil {
 		t.Fatal("k=0 accepted")

@@ -1,0 +1,195 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Decoder is the inverse pipeline: it reads one shardSize block per
+// stripe from each of k+m shard readers, reconstructs missing or
+// failed shards (up to m per stripe), and writes the recovered data
+// payload to a single writer in stripe order.
+//
+// A nil entry in the reader slice is a shard known to be missing. A
+// reader that fails mid-stream — an error, or EOF before its peers —
+// is marked dead and treated as missing for that stripe and all later
+// ones; decoding continues as long as at least k healthy shards
+// remain.
+type Decoder struct {
+	g     geom
+	stats counters
+	buf   *bufPool
+}
+
+// NewDecoder validates opts and returns a ready Decoder.
+func NewDecoder(opts Options) (*Decoder, error) {
+	g, err := opts.geometry()
+	if err != nil {
+		return nil, err
+	}
+	return &Decoder{
+		g:   g,
+		buf: newBufPool((g.k + g.m) * g.shardSize),
+	}, nil
+}
+
+// StripeSize returns the data payload per stripe.
+func (d *Decoder) StripeSize() int { return d.g.stripeSize }
+
+// ShardSize returns the per-shard byte count of every stripe.
+func (d *Decoder) ShardSize() int { return d.g.shardSize }
+
+// Shards returns the total shard count k+m.
+func (d *Decoder) Shards() int { return d.g.k + d.g.m }
+
+// Stats returns a snapshot of the pipeline counters.
+func (d *Decoder) Stats() Stats { return d.stats.snapshot() }
+
+// Decode reconstructs the original stream from k+m shard readers and
+// writes it to w. size is the original payload length: output is
+// trimmed to exactly size bytes and Decode fails if the shards end
+// early. size < 0 means "until EOF": every recovered stripe is written
+// in full, including any zero padding the encoder added to the tail.
+func (d *Decoder) Decode(ctx context.Context, shards []io.Reader, w io.Writer, size int64) error {
+	k, m, shardSize := d.g.k, d.g.m, d.g.shardSize
+	if len(shards) != k+m {
+		return fmt.Errorf("stream: got %d shard readers, want k+m=%d", len(shards), k+m)
+	}
+	healthy := 0
+	for _, r := range shards {
+		if r != nil {
+			healthy++
+		}
+	}
+	if healthy < k {
+		return fmt.Errorf("stream: only %d shard readers present, need at least k=%d", healthy, k)
+	}
+	wantStripes := int64(-1)
+	if size >= 0 {
+		wantStripes = (size + int64(d.g.stripeSize) - 1) / int64(d.g.stripeSize)
+	}
+
+	dead := make([]bool, k+m) // producer-goroutine state only
+
+	produce := func(ctx context.Context, push func(*job) bool) error {
+		for seq := int64(0); wantStripes < 0 || seq < wantStripes; seq++ {
+			if ctx.Err() != nil {
+				return nil
+			}
+			buf := d.buf.get()
+			blocks := make([][]byte, k+m)
+			var eofIdx []int
+			got := 0
+			var firstErr error
+			for i, r := range shards {
+				if r == nil || dead[i] {
+					continue
+				}
+				bl := buf[i*shardSize : (i+1)*shardSize]
+				n, err := io.ReadFull(r, bl)
+				switch {
+				case err == nil:
+					blocks[i] = bl
+					got++
+				case err == io.EOF && n == 0:
+					// Clean stripe-boundary EOF: end of stream if
+					// everyone agrees, a dead shard otherwise.
+					eofIdx = append(eofIdx, i)
+				default:
+					dead[i] = true
+					d.stats.shardFailures.Add(1)
+					if firstErr == nil {
+						firstErr = fmt.Errorf("stream: shard %d failed at stripe %d: %w", i, seq, err)
+					}
+				}
+			}
+			if got == 0 {
+				d.buf.put(buf)
+				if wantStripes >= 0 {
+					return fmt.Errorf("stream: shards ended at stripe %d, want %d stripes", seq, wantStripes)
+				}
+				if firstErr != nil && len(eofIdx) == 0 {
+					return firstErr
+				}
+				return nil // unanimous EOF
+			}
+			if got < k {
+				d.buf.put(buf)
+				if firstErr != nil {
+					return fmt.Errorf("stream: stripe %d: only %d of %d required shards readable: %w", seq, got, k, firstErr)
+				}
+				return fmt.Errorf("stream: stripe %d: only %d of %d required shards readable", seq, got, k)
+			}
+			// Shards that hit EOF while peers still had data are
+			// ragged-short: retire them so they never resync.
+			for _, i := range eofIdx {
+				dead[i] = true
+				d.stats.shardFailures.Add(1)
+			}
+			d.stats.bytesIn.Add(uint64(got * shardSize))
+			j := &job{seq: seq, ready: make(chan struct{}), buf: buf, blocks: blocks}
+			if !push(j) {
+				return nil
+			}
+		}
+		return nil
+	}
+
+	work := func(j *job) error {
+		missing := false
+		for i := 0; i < k; i++ {
+			if j.blocks[i] == nil {
+				missing = true
+				break
+			}
+		}
+		if !missing {
+			return nil
+		}
+		start := time.Now()
+		var err error
+		if rd, ok := d.g.codec.(dataReconstructor); ok {
+			err = rd.ReconstructData(j.blocks)
+		} else {
+			err = d.g.codec.Reconstruct(j.blocks)
+		}
+		if err != nil {
+			return fmt.Errorf("stream: reconstruct stripe %d: %w", j.seq, err)
+		}
+		d.stats.reconstructed.Add(1)
+		d.stats.observe(time.Since(start))
+		return nil
+	}
+
+	remaining := size // consumer-goroutine state only; <0 means unbounded
+	deliver := func(j *job) error {
+		for i := 0; i < k; i++ {
+			b := j.blocks[i]
+			if remaining >= 0 && int64(len(b)) > remaining {
+				b = b[:remaining]
+			}
+			if len(b) == 0 {
+				break
+			}
+			if _, err := w.Write(b); err != nil {
+				return fmt.Errorf("stream: write output: %w", err)
+			}
+			d.stats.bytesOut.Add(uint64(len(b)))
+			if remaining >= 0 {
+				remaining -= int64(len(b))
+			}
+		}
+		d.stats.stripes.Add(1)
+		return nil
+	}
+
+	release := func(j *job) {
+		if j.buf != nil {
+			d.buf.put(j.buf)
+		}
+	}
+
+	return run(ctx, d.g, produce, work, deliver, release)
+}

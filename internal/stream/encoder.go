@@ -1,0 +1,144 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"dialga/internal/rs"
+)
+
+// Encoder is a streaming erasure encoder: it chunks a reader into
+// stripes, encodes stripes concurrently, and writes the k data and m
+// parity shards of each stripe to k+m writers in stripe order. The
+// tail stripe is zero-padded to a full stripe, so every shard writer
+// receives exactly shardSize bytes per stripe; recording the original
+// length for trimming on decode is the caller's job (the dialga-encode
+// shard header does this).
+//
+// An Encoder is safe for concurrent use; each Encode call runs its own
+// pipeline and the shared Stats accumulate across calls.
+type Encoder struct {
+	g      geom
+	stats  counters
+	data   *bufPool
+	parity *bufPool
+}
+
+// NewEncoder validates opts and returns a ready Encoder.
+func NewEncoder(opts Options) (*Encoder, error) {
+	g, err := opts.geometry()
+	if err != nil {
+		return nil, err
+	}
+	return &Encoder{
+		g:      g,
+		data:   newBufPool(g.stripeSize),
+		parity: newBufPool(g.m * g.shardSize),
+	}, nil
+}
+
+// StripeSize returns the data payload per stripe after rounding
+// StripeSize up to a multiple of k.
+func (e *Encoder) StripeSize() int { return e.g.stripeSize }
+
+// ShardSize returns the per-shard byte count of every stripe.
+func (e *Encoder) ShardSize() int { return e.g.shardSize }
+
+// Shards returns the total shard count k+m.
+func (e *Encoder) Shards() int { return e.g.k + e.g.m }
+
+// Stats returns a snapshot of the pipeline counters.
+func (e *Encoder) Stats() Stats { return e.stats.snapshot() }
+
+// Encode reads r to EOF and writes shard i of every stripe to
+// shards[i] (k data writers then m parity writers). It returns the
+// first error from the reader, any writer, the codec, or ctx, after
+// all workers have drained. Output is deterministic: byte-identical
+// for any worker count.
+func (e *Encoder) Encode(ctx context.Context, r io.Reader, shards []io.Writer) error {
+	if len(shards) != e.g.k+e.g.m {
+		return fmt.Errorf("stream: got %d shard writers, want k+m=%d", len(shards), e.g.k+e.g.m)
+	}
+	for i, w := range shards {
+		if w == nil {
+			return fmt.Errorf("stream: shard writer %d is nil", i)
+		}
+	}
+
+	produce := func(ctx context.Context, push func(*job) bool) error {
+		for seq := int64(0); ; seq++ {
+			buf := e.data.get()
+			n, err := io.ReadFull(r, buf)
+			if n == 0 {
+				e.data.put(buf)
+				if err == io.EOF || err == nil {
+					return nil
+				}
+				return fmt.Errorf("stream: read input: %w", err)
+			}
+			if err != nil && err != io.ErrUnexpectedEOF {
+				e.data.put(buf)
+				return fmt.Errorf("stream: read input: %w", err)
+			}
+			final := err == io.ErrUnexpectedEOF
+			if n < len(buf) {
+				clear(buf[n:]) // pooled buffer: scrub stale bytes into the padding
+			}
+			e.stats.bytesIn.Add(uint64(n))
+			j := &job{seq: seq, ready: make(chan struct{}), data: buf, n: n}
+			if !push(j) {
+				return nil
+			}
+			if final {
+				return nil
+			}
+		}
+	}
+
+	work := func(j *job) error {
+		start := time.Now()
+		// Full-length stripes split into pure aliases of the pooled
+		// buffer (see the pinned rs.Split aliasing contract) — the
+		// zero-copy path the pipeline is built around. Callers that
+		// need ownership use rs.SplitCopy instead.
+		data, err := rs.Split(j.data, e.g.k)
+		if err != nil {
+			return err
+		}
+		j.parity = e.parity.get()
+		if err := e.g.codec.Encode(data, shardViews(j.parity, e.g.m, e.g.shardSize)); err != nil {
+			return fmt.Errorf("stream: encode stripe %d: %w", j.seq, err)
+		}
+		e.stats.observe(time.Since(start))
+		return nil
+	}
+
+	deliver := func(j *job) error {
+		for i := 0; i < e.g.k; i++ {
+			if _, err := shards[i].Write(j.data[i*e.g.shardSize : (i+1)*e.g.shardSize]); err != nil {
+				return fmt.Errorf("stream: write shard %d: %w", i, err)
+			}
+		}
+		for i := 0; i < e.g.m; i++ {
+			if _, err := shards[e.g.k+i].Write(j.parity[i*e.g.shardSize : (i+1)*e.g.shardSize]); err != nil {
+				return fmt.Errorf("stream: write shard %d: %w", e.g.k+i, err)
+			}
+		}
+		e.stats.stripes.Add(1)
+		e.stats.bytesOut.Add(uint64((e.g.k + e.g.m) * e.g.shardSize))
+		return nil
+	}
+
+	release := func(j *job) {
+		if j.data != nil {
+			e.data.put(j.data)
+		}
+		if j.parity != nil {
+			e.parity.put(j.parity)
+		}
+	}
+
+	return run(ctx, e.g, produce, work, deliver, release)
+}

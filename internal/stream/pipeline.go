@@ -1,0 +1,141 @@
+package stream
+
+import (
+	"context"
+	"sync"
+)
+
+// job is one stripe moving through the pipeline. The producer fills
+// seq/data/blocks/n, a worker fills parity/err and closes ready, and
+// the consumer waits on ready before emitting — so every field is
+// written before the channel operation that publishes it and no field
+// needs a lock.
+type job struct {
+	seq   int64
+	ready chan struct{} // closed once the worker (or an abort) is done with the job
+	err   error         // sticky per-job failure, set before ready closes
+
+	data   []byte   // encoder: pooled stripe buffer (k*shardSize)
+	n      int      // encoder: valid payload bytes in data (tail stripe may be short)
+	parity []byte   // encoder: pooled parity buffer (m*shardSize), set by the worker
+	buf    []byte   // decoder: pooled stripe buffer ((k+m)*shardSize)
+	blocks [][]byte // decoder: k+m shard views into buf, nil for missing shards
+}
+
+// failFirst records the first error of the run and cancels the
+// pipeline context exactly once.
+type failFirst struct {
+	mu     sync.Mutex
+	err    error
+	cancel context.CancelFunc
+}
+
+func (f *failFirst) set(err error) {
+	f.mu.Lock()
+	if f.err == nil {
+		f.err = err
+	}
+	f.mu.Unlock()
+	f.cancel()
+}
+
+func (f *failFirst) get() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}
+
+// run drives a bounded, order-preserving pipeline:
+//
+//	produce (1 goroutine) -> work (workers goroutines) -> deliver (caller goroutine)
+//
+// produce creates jobs in sequence order and submits them via push;
+// push blocks once window jobs are in flight (backpressure) and
+// returns false when the pipeline is cancelled. work runs on any
+// worker, concurrently and out of order. deliver runs on the calling
+// goroutine strictly in submission order. release is called exactly
+// once per submitted job, after deliver (or after the job is skipped),
+// to recycle its buffers.
+//
+// The first error from any stage cancels the context, drains the
+// remaining jobs without delivering them, and is returned after every
+// goroutine has exited.
+func run(parent context.Context, g geom,
+	produce func(ctx context.Context, push func(*job) bool) error,
+	work func(*job) error,
+	deliver func(*job) error,
+	release func(*job),
+) error {
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+	fail := &failFirst{cancel: cancel}
+
+	workCh := make(chan *job)            // unbuffered: a successful send is a worker handoff
+	orderCh := make(chan *job, g.window) // submission order; buffer bounds in-flight stripes
+
+	var workers sync.WaitGroup
+	workers.Add(g.workers)
+	for i := 0; i < g.workers; i++ {
+		go func() {
+			defer workers.Done()
+			for j := range workCh {
+				if ctx.Err() != nil {
+					j.err = ctx.Err()
+				} else if err := work(j); err != nil {
+					j.err = err
+					fail.set(err)
+				}
+				close(j.ready)
+			}
+		}()
+	}
+
+	prodDone := make(chan struct{})
+	go func() {
+		defer close(prodDone)
+		defer close(workCh)
+		defer close(orderCh)
+		push := func(j *job) bool {
+			select {
+			case orderCh <- j:
+			case <-ctx.Done():
+				// Never entered the pipeline: recycle here.
+				release(j)
+				return false
+			}
+			select {
+			case workCh <- j:
+			case <-ctx.Done():
+				// In orderCh but no worker will touch it; unblock
+				// the consumer, which releases it.
+				j.err = ctx.Err()
+				close(j.ready)
+				return false
+			}
+			return true
+		}
+		if err := produce(ctx, push); err != nil {
+			fail.set(err)
+		}
+	}()
+
+	for j := range orderCh {
+		// ready always closes: an unbuffered workCh send means a
+		// worker holds the job (and closes it), and aborted pushes
+		// close it themselves.
+		<-j.ready
+		if j.err == nil && ctx.Err() == nil {
+			if err := deliver(j); err != nil {
+				fail.set(err)
+			}
+		}
+		release(j)
+	}
+	workers.Wait()
+	<-prodDone
+
+	if err := fail.get(); err != nil {
+		return err
+	}
+	return parent.Err()
+}

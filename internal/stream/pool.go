@@ -1,0 +1,30 @@
+package stream
+
+import "sync"
+
+// bufPool recycles fixed-size stripe buffers across the pipeline.
+// Buffers flow producer -> worker -> consumer and return here when a
+// job is released, so steady-state allocation is zero and peak live
+// buffers track the in-flight window, not the input size.
+type bufPool struct {
+	size int
+	p    sync.Pool
+}
+
+func newBufPool(size int) *bufPool {
+	bp := &bufPool{size: size}
+	bp.p.New = func() any {
+		b := make([]byte, size)
+		return &b
+	}
+	return bp
+}
+
+func (bp *bufPool) get() []byte { return *bp.p.Get().(*[]byte) }
+
+func (bp *bufPool) put(b []byte) {
+	if len(b) != bp.size {
+		return // foreign buffer; drop it rather than poison the pool
+	}
+	bp.p.Put(&b)
+}

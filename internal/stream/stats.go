@@ -1,0 +1,121 @@
+package stream
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets is the number of power-of-two stripe-latency buckets:
+// bucket i counts stripes whose encode/reconstruct time fell in
+// [2^(i-1), 2^i) microseconds (bucket 0 is < 1µs), so the histogram
+// spans <1µs to ~1min with no allocation on the hot path.
+const latencyBuckets = 27
+
+// counters is the internal, atomically updated statistics block of a
+// pipeline.
+type counters struct {
+	stripes       atomic.Uint64
+	bytesIn       atomic.Uint64
+	bytesOut      atomic.Uint64
+	shardFailures atomic.Uint64
+	reconstructed atomic.Uint64
+	lat           [latencyBuckets]atomic.Uint64
+}
+
+func (c *counters) observe(d time.Duration) {
+	us := uint64(d / time.Microsecond)
+	i := bits.Len64(us) // 0 for <1µs, then ceil(log2(us))+ boundaries
+	if i >= latencyBuckets {
+		i = latencyBuckets - 1
+	}
+	c.lat[i].Add(1)
+}
+
+func (c *counters) snapshot() Stats {
+	s := Stats{
+		Stripes:       c.stripes.Load(),
+		BytesIn:       c.bytesIn.Load(),
+		BytesOut:      c.bytesOut.Load(),
+		ShardFailures: c.shardFailures.Load(),
+		Reconstructed: c.reconstructed.Load(),
+	}
+	for i := range c.lat {
+		s.Latency.Counts[i] = c.lat[i].Load()
+	}
+	return s
+}
+
+// Stats is a point-in-time snapshot of a pipeline's counters, safe to
+// read while the pipeline runs.
+type Stats struct {
+	// Stripes is the number of stripes fully emitted downstream.
+	Stripes uint64
+	// BytesIn counts payload bytes consumed from the input reader(s).
+	BytesIn uint64
+	// BytesOut counts bytes written to the output writer(s),
+	// including parity on encode.
+	BytesOut uint64
+	// ShardFailures counts shard input streams that died mid-stream
+	// (decoder only): read errors and short/ragged shards.
+	ShardFailures uint64
+	// Reconstructed counts stripes that needed erasure reconstruction
+	// (decoder only).
+	Reconstructed uint64
+	// Latency is the per-stripe codec latency histogram (encode or
+	// reconstruct time, excluding I/O).
+	Latency LatencyHistogram
+}
+
+// LatencyHistogram is a fixed power-of-two histogram of per-stripe
+// codec latency.
+type LatencyHistogram struct {
+	Counts [latencyBuckets]uint64
+}
+
+// Total returns the number of observations.
+func (h LatencyHistogram) Total() uint64 {
+	var t uint64
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// Bucket returns the [lo, hi) duration range covered by bucket i.
+func (h LatencyHistogram) Bucket(i int) (lo, hi time.Duration) {
+	if i <= 0 {
+		return 0, time.Microsecond
+	}
+	return time.Duration(1<<(i-1)) * time.Microsecond, time.Duration(1<<i) * time.Microsecond
+}
+
+// Quantile returns an upper bound on the q-quantile (0 <= q <= 1) of
+// observed stripe latency, at bucket resolution. It returns 0 when
+// nothing has been observed.
+func (h LatencyHistogram) Quantile(q float64) time.Duration {
+	total := h.Total()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if rank < cum {
+			_, hi := h.Bucket(i)
+			return hi
+		}
+	}
+	_, hi := h.Bucket(latencyBuckets - 1)
+	return hi
+}

@@ -1,0 +1,159 @@
+// Package stream is a concurrent, streaming erasure-coding pipeline
+// over the repository's byte-level codecs.
+//
+// The whole-buffer API (rs.Code, lrc.Code) encodes one stripe at a
+// time on the calling goroutine and requires the entire payload in
+// memory. This package chunks an io.Reader into fixed-size stripes,
+// fans the stripes out to a worker pool, encodes each with the
+// existing GF(2^8) kernels, and emits the resulting shards through an
+// order-preserving bounded in-flight window, so arbitrarily large
+// inputs are processed in O(stripe) memory with all cores busy.
+//
+// Both directions are provided:
+//
+//   - Encoder: io.Reader -> k+m per-shard io.Writers
+//   - Decoder: k+m per-shard io.Readers (nil or failing entries
+//     tolerated, up to m per stripe) -> io.Writer
+//
+// Stripe buffers are pooled (sync.Pool), cancellation is by
+// context.Context, and the first error from any stage cancels the
+// pipeline and drains the workers before returning. Per-pipeline
+// counters (stripes, bytes in/out, stripe latency histogram) are
+// available via Stats().
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+
+	"dialga/internal/lrc"
+)
+
+// DefaultStripeSize is the data payload per stripe when
+// Options.StripeSize is zero: 1 MiB, large enough to amortize
+// per-stripe scheduling, small enough that a deep window stays cheap.
+const DefaultStripeSize = 1 << 20
+
+// Codec is the stripe-level erasure codec the pipeline drives: k data
+// shards in, m parity shards out, and reconstruction of a k+m stripe
+// with nil entries for missing shards. *rs.Code and the public
+// dialga.Codec satisfy it directly; wrap an LRC code with WrapLRC.
+// Implementations must be safe for concurrent use.
+type Codec interface {
+	K() int
+	M() int
+	Encode(data, parity [][]byte) error
+	Reconstruct(blocks [][]byte) error
+}
+
+// dataReconstructor is the optional fast path for decoding: rebuild
+// only the data shards, skipping parity. *rs.Code implements it.
+type dataReconstructor interface {
+	ReconstructData(blocks [][]byte) error
+}
+
+// WrapLRC adapts an LRC(k, m, l) code to the pipeline Codec: the
+// m global and l local parities are flattened into M() = m+l parity
+// shards in stripe order (global first), matching lrc.Code's stripe
+// layout.
+func WrapLRC(c *lrc.Code) Codec { return lrcCodec{c} }
+
+type lrcCodec struct{ c *lrc.Code }
+
+func (w lrcCodec) K() int { return w.c.K() }
+func (w lrcCodec) M() int { return w.c.M() + w.c.L() }
+
+func (w lrcCodec) Encode(data, parity [][]byte) error {
+	m := w.c.M()
+	return w.c.Encode(data, parity[:m], parity[m:])
+}
+
+func (w lrcCodec) Reconstruct(blocks [][]byte) error { return w.c.Reconstruct(blocks) }
+
+// Options configures a pipeline. The zero value of every field except
+// Codec is usable: defaults are filled in by NewEncoder/NewDecoder.
+type Options struct {
+	// Codec encodes and reconstructs stripes. Required.
+	Codec Codec
+
+	// StripeSize is the number of data bytes per stripe, rounded up
+	// to a multiple of Codec.K() so shards stay equally sized.
+	// Default DefaultStripeSize.
+	StripeSize int
+
+	// Workers is the number of encoding goroutines.
+	// Default runtime.GOMAXPROCS(0).
+	Workers int
+
+	// Window bounds the number of in-flight stripes (read but not
+	// yet emitted); the producer blocks once the window is full, so
+	// memory stays at O(Window * StripeSize) regardless of input
+	// size. Default 2*Workers.
+	Window int
+}
+
+// geom is a validated, defaulted view of Options.
+type geom struct {
+	codec      Codec
+	k, m       int
+	shardSize  int // bytes per shard per stripe
+	stripeSize int // k * shardSize
+	workers    int
+	window     int
+}
+
+var errNoCodec = errors.New("stream: Options.Codec is required")
+
+func (o Options) geometry() (geom, error) {
+	if o.Codec == nil {
+		return geom{}, errNoCodec
+	}
+	k, m := o.Codec.K(), o.Codec.M()
+	if k <= 0 || m <= 0 {
+		return geom{}, fmt.Errorf("stream: codec geometry k=%d m=%d invalid", k, m)
+	}
+	stripe := o.StripeSize
+	if stripe == 0 {
+		stripe = DefaultStripeSize
+	}
+	if stripe < 0 {
+		return geom{}, fmt.Errorf("stream: StripeSize %d must be positive", stripe)
+	}
+	shard := (stripe + k - 1) / k
+	workers := o.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 0 {
+		return geom{}, fmt.Errorf("stream: Workers %d must be positive", workers)
+	}
+	window := o.Window
+	if window == 0 {
+		window = 2 * workers
+	}
+	if window < 0 {
+		return geom{}, fmt.Errorf("stream: Window %d must be positive", window)
+	}
+	return geom{
+		codec:      o.Codec,
+		k:          k,
+		m:          m,
+		shardSize:  shard,
+		stripeSize: shard * k,
+		workers:    workers,
+		window:     window,
+	}, nil
+}
+
+// shardViews slices buf into n consecutive shardSize-byte views
+// without copying. The views alias buf (the same deliberate aliasing
+// rs.Split performs on full-length inputs); the pipeline owns its
+// pooled buffers, so the aliasing never escapes to callers.
+func shardViews(buf []byte, n, shardSize int) [][]byte {
+	views := make([][]byte, n)
+	for i := range views {
+		views[i] = buf[i*shardSize : (i+1)*shardSize : (i+1)*shardSize]
+	}
+	return views
+}
