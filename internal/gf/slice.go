@@ -27,46 +27,60 @@ func (t *NibbleTables) Mul(b byte) byte {
 }
 
 // AddSlice XORs src into dst element-wise: dst[i] ^= src[i].
-// It processes eight bytes per iteration on the aligned middle section.
-// dst and src must be the same length.
+// It processes eight bytes per iteration. dst and src must be the same
+// length.
 func AddSlice(dst, src []byte) {
 	if len(dst) != len(src) {
 		panic("gf: AddSlice length mismatch")
 	}
-	n := len(dst) &^ 7
-	for i := 0; i < n; i += 8 {
-		d := binary.LittleEndian.Uint64(dst[i:])
-		s := binary.LittleEndian.Uint64(src[i:])
-		binary.LittleEndian.PutUint64(dst[i:], d^s)
+	for len(src) >= 8 && len(dst) >= 8 {
+		binary.LittleEndian.PutUint64(dst,
+			binary.LittleEndian.Uint64(dst)^binary.LittleEndian.Uint64(src))
+		dst, src = dst[8:], src[8:]
 	}
-	for i := n; i < len(dst); i++ {
+	for i := range src {
 		dst[i] ^= src[i]
 	}
 }
 
-// MulSlice sets dst[i] = c*src[i]. dst and src must be the same length.
+// MulSlice sets dst[i] = c*src[i], eight source bytes per step: each
+// 64-bit source word is split into bytes, multiplied through the
+// coefficient's 256-entry table, and reassembled into one destination
+// word store. dst and src must be the same length and must not
+// partially overlap (dst == src is fine).
 func MulSlice(c byte, dst, src []byte) {
 	if len(dst) != len(src) {
 		panic("gf: MulSlice length mismatch")
 	}
 	switch c {
 	case 0:
-		for i := range dst {
-			dst[i] = 0
-		}
+		clear(dst)
 		return
 	case 1:
 		copy(dst, src)
 		return
 	}
 	row := &mulTable[c]
+	for len(src) >= 8 && len(dst) >= 8 {
+		w := binary.LittleEndian.Uint64(src)
+		binary.LittleEndian.PutUint64(dst,
+			uint64(row[byte(w)])|uint64(row[byte(w>>8)])<<8|
+				uint64(row[byte(w>>16)])<<16|uint64(row[byte(w>>24)])<<24|
+				uint64(row[byte(w>>32)])<<32|uint64(row[byte(w>>40)])<<40|
+				uint64(row[byte(w>>48)])<<48|uint64(row[byte(w>>56)])<<56)
+		dst, src = dst[8:], src[8:]
+	}
 	for i, b := range src {
 		dst[i] = row[b]
 	}
 }
 
-// MulSliceAdd accumulates dst[i] ^= c*src[i]. This is the inner kernel of
-// table-lookup Reed-Solomon encoding. dst and src must be the same length.
+// MulSliceAdd accumulates dst[i] ^= c*src[i], eight source bytes per
+// step with a single destination word read-modify-write. This is the
+// single-coefficient inner kernel of table-lookup Reed-Solomon coding;
+// the fused multi-row kernels in kernels.go supersede it on the encode
+// hot path. dst and src must be the same length and must not partially
+// overlap.
 func MulSliceAdd(c byte, dst, src []byte) {
 	if len(dst) != len(src) {
 		panic("gf: MulSliceAdd length mismatch")
@@ -79,6 +93,15 @@ func MulSliceAdd(c byte, dst, src []byte) {
 		return
 	}
 	row := &mulTable[c]
+	for len(src) >= 8 && len(dst) >= 8 {
+		w := binary.LittleEndian.Uint64(src)
+		binary.LittleEndian.PutUint64(dst, binary.LittleEndian.Uint64(dst)^
+			(uint64(row[byte(w)])|uint64(row[byte(w>>8)])<<8|
+				uint64(row[byte(w>>16)])<<16|uint64(row[byte(w>>24)])<<24|
+				uint64(row[byte(w>>32)])<<32|uint64(row[byte(w>>40)])<<40|
+				uint64(row[byte(w>>48)])<<48|uint64(row[byte(w>>56)])<<56))
+		dst, src = dst[8:], src[8:]
+	}
 	for i, b := range src {
 		dst[i] ^= row[b]
 	}
@@ -91,10 +114,52 @@ func DotSlice(coeffs []byte, dst []byte, srcs [][]byte) {
 	if len(coeffs) != len(srcs) {
 		panic("gf: DotSlice coefficient/source count mismatch")
 	}
+	clear(dst)
+	for j, src := range srcs {
+		MulSliceAdd(coeffs[j], dst, src)
+	}
+}
+
+// The Ref* functions below are the byte-at-a-time scalar kernels the
+// word-parallel implementations replaced. They are retained verbatim as
+// the reference implementation: the differential fuzz tests pin every
+// fast kernel byte-for-byte against them, and rs.(*Code).EncodeRef
+// exposes them for old-vs-new benchmarking.
+
+// RefMulSlice is the scalar reference for MulSlice: one table lookup
+// per byte.
+func RefMulSlice(c byte, dst, src []byte) {
+	if len(dst) != len(src) {
+		panic("gf: RefMulSlice length mismatch")
+	}
+	row := &mulTable[c]
+	for i, b := range src {
+		dst[i] = row[b]
+	}
+}
+
+// RefMulSliceAdd is the scalar reference for MulSliceAdd: one table
+// lookup and XOR per byte.
+func RefMulSliceAdd(c byte, dst, src []byte) {
+	if len(dst) != len(src) {
+		panic("gf: RefMulSliceAdd length mismatch")
+	}
+	row := &mulTable[c]
+	for i, b := range src {
+		dst[i] ^= row[b]
+	}
+}
+
+// RefDotSlice is the scalar reference for DotSlice: a zeroed destination
+// accumulated with one RefMulSliceAdd pass per source.
+func RefDotSlice(coeffs []byte, dst []byte, srcs [][]byte) {
+	if len(coeffs) != len(srcs) {
+		panic("gf: RefDotSlice coefficient/source count mismatch")
+	}
 	for i := range dst {
 		dst[i] = 0
 	}
 	for j, src := range srcs {
-		MulSliceAdd(coeffs[j], dst, src)
+		RefMulSliceAdd(coeffs[j], dst, src)
 	}
 }

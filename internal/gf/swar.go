@@ -1,0 +1,92 @@
+package gf
+
+import "encoding/binary"
+
+// WordTables is the 64-bit SWAR form of the VPSHUFB split tables: the
+// eight comb multipliers c*2^i packed for lane-parallel use. Because GF
+// multiplication is linear over the bits of the operand,
+//
+//	c*b = XOR_{i : bit i of b set} c*2^i,
+//
+// and the comb multipliers are exactly the power-of-two entries of the
+// nibble split tables (Lo[1<<i] for the low nibble, Hi[1<<i] for the
+// high), a packed word of 8 source bytes is multiplied by c with eight
+// bit-plane extractions and eight integer multiplies — no table loads
+// in the inner loop. This is the pure-register analogue of the VPSHUFB
+// kernel; see DESIGN.md for how it compares with the packed split
+// tables (PairTables/QuadTables) that the encoder actually uses.
+type WordTables struct {
+	comb [8]uint64
+}
+
+// lanesLSB has the low bit of every byte lane set.
+const lanesLSB = 0x0101010101010101
+
+// MakeWordTables derives the SWAR comb for coefficient c from its
+// nibble split tables.
+func MakeWordTables(c byte) WordTables {
+	nt := MakeNibbleTables(c)
+	var t WordTables
+	for i := 0; i < 4; i++ {
+		t.comb[i] = uint64(nt.Lo[1<<i])
+		t.comb[4+i] = uint64(nt.Hi[1<<i])
+	}
+	return t
+}
+
+// Mul64 multiplies all eight byte lanes of w by the coefficient.
+func (t *WordTables) Mul64(w uint64) uint64 {
+	var p uint64
+	p ^= (w & lanesLSB) * t.comb[0]
+	p ^= (w >> 1 & lanesLSB) * t.comb[1]
+	p ^= (w >> 2 & lanesLSB) * t.comb[2]
+	p ^= (w >> 3 & lanesLSB) * t.comb[3]
+	p ^= (w >> 4 & lanesLSB) * t.comb[4]
+	p ^= (w >> 5 & lanesLSB) * t.comb[5]
+	p ^= (w >> 6 & lanesLSB) * t.comb[6]
+	p ^= (w >> 7 & lanesLSB) * t.comb[7]
+	return p
+}
+
+// MulSlice sets dst[i] = c*src[i] eight bytes per step using the SWAR
+// comb. dst and src must share a length.
+func (t *WordTables) MulSlice(dst, src []byte) {
+	if len(dst) != len(src) {
+		panic("gf: WordTables.MulSlice length mismatch")
+	}
+	for len(src) >= 8 && len(dst) >= 8 {
+		binary.LittleEndian.PutUint64(dst, t.Mul64(binary.LittleEndian.Uint64(src)))
+		src, dst = src[8:], dst[8:]
+	}
+	for i, b := range src {
+		var p byte
+		for bit := 0; bit < 8; bit++ {
+			if b>>uint(bit)&1 != 0 {
+				p ^= byte(t.comb[bit])
+			}
+		}
+		dst[i] = p
+	}
+}
+
+// MulSliceAdd accumulates dst[i] ^= c*src[i] eight bytes per step using
+// the SWAR comb. dst and src must share a length.
+func (t *WordTables) MulSliceAdd(dst, src []byte) {
+	if len(dst) != len(src) {
+		panic("gf: WordTables.MulSliceAdd length mismatch")
+	}
+	for len(src) >= 8 && len(dst) >= 8 {
+		binary.LittleEndian.PutUint64(dst,
+			binary.LittleEndian.Uint64(dst)^t.Mul64(binary.LittleEndian.Uint64(src)))
+		src, dst = src[8:], dst[8:]
+	}
+	for i, b := range src {
+		var p byte
+		for bit := 0; bit < 8; bit++ {
+			if b>>uint(bit)&1 != 0 {
+				p ^= byte(t.comb[bit])
+			}
+		}
+		dst[i] ^= p
+	}
+}

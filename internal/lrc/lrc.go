@@ -8,8 +8,10 @@
 package lrc
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"sync"
 
 	"dialga/internal/gf"
 	"dialga/internal/rs"
@@ -61,10 +63,13 @@ func (c *Code) GroupRange(g int) (lo, hi int) {
 
 var errBlockShape = errors.New("lrc: blocks must be non-empty and equally sized")
 
+// scratchPool recycles the local-parity scratch used by Verify.
+var scratchPool = sync.Pool{New: func() any { return new([]byte) }}
+
 func blockSize(blocks [][]byte) (int, error) {
 	size := -1
 	for _, b := range blocks {
-		if b == nil {
+		if len(b) == 0 {
 			continue
 		}
 		if size == -1 {
@@ -98,10 +103,7 @@ func (c *Code) Encode(data, global, local [][]byte) error {
 		if len(local[g]) != size {
 			return errBlockShape
 		}
-		copy(local[g], data[lo])
-		for i := lo + 1; i < hi; i++ {
-			gf.AddSlice(local[g], data[i])
-		}
+		gf.XorInto(local[g], data[lo:hi]...)
 	}
 	return nil
 }
@@ -128,8 +130,10 @@ func (c *Code) EncodeAppend(data [][]byte) (global, local [][]byte, err error) {
 
 // RepairLocal reconstructs a single missing data block using only its
 // local group: XOR of the group's surviving data blocks and the group's
-// local parity. blocks is the full stripe (len k+m+l) with nil entries
-// for missing blocks; only the target block is reconstructed.
+// local parity. blocks is the full stripe (len k+m+l) with nil or
+// zero-length entries for missing blocks; only the target block is
+// reconstructed, reusing the capacity of a zero-length target entry when
+// it is large enough.
 func (c *Code) RepairLocal(blocks [][]byte, idx int) error {
 	if idx < 0 || idx >= c.k {
 		return fmt.Errorf("lrc: local repair only covers data blocks, got index %d", idx)
@@ -143,21 +147,28 @@ func (c *Code) RepairLocal(blocks [][]byte, idx int) error {
 	}
 	g := c.GroupOf(idx)
 	lp := blocks[c.k+c.m+g]
-	if lp == nil {
+	if len(lp) == 0 {
 		return errors.New("lrc: local parity for the group is missing; use Reconstruct")
 	}
-	out := make([]byte, size)
-	copy(out, lp)
 	lo, hi := c.GroupRange(g)
+	srcs := make([][]byte, 0, c.groupSize)
+	srcs = append(srcs, lp)
 	for i := lo; i < hi; i++ {
 		if i == idx {
 			continue
 		}
-		if blocks[i] == nil {
+		if len(blocks[i]) == 0 {
 			return errors.New("lrc: another block in the group is missing; use Reconstruct")
 		}
-		gf.AddSlice(out, blocks[i])
+		srcs = append(srcs, blocks[i])
 	}
+	out := blocks[idx]
+	if cap(out) >= size {
+		out = out[:size]
+	} else {
+		out = make([]byte, size)
+	}
+	gf.XorInto(out, srcs...)
 	blocks[idx] = out
 	return nil
 }
@@ -176,7 +187,7 @@ func (c *Code) Reconstruct(blocks [][]byte) error {
 	}
 	// Pass 1: local repair for cheaply repairable data blocks.
 	for idx := 0; idx < c.k; idx++ {
-		if blocks[idx] != nil {
+		if len(blocks[idx]) != 0 {
 			continue
 		}
 		if c.locallyRepairable(blocks, idx) {
@@ -189,7 +200,7 @@ func (c *Code) Reconstruct(blocks [][]byte) error {
 	rsStripe := blocks[:c.k+c.m]
 	missing := 0
 	for _, b := range rsStripe {
-		if b == nil {
+		if len(b) == 0 {
 			missing++
 		}
 	}
@@ -200,15 +211,17 @@ func (c *Code) Reconstruct(blocks [][]byte) error {
 	}
 	// Pass 3: rebuild any missing local parities from (now complete) data.
 	for g := 0; g < c.l; g++ {
-		if blocks[c.k+c.m+g] != nil {
+		lp := blocks[c.k+c.m+g]
+		if len(lp) != 0 {
 			continue
 		}
-		lo, hi := c.GroupRange(g)
-		lp := make([]byte, size)
-		copy(lp, blocks[lo])
-		for i := lo + 1; i < hi; i++ {
-			gf.AddSlice(lp, blocks[i])
+		if cap(lp) >= size {
+			lp = lp[:size]
+		} else {
+			lp = make([]byte, size)
 		}
+		lo, hi := c.GroupRange(g)
+		gf.XorInto(lp, blocks[lo:hi]...)
 		blocks[c.k+c.m+g] = lp
 	}
 	return nil
@@ -216,12 +229,12 @@ func (c *Code) Reconstruct(blocks [][]byte) error {
 
 func (c *Code) locallyRepairable(blocks [][]byte, idx int) bool {
 	g := c.GroupOf(idx)
-	if blocks[c.k+c.m+g] == nil {
+	if len(blocks[c.k+c.m+g]) == 0 {
 		return false
 	}
 	lo, hi := c.GroupRange(g)
 	for i := lo; i < hi; i++ {
-		if i != idx && blocks[i] == nil {
+		if i != idx && len(blocks[i]) == 0 {
 			return false
 		}
 	}
@@ -238,7 +251,9 @@ func (c *Code) RepairCost(blocks [][]byte, idx int) int {
 	return c.k
 }
 
-// Verify reports whether all parities are consistent with the data.
+// Verify reports whether all parities are consistent with the data. The
+// local-parity scratch is pooled and compared word-at-a-time, exiting at
+// the first inconsistent group.
 func (c *Code) Verify(data, global, local [][]byte) (bool, error) {
 	ok, err := c.global.Verify(data, global)
 	if err != nil || !ok {
@@ -248,20 +263,20 @@ func (c *Code) Verify(data, global, local [][]byte) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	buf := make([]byte, size)
+	bp := scratchPool.Get().(*[]byte)
+	defer scratchPool.Put(bp)
+	if cap(*bp) < size {
+		*bp = make([]byte, size)
+	}
+	buf := (*bp)[:size]
 	for g := 0; g < c.l; g++ {
-		lo, hi := c.GroupRange(g)
-		copy(buf, data[lo])
-		for i := lo + 1; i < hi; i++ {
-			gf.AddSlice(buf, data[i])
-		}
 		if len(local[g]) != size {
 			return false, errBlockShape
 		}
-		for j := range buf {
-			if buf[j] != local[g][j] {
-				return false, nil
-			}
+		lo, hi := c.GroupRange(g)
+		gf.XorInto(buf, data[lo:hi]...)
+		if !bytes.Equal(buf, local[g]) {
+			return false, nil
 		}
 	}
 	return true, nil

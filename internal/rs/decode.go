@@ -1,0 +1,135 @@
+package rs
+
+import (
+	"fmt"
+	"sync"
+)
+
+// maxDecodeEntries bounds the per-Code decode-plan cache. Real stripes
+// cycle through a handful of erasure patterns (a failed device erases
+// the same block index in every stripe), so 64 patterns is far more than
+// steady state needs while keeping worst-case memory bounded.
+const maxDecodeEntries = 64
+
+// erasureKey is the bitmap of missing block indices in a stripe —
+// k+m <= 256, so 32 bytes always suffice.
+type erasureKey [32]byte
+
+// erasureKeyOf returns the missing-block bitmap and the number of
+// missing blocks. A block is missing when its length is zero: nil, or a
+// zero-length slice whose capacity the decoder may reuse as the output
+// buffer.
+func erasureKeyOf(blocks [][]byte) (erasureKey, int) {
+	var key erasureKey
+	missing := 0
+	for i, b := range blocks {
+		if len(b) == 0 {
+			key[i>>3] |= 1 << (i & 7)
+			missing++
+		}
+	}
+	return key, missing
+}
+
+// decodeEntry is the compiled decoder for one erasure pattern: the
+// survivor blocks chosen as sources, plus fused plans for the missing
+// data rows (inverted-submatrix coefficients over the survivors) and the
+// missing parity rows (generator coefficients over the repaired data).
+// Entries are immutable once built and shared across goroutines.
+type decodeEntry struct {
+	chosen        []int // k survivor stripe indices, ascending
+	missingData   []int
+	missingParity []int
+	dataPlan      *encodePlan // nil when no data block is missing
+	parityPlan    *encodePlan // nil when no parity block is missing
+}
+
+// decodeEntryFor returns the cached decoder for the erasure pattern,
+// building and inserting it on first use.
+func (c *Code) decodeEntryFor(key erasureKey) (*decodeEntry, error) {
+	c.mu.RLock()
+	e := c.decode[key]
+	c.mu.RUnlock()
+	if e != nil {
+		return e, nil
+	}
+	e, err := c.buildDecodeEntry(key)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if prev := c.decode[key]; prev != nil {
+		e = prev // lost a build race; keep the established entry
+	} else {
+		if len(c.decode) >= maxDecodeEntries {
+			for k := range c.decode {
+				delete(c.decode, k)
+				break
+			}
+		}
+		c.decode[key] = e
+	}
+	c.mu.Unlock()
+	return e, nil
+}
+
+func (c *Code) buildDecodeEntry(key erasureKey) (*decodeEntry, error) {
+	e := &decodeEntry{}
+	for i := 0; i < c.k+c.m; i++ {
+		switch {
+		case key[i>>3]&(1<<(i&7)) != 0:
+			if i < c.k {
+				e.missingData = append(e.missingData, i)
+			} else {
+				e.missingParity = append(e.missingParity, i)
+			}
+		case len(e.chosen) < c.k:
+			e.chosen = append(e.chosen, i)
+		}
+	}
+	if len(e.missingData) > 0 {
+		sub := c.gen.SubMatrix(e.chosen)
+		inv, err := sub.Invert()
+		if err != nil {
+			// Cannot happen for an MDS generator; surface it anyway.
+			return nil, fmt.Errorf("rs: survivor matrix singular: %w", err)
+		}
+		e.dataPlan = buildPlan(inv.SubMatrix(e.missingData))
+	}
+	if len(e.missingParity) > 0 {
+		rows := make([]int, len(e.missingParity))
+		for i, idx := range e.missingParity {
+			rows[i] = idx - c.k
+		}
+		e.parityPlan = buildPlan(c.parity.SubMatrix(rows))
+	}
+	return e, nil
+}
+
+// reconScratch pools the small gather slices a reconstruction needs, so
+// the steady-state repair path performs no allocations beyond output
+// buffers the caller did not supply.
+type reconScratch struct {
+	srcs [][]byte
+	dsts [][]byte
+}
+
+var reconPool = sync.Pool{New: func() any { return new(reconScratch) }}
+
+func (s *reconScratch) release() {
+	clear(s.srcs) // drop references to caller blocks
+	clear(s.dsts)
+	s.srcs, s.dsts = s.srcs[:0], s.dsts[:0]
+	reconPool.Put(s)
+}
+
+// outBuf returns a length-size output buffer for a missing block,
+// reusing b's capacity when the caller supplied a zero-length slice
+// large enough, and allocating otherwise. The contents need not be
+// zeroed: every plan output path overwrites its destination completely.
+func outBuf(b []byte, size int) []byte {
+	if cap(b) >= size {
+		return b[:size]
+	}
+	return make([]byte, size)
+}

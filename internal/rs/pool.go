@@ -1,0 +1,18 @@
+package rs
+
+import "sync"
+
+// bufPool recycles variable-size scratch blocks (the Update delta). The
+// pooled object is a pointer so Put does not allocate; the backing array
+// grows to the largest block size seen and is then reused.
+var bufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+func getBuf(n int) (*[]byte, []byte) {
+	p := bufPool.Get().(*[]byte)
+	if cap(*p) < n {
+		*p = make([]byte, n)
+	}
+	return p, (*p)[:n]
+}
+
+func putBuf(p *[]byte) { bufPool.Put(p) }

@@ -1,0 +1,8 @@
+//go:build race
+
+package rs
+
+// raceEnabled reports whether the race detector is active; its
+// instrumentation allocates, so allocation-budget assertions only run
+// in non-race builds.
+const raceEnabled = true

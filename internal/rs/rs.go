@@ -3,15 +3,21 @@
 // paper: k data blocks are encoded into m parity blocks forming a stripe
 // of k+m blocks, any k of which suffice to reconstruct the stripe.
 //
-// The encoder uses the table-lookup strategy of ISA-L: each parity byte
-// is a GF dot product of the corresponding data bytes, computed with
-// per-coefficient multiplication tables, reading every data block exactly
-// once.
+// The encoder follows the fused-kernel strategy of ISA-L's
+// gf_4vect_dot_prod lineage: at New time the m x k parity coefficients
+// are compiled into an encode plan whose rows are grouped 4/2/1-wide
+// with packed multi-row lookup tables, and Encode walks the stripe in
+// L1-sized tiles advancing every parity row of a group per source pass —
+// each data byte is loaded once per row group instead of once per parity
+// row. Decoding compiles the same kind of plan per erasure pattern and
+// caches it, so steady-state repair shares the encode kernels and
+// performs no table or matrix work per call.
 package rs
 
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"dialga/internal/ecmatrix"
 	"dialga/internal/gf"
@@ -29,12 +35,17 @@ const (
 	VandermondeMatrix
 )
 
-// Code is an immutable RS(k+m, k) code instance. It is safe for
-// concurrent use.
+// Code is an RS(k+m, k) code instance. The coding parameters are
+// immutable; an internal decode-plan cache makes repeated repairs of the
+// same erasure pattern cheap. Code is safe for concurrent use.
 type Code struct {
 	k, m   int
 	gen    *ecmatrix.Matrix // (k+m) x k systematic generator
 	parity *ecmatrix.Matrix // m x k parity rows
+	plan   *encodePlan      // fused tiled encode plan over the parity rows
+
+	mu     sync.RWMutex
+	decode map[erasureKey]*decodeEntry
 }
 
 // New constructs an RS code with k data and m parity blocks using a
@@ -61,7 +72,15 @@ func NewWithMatrix(k, m int, kind MatrixKind) (*Code, error) {
 	default:
 		return nil, fmt.Errorf("rs: unknown matrix kind %d", kind)
 	}
-	return &Code{k: k, m: m, gen: gen, parity: ecmatrix.ParityRows(gen, k)}, nil
+	parity := ecmatrix.ParityRows(gen, k)
+	return &Code{
+		k:      k,
+		m:      m,
+		gen:    gen,
+		parity: parity,
+		plan:   buildPlan(parity),
+		decode: make(map[erasureKey]*decodeEntry),
+	}, nil
 }
 
 // K returns the number of data blocks per stripe.
@@ -86,13 +105,15 @@ var (
 	ErrTooManyErasures = errors.New("rs: more erasures than parity blocks")
 )
 
+// checkBlocks validates a stripe that may contain missing blocks
+// (length zero) and returns the common size of the present ones.
 func checkBlocks(blocks [][]byte, want int) (int, error) {
 	if len(blocks) != want {
 		return 0, fmt.Errorf("%w: got %d, want %d", ErrBlockCount, len(blocks), want)
 	}
 	size := -1
 	for _, b := range blocks {
-		if b == nil {
+		if len(b) == 0 {
 			continue
 		}
 		if size == -1 {
@@ -107,24 +128,63 @@ func checkBlocks(blocks [][]byte, want int) (int, error) {
 	return size, nil
 }
 
-// Encode computes the m parity blocks for the given k data blocks,
-// writing into parity (which must contain m slices of the data block
-// size).
-func (c *Code) Encode(data, parity [][]byte) error {
-	size, err := checkBlocks(data, c.k)
+// checkPresent validates a block set in which every block must be
+// present and equally sized.
+func checkPresent(blocks [][]byte, want int) (int, error) {
+	if len(blocks) != want {
+		return 0, fmt.Errorf("%w: got %d, want %d", ErrBlockCount, len(blocks), want)
+	}
+	size := len(blocks[0])
+	if size == 0 {
+		return 0, ErrBlockSize
+	}
+	for _, b := range blocks[1:] {
+		if len(b) != size {
+			return 0, ErrBlockSize
+		}
+	}
+	return size, nil
+}
+
+func (c *Code) checkEncodeArgs(data, parity [][]byte) (int, error) {
+	size, err := checkPresent(data, c.k)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if len(parity) != c.m {
-		return fmt.Errorf("%w: got %d parity blocks, want %d", ErrBlockCount, len(parity), c.m)
+		return 0, fmt.Errorf("%w: got %d parity blocks, want %d", ErrBlockCount, len(parity), c.m)
 	}
 	for _, p := range parity {
 		if len(p) != size {
-			return ErrBlockSize
+			return 0, ErrBlockSize
 		}
 	}
+	return size, nil
+}
+
+// Encode computes the m parity blocks for the given k data blocks,
+// writing into parity (which must contain m slices of the data block
+// size). The steady-state path allocates nothing: tile scratch comes
+// from an internal pool.
+func (c *Code) Encode(data, parity [][]byte) error {
+	size, err := c.checkEncodeArgs(data, parity)
+	if err != nil {
+		return err
+	}
+	c.plan.apply(parity, data, size)
+	return nil
+}
+
+// EncodeRef computes the same parity as Encode using the scalar
+// byte-at-a-time reference kernels, one independent dot-product pass per
+// parity row. It is the pre-fused-kernel implementation, retained as the
+// differential-testing and benchmarking baseline.
+func (c *Code) EncodeRef(data, parity [][]byte) error {
+	if _, err := c.checkEncodeArgs(data, parity); err != nil {
+		return err
+	}
 	for i := 0; i < c.m; i++ {
-		gf.DotSlice(c.parity.Row(i), parity[i], data)
+		gf.RefDotSlice(c.parity.Row(i), parity[i], data)
 	}
 	return nil
 }
@@ -132,7 +192,7 @@ func (c *Code) Encode(data, parity [][]byte) error {
 // EncodeAppend is a convenience wrapper that allocates and returns the
 // parity blocks.
 func (c *Code) EncodeAppend(data [][]byte) ([][]byte, error) {
-	size, err := checkBlocks(data, c.k)
+	size, err := checkPresent(data, c.k)
 	if err != nil {
 		return nil, err
 	}
@@ -147,141 +207,88 @@ func (c *Code) EncodeAppend(data [][]byte) ([][]byte, error) {
 }
 
 // Verify reports whether the parity blocks are consistent with the data
-// blocks.
+// blocks. Parity is recomputed tile by tile into pooled scratch and
+// compared word-at-a-time, returning false at the first mismatching
+// tile without recomputing the remainder of the stripe.
 func (c *Code) Verify(data, parity [][]byte) (bool, error) {
-	size, err := checkBlocks(data, c.k)
+	size, err := checkPresent(data, c.k)
 	if err != nil {
 		return false, err
 	}
 	if len(parity) != c.m {
 		return false, ErrBlockCount
 	}
-	buf := make([]byte, size)
-	for i := 0; i < c.m; i++ {
-		if len(parity[i]) != size {
+	for _, p := range parity {
+		if len(p) != size {
 			return false, ErrBlockSize
 		}
-		gf.DotSlice(c.parity.Row(i), buf, data)
-		for j := range buf {
-			if buf[j] != parity[i][j] {
-				return false, nil
-			}
-		}
 	}
-	return true, nil
+	return c.plan.verify(parity, data, size), nil
 }
 
 // Reconstruct repairs a stripe in place. blocks must hold k+m entries in
 // stripe order (data blocks 0..k-1 then parity k..k+m-1); missing blocks
-// are nil. On success every nil entry is replaced with its reconstructed
-// content. At most m entries may be nil.
+// are nil or zero-length. On success every missing entry is replaced
+// with its reconstructed content; a zero-length entry with capacity >=
+// the block size has its backing array reused, so a caller that recycles
+// stripes can repair without per-call allocation. At most m entries may
+// be missing.
 func (c *Code) Reconstruct(blocks [][]byte) error {
-	size, err := checkBlocks(blocks, c.k+c.m)
-	if err != nil {
-		return err
-	}
-	var missing []int
-	var survivors []int
-	for i, b := range blocks {
-		if b == nil {
-			missing = append(missing, i)
-		} else {
-			survivors = append(survivors, i)
-		}
-	}
-	if len(missing) == 0 {
-		return nil
-	}
-	if len(missing) > c.m {
-		return fmt.Errorf("%w: %d missing, m=%d", ErrTooManyErasures, len(missing), c.m)
-	}
-	// Decode the data blocks from the first k survivors.
-	chosen := survivors[:c.k]
-	sub := c.gen.SubMatrix(chosen)
-	inv, err := sub.Invert()
-	if err != nil {
-		// Cannot happen for an MDS generator; surface it anyway.
-		return fmt.Errorf("rs: survivor matrix singular: %w", err)
-	}
-	srcs := make([][]byte, c.k)
-	for i, idx := range chosen {
-		srcs[i] = blocks[idx]
-	}
-	// Rebuild missing data blocks.
-	for _, idx := range missing {
-		if idx >= c.k {
-			continue
-		}
-		out := make([]byte, size)
-		gf.DotSlice(inv.Row(idx), out, srcs)
-		blocks[idx] = out
-	}
-	// Rebuild missing parity blocks: decodeRow = parityRow * inv gives
-	// coefficients over the survivor blocks; equivalently re-encode from
-	// the (now complete) data blocks.
-	var needParity bool
-	for _, idx := range missing {
-		if idx >= c.k {
-			needParity = true
-		}
-	}
-	if needParity {
-		data := blocks[:c.k]
-		for _, idx := range missing {
-			if idx < c.k {
-				continue
-			}
-			out := make([]byte, size)
-			gf.DotSlice(c.parity.Row(idx-c.k), out, data)
-			blocks[idx] = out
-		}
-	}
-	return nil
+	return c.reconstruct(blocks, true)
 }
 
 // ReconstructData repairs only the data blocks of a stripe in place,
 // skipping parity rebuilds — the fast path for serving reads from a
-// degraded stripe. blocks must hold k+m entries in stripe order with
-// nil for missing blocks; on return blocks[0:k] are all present.
+// degraded stripe. blocks follows the Reconstruct convention; on return
+// blocks[0:k] are all present.
 func (c *Code) ReconstructData(blocks [][]byte) error {
+	return c.reconstruct(blocks, false)
+}
+
+func (c *Code) reconstruct(blocks [][]byte, withParity bool) error {
 	size, err := checkBlocks(blocks, c.k+c.m)
 	if err != nil {
 		return err
 	}
-	var missingData []int
-	var survivors []int
-	missing := 0
-	for i, b := range blocks {
-		if b == nil {
-			missing++
-			if i < c.k {
-				missingData = append(missingData, i)
-			}
-		} else {
-			survivors = append(survivors, i)
-		}
+	key, missing := erasureKeyOf(blocks)
+	if missing == 0 {
+		return nil
 	}
 	if missing > c.m {
 		return fmt.Errorf("%w: %d missing, m=%d", ErrTooManyErasures, missing, c.m)
 	}
-	if len(missingData) == 0 {
+	e, err := c.decodeEntryFor(key)
+	if err != nil {
+		return err
+	}
+	if len(e.missingData) == 0 && !withParity {
 		return nil
 	}
-	chosen := survivors[:c.k]
-	sub := c.gen.SubMatrix(chosen)
-	inv, err := sub.Invert()
-	if err != nil {
-		return fmt.Errorf("rs: survivor matrix singular: %w", err)
+	sc := reconPool.Get().(*reconScratch)
+	if len(e.missingData) > 0 {
+		srcs := sc.srcs[:0]
+		for _, idx := range e.chosen {
+			srcs = append(srcs, blocks[idx])
+		}
+		dsts := sc.dsts[:0]
+		for _, idx := range e.missingData {
+			blocks[idx] = outBuf(blocks[idx], size)
+			dsts = append(dsts, blocks[idx])
+		}
+		sc.srcs, sc.dsts = srcs, dsts
+		e.dataPlan.apply(dsts, srcs, size)
 	}
-	srcs := make([][]byte, c.k)
-	for i, idx := range chosen {
-		srcs[i] = blocks[idx]
+	if withParity && len(e.missingParity) > 0 {
+		dsts := sc.dsts[:0]
+		for _, idx := range e.missingParity {
+			blocks[idx] = outBuf(blocks[idx], size)
+			dsts = append(dsts, blocks[idx])
+		}
+		sc.dsts = dsts
+		// Data is complete now, so missing parity is plain re-encoding.
+		e.parityPlan.apply(dsts, blocks[:c.k], size)
 	}
-	for _, idx := range missingData {
-		out := make([]byte, size)
-		gf.DotSlice(inv.Row(idx), out, srcs)
-		blocks[idx] = out
-	}
+	sc.release()
 	return nil
 }
 
@@ -300,7 +307,9 @@ func (c *Code) DecodeMatrix(survivors []int) (*ecmatrix.Matrix, error) {
 
 // Update performs an incremental parity update after data block idx
 // changes from oldData to newData, adjusting parity in place. This is
-// the read-modify-write path a PM store uses for small overwrites.
+// the read-modify-write path a PM store uses for small overwrites. The
+// delta scratch is pooled and the parity rows are advanced with fused
+// 4/2/1-row kernels, so one delta pass serves up to four parity rows.
 func (c *Code) Update(idx int, oldData, newData []byte, parity [][]byte) error {
 	if idx < 0 || idx >= c.k {
 		return fmt.Errorf("rs: update index %d out of range [0,%d)", idx, c.k)
@@ -311,14 +320,28 @@ func (c *Code) Update(idx int, oldData, newData []byte, parity [][]byte) error {
 	if len(parity) != c.m {
 		return ErrBlockCount
 	}
-	delta := make([]byte, len(oldData))
-	copy(delta, oldData)
-	gf.AddSlice(delta, newData)
-	for i := 0; i < c.m; i++ {
-		if len(parity[i]) != len(delta) {
+	for _, p := range parity {
+		if len(p) != len(oldData) {
 			return ErrBlockSize
 		}
+	}
+	bp, delta := getBuf(len(oldData))
+	gf.XorInto(delta, oldData, newData)
+	i := 0
+	for ; c.m-i >= 4; i += 4 {
+		gf.MulAdd4(
+			c.parity.At(i, idx), c.parity.At(i+1, idx),
+			c.parity.At(i+2, idx), c.parity.At(i+3, idx),
+			parity[i], parity[i+1], parity[i+2], parity[i+3], delta)
+	}
+	if c.m-i >= 2 {
+		gf.MulAdd2(c.parity.At(i, idx), c.parity.At(i+1, idx),
+			parity[i], parity[i+1], delta)
+		i += 2
+	}
+	if i < c.m {
 		gf.MulSliceAdd(c.parity.At(i, idx), parity[i], delta)
 	}
+	putBuf(bp)
 	return nil
 }

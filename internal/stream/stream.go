@@ -4,8 +4,9 @@
 // The whole-buffer API (rs.Code, lrc.Code) encodes one stripe at a
 // time on the calling goroutine and requires the entire payload in
 // memory. This package chunks an io.Reader into fixed-size stripes,
-// fans the stripes out to a worker pool, encodes each with the
-// existing GF(2^8) kernels, and emits the resulting shards through an
+// fans the stripes out to a worker pool, encodes each with the fused
+// word-parallel GF(2^8) kernels (internal/gf), and emits the resulting
+// shards through an
 // order-preserving bounded in-flight window, so arbitrarily large
 // inputs are processed in O(stripe) memory with all cores busy.
 //
