@@ -9,93 +9,28 @@
 //
 // Shards are named shard.000 .. shard.(k+m-1); delete up to m of them
 // and decode still succeeds. Each shard file starts with a self-
-// describing header (geometry, shard index, stripe count, file size),
-// so decoding with mismatched -k/-m flags, a shard copied from another
-// geometry, or a truncated shard file fails loudly instead of silently
-// corrupting output.
+// describing v3 header (geometry, shard index, stripe count, file
+// size, checksum algorithm, header self-CRC — see internal/shardfile),
+// and every stripe block carries a CRC-32C trailer. Decoding with
+// mismatched -k/-m flags, a shard copied from another geometry, a
+// corrupted header, or a truncated shard file fails loudly; a shard
+// block whose trailer does not verify is demoted to an erasure for
+// that stripe and healed through reconstruction. Legacy v2 shard sets
+// (no trailers) still decode.
 package main
 
 import (
 	"bufio"
 	"context"
-	"encoding/binary"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
 
 	"dialga/internal/rs"
+	"dialga/internal/shardfile"
 	"dialga/internal/stream"
 )
-
-const (
-	shardMagic    = 0xd1a16aec
-	headerVersion = 2
-	headerSize    = 40
-)
-
-// shardHeader is the self-describing per-shard-file header.
-//
-// Layout (little-endian, headerSize bytes):
-//
-//	off  0  u32  magic
-//	off  4  u32  version
-//	off  8  u32  k (data shards)
-//	off 12  u32  m (parity shards)
-//	off 16  u32  shard index in [0, k+m)
-//	off 20  u32  shard payload bytes per stripe
-//	off 24  u64  stripe count
-//	off 32  u64  original file size
-type shardHeader struct {
-	K, M        uint32
-	Index       uint32
-	ShardSize   uint32
-	StripeCount uint64
-	FileSize    uint64
-}
-
-func (h shardHeader) marshal() []byte {
-	buf := make([]byte, headerSize)
-	binary.LittleEndian.PutUint32(buf[0:], shardMagic)
-	binary.LittleEndian.PutUint32(buf[4:], headerVersion)
-	binary.LittleEndian.PutUint32(buf[8:], h.K)
-	binary.LittleEndian.PutUint32(buf[12:], h.M)
-	binary.LittleEndian.PutUint32(buf[16:], h.Index)
-	binary.LittleEndian.PutUint32(buf[20:], h.ShardSize)
-	binary.LittleEndian.PutUint64(buf[24:], h.StripeCount)
-	binary.LittleEndian.PutUint64(buf[32:], h.FileSize)
-	return buf
-}
-
-func parseShardHeader(buf []byte) (shardHeader, error) {
-	var h shardHeader
-	if len(buf) < headerSize {
-		return h, fmt.Errorf("header truncated: %d bytes, want %d", len(buf), headerSize)
-	}
-	if magic := binary.LittleEndian.Uint32(buf[0:]); magic != shardMagic {
-		return h, fmt.Errorf("bad magic %#x", magic)
-	}
-	if v := binary.LittleEndian.Uint32(buf[4:]); v != headerVersion {
-		return h, fmt.Errorf("unsupported shard header version %d (want %d)", v, headerVersion)
-	}
-	h.K = binary.LittleEndian.Uint32(buf[8:])
-	h.M = binary.LittleEndian.Uint32(buf[12:])
-	h.Index = binary.LittleEndian.Uint32(buf[16:])
-	h.ShardSize = binary.LittleEndian.Uint32(buf[20:])
-	h.StripeCount = binary.LittleEndian.Uint64(buf[24:])
-	h.FileSize = binary.LittleEndian.Uint64(buf[32:])
-	if h.K == 0 || h.M == 0 {
-		return h, fmt.Errorf("invalid geometry k=%d m=%d", h.K, h.M)
-	}
-	if h.Index >= h.K+h.M {
-		return h, fmt.Errorf("shard index %d outside geometry k+m=%d", h.Index, h.K+h.M)
-	}
-	if h.ShardSize == 0 && h.StripeCount > 0 {
-		return h, fmt.Errorf("zero shard size with %d stripes", h.StripeCount)
-	}
-	return h, nil
-}
 
 func main() {
 	var (
@@ -127,7 +62,7 @@ func main() {
 }
 
 func shardPath(dir string, i int) string {
-	return filepath.Join(dir, fmt.Sprintf("shard.%03d", i))
+	return shardfile.Path(dir, i)
 }
 
 func encode(k, m int, in, dir string, stripeSize, workers int) error {
@@ -138,7 +73,10 @@ func encode(k, m int, in, dir string, stripeSize, workers int) error {
 	if err != nil {
 		return err
 	}
-	enc, err := stream.NewEncoder(stream.Options{Codec: code, StripeSize: stripeSize, Workers: workers})
+	enc, err := stream.NewEncoder(stream.Options{
+		Codec: code, StripeSize: stripeSize, Workers: workers,
+		Checksum: stream.ChecksumCRC32C,
+	})
 	if err != nil {
 		return err
 	}
@@ -173,11 +111,13 @@ func encode(k, m int, in, dir string, stripeSize, workers int) error {
 			return err
 		}
 		files[i] = sf
-		hdr := shardHeader{
-			K: uint32(k), M: uint32(m), Index: uint32(i),
+		hdr := shardfile.Header{
+			Version: shardfile.VersionV3,
+			K:       uint32(k), M: uint32(m), Index: uint32(i),
 			ShardSize: uint32(enc.ShardSize()), StripeCount: stripes, FileSize: fileSize,
+			Algo: shardfile.AlgoCRC32C,
 		}
-		if _, err := sf.Write(hdr.marshal()); err != nil {
+		if _, err := sf.Write(hdr.Marshal()); err != nil {
 			return err
 		}
 		bws[i] = bufio.NewWriter(sf)
@@ -201,7 +141,7 @@ func encode(k, m int, in, dir string, stripeSize, workers int) error {
 		}
 		files[i] = nil
 	}
-	fmt.Printf("encoded %d bytes into %d data + %d parity shards (%d stripes of %d bytes/shard) in %s\n",
+	fmt.Printf("encoded %d bytes into %d data + %d parity shards (%d stripes of %d bytes/shard + crc32c) in %s\n",
 		fileSize, k, m, stripes, enc.ShardSize(), dir)
 	return nil
 }
@@ -209,9 +149,11 @@ func encode(k, m int, in, dir string, stripeSize, workers int) error {
 // openShards opens and validates every present shard file, returning
 // one reader per stripe-order slot (nil = missing shard), the
 // agreed-upon header, and a closer for the opened files. Any header
-// inconsistency — mismatched flags, cross-geometry shards, truncated
-// or ragged files — is an error.
-func openShards(k, m int, dir string) (readers []io.Reader, agreed shardHeader, present int, closeAll func(), err error) {
+// inconsistency — mismatched flags, cross-geometry shards, mixed
+// checksum algorithms, truncated or ragged files — is an error.
+// Both v2 (bare blocks) and v3 (checksummed) shard sets are accepted,
+// but not a mixture.
+func openShards(k, m int, dir string) (readers []io.Reader, agreed shardfile.Header, present int, closeAll func(), err error) {
 	readers = make([]io.Reader, k+m)
 	var files []*os.File
 	closeAll = func() {
@@ -230,11 +172,7 @@ func openShards(k, m int, dir string) (readers []io.Reader, agreed shardHeader, 
 			continue // missing shard
 		}
 		files = append(files, f)
-		hdrBuf := make([]byte, headerSize)
-		if _, err = io.ReadFull(f, hdrBuf); err != nil {
-			return nil, agreed, 0, closeAll, fmt.Errorf("shard %d: reading header: %w", i, err)
-		}
-		h, parseErr := parseShardHeader(hdrBuf)
+		h, parseErr := shardfile.Parse(f)
 		if parseErr != nil {
 			return nil, agreed, 0, closeAll, fmt.Errorf("shard %d: %w", i, parseErr)
 		}
@@ -247,16 +185,16 @@ func openShards(k, m int, dir string) (readers []io.Reader, agreed shardHeader, 
 		}
 		if present == 0 {
 			agreed = h
-		} else if h.ShardSize != agreed.ShardSize || h.StripeCount != agreed.StripeCount || h.FileSize != agreed.FileSize {
+		} else if h.ShardSize != agreed.ShardSize || h.StripeCount != agreed.StripeCount ||
+			h.FileSize != agreed.FileSize || h.Algo != agreed.Algo || h.Version != agreed.Version {
 			return nil, agreed, 0, closeAll, fmt.Errorf("shard %d: header disagrees with shard %d (mixed encodings?)", i, agreed.Index)
 		}
 		fi, statErr := f.Stat()
 		if statErr != nil {
 			return nil, agreed, 0, closeAll, statErr
 		}
-		want := int64(headerSize) + int64(h.StripeCount)*int64(h.ShardSize)
-		if fi.Size() != want {
-			return nil, agreed, 0, closeAll, fmt.Errorf("shard %d: %d bytes on disk, want %d (truncated or ragged)", i, fi.Size(), want)
+		if fi.Size() != h.ExpectedFileSize() {
+			return nil, agreed, 0, closeAll, fmt.Errorf("shard %d: %d bytes on disk, want %d (truncated or ragged)", i, fi.Size(), h.ExpectedFileSize())
 		}
 		readers[i] = bufio.NewReaderSize(f, 1<<20)
 		present++
@@ -284,6 +222,7 @@ func decode(k, m int, out, dir string, workers int) error {
 		Codec:      code,
 		StripeSize: int(hdr.ShardSize) * k,
 		Workers:    workers,
+		Checksum:   hdr.Algo.Stream(),
 	})
 	if err != nil {
 		return err
@@ -309,5 +248,8 @@ func decode(k, m int, out, dir string, workers int) error {
 	st := dec.Stats()
 	fmt.Printf("reconstructed %d bytes from %d shards (%d stripes, %d reconstructed) into %s\n",
 		hdr.FileSize, present, st.Stripes, st.Reconstructed, out)
+	if st.ShardsCorrupted > 0 {
+		fmt.Printf("healed %d corrupt shard blocks across %d stripes\n", st.ShardsCorrupted, st.StripesHealed)
+	}
 	return nil
 }

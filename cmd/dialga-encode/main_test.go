@@ -2,10 +2,15 @@ package main
 
 import (
 	"bytes"
-	"encoding/binary"
+	"context"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"dialga/internal/rs"
+	"dialga/internal/shardfile"
+	"dialga/internal/stream"
 )
 
 func TestEncodeDecodeRoundtrip(t *testing.T) {
@@ -310,26 +315,216 @@ func TestDecodeTruncatedShard(t *testing.T) {
 	}
 }
 
-func TestHeaderRoundtrip(t *testing.T) {
-	h := shardHeader{K: 8, M: 4, Index: 11, ShardSize: 131072, StripeCount: 2048, FileSize: 1 << 31}
-	got, err := parseShardHeader(h.marshal())
+// TestDecodeHealsCorruptBlocks is the end-to-end integrity story: flip
+// bits inside the stripe blocks of m different shard files (without
+// touching headers or file sizes) and decode must still produce the
+// exact payload, healing the corrupt blocks through reconstruction.
+func TestDecodeHealsCorruptBlocks(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.bin")
+	out := filepath.Join(dir, "out.bin")
+	shards := filepath.Join(dir, "shards")
+
+	payload := make([]byte, 6*8<<10+991)
+	for i := range payload {
+		payload[i] = byte(i*17 + i>>8)
+	}
+	if err := os.WriteFile(in, payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := encode(4, 2, in, shards, 8<<10, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt blocks in m=2 shards: one data, one parity, different
+	// stripes.
+	for _, c := range []struct {
+		shard  int
+		offset int64 // into the block region, past the header
+	}{
+		{shard: 1, offset: 100},
+		{shard: 5, offset: 5000},
+	} {
+		p := shardPath(shards, c.shard)
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[int64(shardfile.HeaderSizeV3)+c.offset] ^= 0x10
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := decode(4, 2, out, shards, 2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(out)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != h {
-		t.Fatalf("header roundtrip: got %+v want %+v", got, h)
+	if !bytes.Equal(got, payload) {
+		t.Fatal("decode did not heal corrupt shard blocks byte-exactly")
 	}
-	// Old v1 headers (16 bytes, no version field) must be rejected.
-	old := make([]byte, 16)
-	binary.LittleEndian.PutUint32(old[0:], shardMagic)
-	binary.LittleEndian.PutUint64(old[8:], 12345)
-	if _, err := parseShardHeader(old); err == nil {
-		t.Fatal("v1 header accepted")
+}
+
+// writeV2Shards produces a legacy v2 shard directory: 40-byte headers,
+// bare blocks, no trailers — what a pre-v3 dialga-encode wrote.
+func writeV2Shards(t *testing.T, dir string, k, m, stripeSize int, payload []byte) {
+	t.Helper()
+	code, err := rs.New(k, m)
+	if err != nil {
+		t.Fatal(err)
 	}
-	// Corrupt index.
-	bad := h
-	bad.Index = 12
-	if _, err := parseShardHeader(bad.marshal()); err == nil {
-		t.Fatal("out-of-range shard index accepted")
+	enc, err := stream.NewEncoder(stream.Options{
+		Codec: code, StripeSize: stripeSize, Checksum: stream.ChecksumNone,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripes := (uint64(len(payload)) + uint64(enc.StripeSize()) - 1) / uint64(enc.StripeSize())
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	files := make([]*os.File, k+m)
+	writers := make([]io.Writer, k+m)
+	for i := range files {
+		f, err := os.Create(shardPath(dir, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		hdr := shardfile.Header{
+			Version: shardfile.VersionV2,
+			K:       uint32(k), M: uint32(m), Index: uint32(i),
+			ShardSize: uint32(enc.ShardSize()), StripeCount: stripes,
+			FileSize: uint64(len(payload)),
+		}
+		if _, err := f.Write(hdr.Marshal()); err != nil {
+			t.Fatal(err)
+		}
+		files[i], writers[i] = f, f
+	}
+	if err := enc.Encode(context.Background(), bytes.NewReader(payload), writers); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardFormatCompat is the table-driven header suite: v2 shard
+// sets (trailer-less) must still decode, corrupted v3 headers must be
+// rejected by the self-CRC, and truncated trailers must be rejected
+// by the exact-size check.
+func TestShardFormatCompat(t *testing.T) {
+	payload := make([]byte, 3*4<<10+123)
+	for i := range payload {
+		payload[i] = byte(i * 13)
+	}
+	cases := []struct {
+		name    string
+		prepare func(t *testing.T, dir string) // builds/mutates the shard dir
+		wantErr bool
+	}{
+		{
+			name: "v3 round trip",
+			prepare: func(t *testing.T, dir string) {
+			},
+			wantErr: false,
+		},
+		{
+			name: "v2 legacy set decodes",
+			prepare: func(t *testing.T, dir string) {
+				os.RemoveAll(dir)
+				writeV2Shards(t, dir, 4, 2, 4<<10, payload)
+			},
+			wantErr: false,
+		},
+		{
+			name: "v2 set with m shards missing decodes",
+			prepare: func(t *testing.T, dir string) {
+				os.RemoveAll(dir)
+				writeV2Shards(t, dir, 4, 2, 4<<10, payload)
+				for _, i := range []int{0, 4} {
+					if err := os.Remove(shardPath(dir, i)); err != nil {
+						t.Fatal(err)
+					}
+				}
+			},
+			wantErr: false,
+		},
+		{
+			name: "corrupted header field fails self-CRC",
+			prepare: func(t *testing.T, dir string) {
+				p := shardPath(dir, 2)
+				data, err := os.ReadFile(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				data[20] ^= 1 // shard-size field: plausible without the CRC
+				if err := os.WriteFile(p, data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			wantErr: true,
+		},
+		{
+			name: "corrupted header self-CRC word rejected",
+			prepare: func(t *testing.T, dir string) {
+				p := shardPath(dir, 0)
+				data, err := os.ReadFile(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				data[45] ^= 0x80
+				if err := os.WriteFile(p, data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			wantErr: true,
+		},
+		{
+			name: "truncated trailer rejected",
+			prepare: func(t *testing.T, dir string) {
+				p := shardPath(dir, 3)
+				data, err := os.ReadFile(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Chop 2 bytes: the final block's CRC trailer is cut.
+				if err := os.WriteFile(p, data[:len(data)-2], 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			wantErr: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			in := filepath.Join(dir, "in.bin")
+			out := filepath.Join(dir, "out.bin")
+			shards := filepath.Join(dir, "shards")
+			if err := os.WriteFile(in, payload, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if err := encode(4, 2, in, shards, 4<<10, 0); err != nil {
+				t.Fatal(err)
+			}
+			tc.prepare(t, shards)
+			err := decode(4, 2, out, shards, 0)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatal("decode accepted a damaged shard set")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := os.ReadFile(out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, payload) {
+				t.Fatal("decoded payload differs")
+			}
+		})
 	}
 }

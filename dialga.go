@@ -142,8 +142,31 @@ type StreamOptions = stream.Options
 type StreamCodec = stream.Codec
 
 // StreamStats is a snapshot of pipeline counters: stripes, bytes
-// in/out, reconstruction counts, and a stripe-latency histogram.
+// in/out, reconstruction and integrity counts (ShardsCorrupted,
+// StripesHealed, TransientFaults), and a stripe-latency histogram.
 type StreamStats = stream.Stats
+
+// StreamChecksum selects the per-block integrity trailer of a
+// streaming pipeline. The zero value is StreamChecksumCRC32C, so
+// integrity is on unless explicitly disabled.
+type StreamChecksum = stream.Checksum
+
+const (
+	// StreamChecksumCRC32C appends a 4-byte CRC-32C (Castagnoli)
+	// trailer to every shard block; the decoder verifies each block
+	// and demotes failures to per-stripe erasures, healing them
+	// through reconstruction.
+	StreamChecksumCRC32C = stream.ChecksumCRC32C
+	// StreamChecksumNone writes bare blocks (the legacy framing):
+	// silent corruption is not detected.
+	StreamChecksumNone = stream.ChecksumNone
+)
+
+// ErrTooManyCorrupt is returned (wrapped, with stripe context) when a
+// stripe has fewer than k usable shard blocks after corrupt, missing,
+// and failed shards are discounted; the decoder never emits
+// unverified bytes instead.
+var ErrTooManyCorrupt = stream.ErrTooManyCorrupt
 
 // StreamEncoder is a reusable streaming erasure encoder.
 type StreamEncoder = stream.Encoder

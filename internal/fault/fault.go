@@ -1,0 +1,106 @@
+// Package fault provides deterministic, reproducible I/O fault
+// injection for the erasure-coding pipeline's chaos tests.
+//
+// A Plan is an ordered list of byte-offset-addressed operations —
+// flip a bit, zero a range, truncate the stream, raise a one-shot
+// transient error, cut or stall a write — applied by the Reader and
+// Writer wrappers as bytes flow through them. Plans are plain data:
+// they serialize to a compact string (Plan.String / Parse) so a
+// failing fuzz or property-test case can be pinned verbatim in a
+// regression test, and Generate derives a random-but-reproducible
+// plan from a bare seed.
+//
+// Transient faults are reported as *Err, which satisfies
+// errors.Is(err, ErrInjected) and exposes Transient() bool so
+// consumers (internal/stream's decoder) can distinguish a flaky read
+// from a dead one without importing this package.
+package fault
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Kind enumerates the injectable fault operations.
+type Kind uint8
+
+const (
+	// BitFlip flips bit Bit of the byte at offset Off (read and
+	// write paths).
+	BitFlip Kind = iota
+	// ZeroFill zeroes Len bytes starting at offset Off (read and
+	// write paths).
+	ZeroFill
+	// Truncate ends the stream at offset Off: reads return io.EOF,
+	// writes silently drop every byte from Off on (a torn write).
+	Truncate
+	// ErrOnce raises a single transient *Err immediately before the
+	// byte at offset Off is transferred; the stream position does not
+	// advance, so a retry continues where it left off.
+	ErrOnce
+	// ShortWrite cuts the write that crosses offset Off at Off and
+	// returns a transient *Err for the undelivered tail, once.
+	ShortWrite
+	// Stall sleeps Len microseconds before the transfer that crosses
+	// offset Off proceeds (write path).
+	Stall
+)
+
+var kindNames = map[Kind]string{
+	BitFlip:    "flip",
+	ZeroFill:   "zero",
+	Truncate:   "trunc",
+	ErrOnce:    "err",
+	ShortWrite: "short",
+	Stall:      "stall",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Op is one injected fault, addressed by absolute stream offset.
+type Op struct {
+	Kind Kind
+	Off  int64 // absolute byte offset the fault anchors to
+	Len  int64 // ZeroFill: span in bytes; Stall: microseconds
+	Bit  uint8 // BitFlip: bit index 0..7
+}
+
+// Plan is an ordered set of fault operations sharing one stream.
+type Plan struct {
+	Ops []Op
+}
+
+// Err is the transient error the injector raises for ErrOnce and
+// ShortWrite faults. errors.Is(err, ErrInjected) matches every
+// instance regardless of offset.
+type Err struct {
+	Off int64 // stream offset the fault fired at
+}
+
+func (e *Err) Error() string {
+	return fmt.Sprintf("fault: injected transient error at offset %d", e.Off)
+}
+
+// Transient reports that the failure is momentary: the wrapped stream
+// is still usable and a retry may succeed. internal/stream keys its
+// per-stripe (rather than permanent) shard demotion off this method.
+func (e *Err) Transient() bool { return true }
+
+// Is makes every *Err match ErrInjected under errors.Is.
+func (e *Err) Is(target error) bool {
+	_, ok := target.(*Err)
+	return ok
+}
+
+// ErrInjected is the sentinel for injected transient faults:
+// errors.Is(err, ErrInjected) is true for every error a Reader or
+// Writer raises on purpose.
+var ErrInjected error = &Err{Off: -1}
+
+// errBadPlan wraps plan-parse failures.
+var errBadPlan = errors.New("fault: malformed plan")

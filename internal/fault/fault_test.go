@@ -1,0 +1,270 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func payload(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i*7 + 3)
+	}
+	return b
+}
+
+// readAllFlaky drains r, retrying across transient injected errors the
+// way a fault-aware consumer would.
+func readAllFlaky(t *testing.T, r io.Reader) ([]byte, int) {
+	t.Helper()
+	var out []byte
+	transients := 0
+	buf := make([]byte, 13) // odd size to exercise op-boundary capping
+	for {
+		n, err := r.Read(buf)
+		out = append(out, buf[:n]...)
+		switch {
+		case err == nil:
+		case err == io.EOF:
+			return out, transients
+		case errors.Is(err, ErrInjected):
+			transients++
+			if transients > 100 {
+				t.Fatal("transient error injected more than once per op")
+			}
+		default:
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+}
+
+func TestReaderBitFlip(t *testing.T) {
+	src := payload(100)
+	plan := Plan{Ops: []Op{{Kind: BitFlip, Off: 42, Bit: 5}}}
+	got, _ := readAllFlaky(t, NewReader(bytes.NewReader(src), plan))
+	if len(got) != 100 {
+		t.Fatalf("got %d bytes, want 100", len(got))
+	}
+	want := payload(100)
+	want[42] ^= 1 << 5
+	if !bytes.Equal(got, want) {
+		t.Fatal("bit flip not applied exactly at offset 42")
+	}
+}
+
+func TestReaderZeroFill(t *testing.T) {
+	src := payload(200)
+	plan := Plan{Ops: []Op{{Kind: ZeroFill, Off: 50, Len: 30}}}
+	got, _ := readAllFlaky(t, NewReader(bytes.NewReader(src), plan))
+	want := payload(200)
+	clear(want[50:80])
+	if !bytes.Equal(got, want) {
+		t.Fatal("zero fill not applied to [50,80)")
+	}
+}
+
+func TestReaderTruncate(t *testing.T) {
+	src := payload(100)
+	plan := Plan{Ops: []Op{{Kind: Truncate, Off: 33}}}
+	got, _ := readAllFlaky(t, NewReader(bytes.NewReader(src), plan))
+	if !bytes.Equal(got, src[:33]) {
+		t.Fatalf("truncate: got %d bytes, want clean EOF after 33", len(got))
+	}
+}
+
+// TestReaderErrOnce pins the transient contract: the error fires once,
+// consumes nothing, and the stream resumes byte-exact.
+func TestReaderErrOnce(t *testing.T) {
+	src := payload(100)
+	plan := Plan{Ops: []Op{{Kind: ErrOnce, Off: 40}}}
+	got, transients := readAllFlaky(t, NewReader(bytes.NewReader(src), plan))
+	if transients != 1 {
+		t.Fatalf("transient fired %d times, want 1", transients)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatal("stream corrupted or misaligned after transient error")
+	}
+}
+
+func TestReaderErrOnceAtStart(t *testing.T) {
+	src := payload(20)
+	r := NewReader(bytes.NewReader(src), Plan{Ops: []Op{{Kind: ErrOnce, Off: 0}}})
+	if _, err := r.Read(make([]byte, 8)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("first read returned %v, want injected error", err)
+	}
+	got, transients := readAllFlaky(t, r)
+	if transients != 0 || !bytes.Equal(got, src) {
+		t.Fatal("stream did not resume cleanly after offset-0 transient")
+	}
+}
+
+func TestErrTransientAndIs(t *testing.T) {
+	err := error(&Err{Off: 7})
+	if !errors.Is(err, ErrInjected) {
+		t.Fatal("errors.Is(ErrInjected) false for *Err")
+	}
+	var tr interface{ Transient() bool }
+	if !errors.As(err, &tr) || !tr.Transient() {
+		t.Fatal("*Err does not advertise Transient() == true")
+	}
+	if errors.Is(errors.New("other"), ErrInjected) {
+		t.Fatal("foreign error matched ErrInjected")
+	}
+}
+
+func TestWriterShortWriteAndResume(t *testing.T) {
+	var sink bytes.Buffer
+	w := NewWriter(&sink, Plan{Ops: []Op{{Kind: ShortWrite, Off: 10}}})
+	src := payload(30)
+	n, err := w.Write(src)
+	if n != 10 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("short write returned (%d, %v), want (10, injected)", n, err)
+	}
+	if n, err := w.Write(src[10:]); n != 20 || err != nil {
+		t.Fatalf("resumed write returned (%d, %v)", n, err)
+	}
+	if !bytes.Equal(sink.Bytes(), src) {
+		t.Fatal("writer payload corrupted across short write")
+	}
+}
+
+func TestWriterTornWrite(t *testing.T) {
+	var sink bytes.Buffer
+	w := NewWriter(&sink, Plan{Ops: []Op{{Kind: Truncate, Off: 12}}})
+	src := payload(40)
+	if n, err := w.Write(src); n != 40 || err != nil {
+		t.Fatalf("torn write returned (%d, %v), want silent success", n, err)
+	}
+	if !bytes.Equal(sink.Bytes(), src[:12]) {
+		t.Fatalf("sink has %d bytes, want 12 (silent truncation)", sink.Len())
+	}
+}
+
+func TestWriterCorruptsCopyNotCaller(t *testing.T) {
+	var sink bytes.Buffer
+	w := NewWriter(&sink, Plan{Ops: []Op{
+		{Kind: BitFlip, Off: 3, Bit: 0},
+		{Kind: ZeroFill, Off: 8, Len: 4},
+	}})
+	src := payload(16)
+	orig := append([]byte(nil), src...)
+	if _, err := w.Write(src); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(src, orig) {
+		t.Fatal("writer mutated the caller's buffer")
+	}
+	want := append([]byte(nil), orig...)
+	want[3] ^= 1
+	clear(want[8:12])
+	if !bytes.Equal(sink.Bytes(), want) {
+		t.Fatal("corruption ops not applied to the written stream")
+	}
+}
+
+func TestWriterErrOnce(t *testing.T) {
+	var sink bytes.Buffer
+	w := NewWriter(&sink, Plan{Ops: []Op{{Kind: ErrOnce, Off: 5}}})
+	src := payload(20)
+	n, err := w.Write(src)
+	if n != 5 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("write returned (%d, %v), want (5, injected)", n, err)
+	}
+	if n, err := w.Write(src[5:]); n != 15 || err != nil {
+		t.Fatalf("retry returned (%d, %v)", n, err)
+	}
+	if !bytes.Equal(sink.Bytes(), src) {
+		t.Fatal("payload corrupted across transient write error")
+	}
+}
+
+func TestWriterStall(t *testing.T) {
+	var sink bytes.Buffer
+	w := NewWriter(&sink, Plan{Ops: []Op{{Kind: Stall, Off: 4, Len: 1}}})
+	src := payload(10)
+	if n, err := w.Write(src); n != 10 || err != nil {
+		t.Fatalf("stalled write returned (%d, %v)", n, err)
+	}
+	if !bytes.Equal(sink.Bytes(), src) {
+		t.Fatal("stall corrupted the stream")
+	}
+}
+
+func TestPlanStringParseRoundTrip(t *testing.T) {
+	plans := []Plan{
+		{},
+		{Ops: []Op{{Kind: BitFlip, Off: 100, Bit: 3}}},
+		{Ops: []Op{
+			{Kind: BitFlip, Off: 0, Bit: 7},
+			{Kind: ZeroFill, Off: 40, Len: 12},
+			{Kind: Truncate, Off: 999},
+			{Kind: ErrOnce, Off: 50},
+			{Kind: ShortWrite, Off: 8},
+			{Kind: Stall, Off: 64, Len: 250},
+		}},
+	}
+	for _, p := range plans {
+		s := p.String()
+		got, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if got.String() != s {
+			t.Fatalf("round trip %q -> %q", s, got.String())
+		}
+	}
+	for _, bad := range []string{"flip@", "zap@3", "flip@1.9", "zero@5", "trunc@-1", "flip@x.1"} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("Parse(%q) accepted a malformed plan", bad)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(12345, 1<<16, 8)
+	b := Generate(12345, 1<<16, 8)
+	if a.String() != b.String() {
+		t.Fatal("Generate is not deterministic for a fixed seed")
+	}
+	if len(a.Ops) != 8 {
+		t.Fatalf("Generate produced %d ops, want 8", len(a.Ops))
+	}
+	c := Generate(54321, 1<<16, 8)
+	if a.String() == c.String() {
+		t.Fatal("different seeds produced identical plans")
+	}
+	truncs := 0
+	for _, op := range a.Ops {
+		if op.Off < 0 || op.Off >= 1<<16 {
+			t.Fatalf("op offset %d outside stream", op.Off)
+		}
+		if op.Kind == Truncate {
+			truncs++
+		}
+	}
+	if truncs > 1 {
+		t.Fatalf("%d truncations in one plan, want at most 1", truncs)
+	}
+	if got := Generate(1, 0, 5); len(got.Ops) != 0 {
+		t.Fatal("Generate on an empty stream should produce no ops")
+	}
+}
+
+// TestReaderPlanFromString drives the reader with a parsed plan,
+// proving a serialized chaos case replays identically.
+func TestReaderPlanFromString(t *testing.T) {
+	plan, err := Parse("flip@10.2;zero@20+5;err@30;trunc@50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := payload(100)
+	got, transients := readAllFlaky(t, NewReader(bytes.NewReader(src), plan))
+	want := payload(50)
+	want[10] ^= 1 << 2
+	clear(want[20:25])
+	if transients != 1 || !bytes.Equal(got, want) {
+		t.Fatalf("replayed plan mismatch: %d transients, %d bytes", transients, len(got))
+	}
+}

@@ -1,0 +1,209 @@
+package fault
+
+import (
+	"io"
+	"time"
+)
+
+// Reader applies a Plan to the bytes flowing out of an underlying
+// reader. Offsets are absolute: byte 0 is the first byte the wrapped
+// reader would ever return. BitFlip and ZeroFill mutate data in
+// place, Truncate converts the stream to a clean early EOF, and
+// ErrOnce raises one transient *Err without consuming input — the
+// next Read resumes exactly where the stream stopped, the way a
+// flaky-but-live transport behaves.
+type Reader struct {
+	r     io.Reader
+	pos   int64
+	ops   []Op
+	fired []bool // ErrOnce ops that already triggered
+}
+
+// NewReader wraps r with the plan's read-side faults. Write-side ops
+// (ShortWrite, Stall) are ignored.
+func NewReader(r io.Reader, p Plan) *Reader {
+	ops := append([]Op(nil), p.Ops...)
+	return &Reader{r: r, ops: ops, fired: make([]bool, len(ops))}
+}
+
+func (f *Reader) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return f.r.Read(p)
+	}
+	limit := int64(len(p))
+	for i, op := range f.ops {
+		switch op.Kind {
+		case Truncate:
+			if op.Off <= f.pos {
+				return 0, io.EOF
+			}
+			if d := op.Off - f.pos; d < limit {
+				limit = d
+			}
+		case ErrOnce:
+			if f.fired[i] || op.Off > f.pos+limit {
+				continue
+			}
+			if op.Off <= f.pos {
+				f.fired[i] = true
+				return 0, &Err{Off: f.pos}
+			}
+			// Stop this read just short of the trigger byte so the
+			// fault fires with nothing lost.
+			limit = op.Off - f.pos
+		}
+	}
+	n, err := f.r.Read(p[:limit])
+	if n > 0 {
+		f.corrupt(p[:n], f.pos)
+		f.pos += int64(n)
+	}
+	return n, err
+}
+
+// corrupt applies the data-mutation ops overlapping [pos, pos+len(b)).
+func (f *Reader) corrupt(b []byte, pos int64) {
+	applyDataOps(f.ops, b, pos)
+}
+
+func applyDataOps(ops []Op, b []byte, pos int64) {
+	end := pos + int64(len(b))
+	for _, op := range ops {
+		switch op.Kind {
+		case BitFlip:
+			if op.Off >= pos && op.Off < end {
+				b[op.Off-pos] ^= 1 << (op.Bit & 7)
+			}
+		case ZeroFill:
+			lo, hi := op.Off, op.Off+op.Len
+			if lo < pos {
+				lo = pos
+			}
+			if hi > end {
+				hi = end
+			}
+			if lo < hi {
+				clear(b[lo-pos : hi-pos])
+			}
+		}
+	}
+}
+
+// Writer applies a Plan to the bytes flowing into an underlying
+// writer. BitFlip and ZeroFill corrupt a private copy (the caller's
+// buffer is never touched), Truncate silently drops everything from
+// its offset on — a torn write — while still reporting success, and
+// ShortWrite/ErrOnce surface transient *Err failures. Stall sleeps
+// before the write that crosses its offset, emulating a device that
+// hiccups without failing.
+type Writer struct {
+	w     io.Writer
+	pos   int64
+	ops   []Op
+	fired []bool // ErrOnce/ShortWrite/Stall ops that already triggered
+	buf   []byte // scratch for corrupted copies
+}
+
+// NewWriter wraps w with the plan's write-side faults.
+func NewWriter(w io.Writer, p Plan) *Writer {
+	ops := append([]Op(nil), p.Ops...)
+	return &Writer{w: w, ops: ops, fired: make([]bool, len(ops))}
+}
+
+func (f *Writer) Write(p []byte) (int, error) {
+	if len(p) == 0 {
+		return f.w.Write(p)
+	}
+	limit := int64(len(p))
+	for i, op := range f.ops {
+		if f.fired[i] {
+			continue
+		}
+		switch op.Kind {
+		case ErrOnce:
+			if op.Off <= f.pos {
+				f.fired[i] = true
+				return 0, &Err{Off: f.pos}
+			}
+			if d := op.Off - f.pos; d < limit {
+				limit = d
+			}
+		case ShortWrite:
+			// Cut the write that crosses Off: deliver the head, fail
+			// the tail once.
+			if op.Off > f.pos && op.Off < f.pos+limit {
+				limit = op.Off - f.pos
+			}
+		case Stall:
+			if op.Off >= f.pos && op.Off < f.pos+limit {
+				f.fired[i] = true
+				time.Sleep(time.Duration(op.Len) * time.Microsecond)
+			}
+		}
+	}
+	n, err := f.write(p[:limit])
+	f.pos += int64(n)
+	if err != nil {
+		return n, err
+	}
+	if n < len(p) {
+		// The write was cut at an op boundary (ShortWrite tail, or an
+		// ErrOnce trigger byte). Fire that op now and report the
+		// undelivered tail as a transient fault, per the io.Writer
+		// contract — exactly once per op.
+		for i, op := range f.ops {
+			if (op.Kind == ShortWrite || op.Kind == ErrOnce) && !f.fired[i] && op.Off == f.pos {
+				f.fired[i] = true
+			}
+		}
+		return n, &Err{Off: f.pos}
+	}
+	return n, nil
+}
+
+// write forwards b, honouring Truncate (drop bytes silently) and the
+// data-corruption ops (mutate a copy, never the caller's buffer).
+func (f *Writer) write(b []byte) (int, error) {
+	keep := int64(len(b))
+	for _, op := range f.ops {
+		if op.Kind != Truncate {
+			continue
+		}
+		if op.Off <= f.pos {
+			keep = 0
+		} else if d := op.Off - f.pos; d < keep {
+			keep = d
+		}
+	}
+	out := b[:keep]
+	if f.needsCorrupt(f.pos, f.pos+keep) {
+		f.buf = append(f.buf[:0], out...)
+		applyDataOps(f.ops, f.buf, f.pos)
+		out = f.buf
+	}
+	if len(out) > 0 {
+		n, err := f.w.Write(out)
+		if err != nil {
+			return n, err
+		}
+	}
+	// Dropped (truncated) bytes count as "written": the torn write is
+	// silent, which is the failure mode worth testing.
+	return len(b), nil
+}
+
+func (f *Writer) needsCorrupt(lo, hi int64) bool {
+	for _, op := range f.ops {
+		switch op.Kind {
+		case BitFlip:
+			if op.Off >= lo && op.Off < hi {
+				return true
+			}
+		case ZeroFill:
+			if op.Off < hi && op.Off+op.Len > lo {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,260 @@
+// Package shardfile defines the self-describing on-disk shard-file
+// format shared by cmd/dialga-encode (writer/reader) and
+// cmd/dialga-inspect (scrubber).
+//
+// A shard file is a fixed header followed by StripeCount blocks of
+// BlockSize bytes each. Two header versions are in the wild:
+//
+//	v2 (40 bytes, legacy): geometry + shard index + stripe count +
+//	    file size. Blocks are bare ShardSize-byte payloads with no
+//	    integrity trailer.
+//	v3 (48 bytes): everything in v2, plus a checksum-algorithm field
+//	    describing the per-block trailer (CRC-32C today) and a
+//	    CRC-32C over the header itself, so a corrupted header is
+//	    rejected instead of mis-parsed into a plausible geometry.
+//
+// Readers accept both; writers emit v3.
+package shardfile
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"path/filepath"
+
+	"dialga/internal/stream"
+)
+
+const (
+	// Magic identifies a dialga shard file.
+	Magic = 0xd1a16aec
+
+	// VersionV2 is the legacy header: no checksum field, no header CRC,
+	// bare blocks.
+	VersionV2 = 2
+	// VersionV3 adds the checksum-algorithm field and a header self-CRC.
+	VersionV3 = 3
+
+	// HeaderSizeV2 and HeaderSizeV3 are the on-disk header lengths.
+	HeaderSizeV2 = 40
+	HeaderSizeV3 = 48
+
+	// headerCRCOff is where the v3 header self-CRC lives; it covers
+	// bytes [0, headerCRCOff).
+	headerCRCOff = 44
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Algo identifies the per-block checksum trailer of a shard file.
+type Algo uint32
+
+const (
+	// AlgoNone means bare blocks: no trailer, no corruption detection.
+	AlgoNone Algo = 0
+	// AlgoCRC32C means each block carries a 4-byte little-endian
+	// CRC-32C (Castagnoli) trailer.
+	AlgoCRC32C Algo = 1
+)
+
+func (a Algo) String() string {
+	switch a {
+	case AlgoNone:
+		return "none"
+	case AlgoCRC32C:
+		return "crc32c"
+	default:
+		return fmt.Sprintf("algo(%d)", uint32(a))
+	}
+}
+
+// TrailerSize returns the per-block trailer bytes for the algorithm.
+func (a Algo) TrailerSize() int {
+	if a == AlgoCRC32C {
+		return 4
+	}
+	return 0
+}
+
+// Stream maps the on-disk algorithm to the streaming pipeline's
+// checksum mode.
+func (a Algo) Stream() stream.Checksum {
+	if a == AlgoCRC32C {
+		return stream.ChecksumCRC32C
+	}
+	return stream.ChecksumNone
+}
+
+// Header is the parsed shard-file header.
+//
+// v3 layout (little-endian):
+//
+//	off  0  u32  magic
+//	off  4  u32  version
+//	off  8  u32  k (data shards)
+//	off 12  u32  m (parity shards)
+//	off 16  u32  shard index in [0, k+m)
+//	off 20  u32  shard payload bytes per stripe (excluding trailer)
+//	off 24  u64  stripe count
+//	off 32  u64  original file size
+//	off 40  u32  checksum algorithm (v3 only)
+//	off 44  u32  CRC-32C over bytes [0, 44) (v3 only)
+type Header struct {
+	Version     uint32 // VersionV2 or VersionV3; 0 marshals as VersionV3
+	K, M        uint32
+	Index       uint32
+	ShardSize   uint32
+	StripeCount uint64
+	FileSize    uint64
+	Algo        Algo // v2 headers parse as AlgoNone
+}
+
+// HeaderSize returns the on-disk length of this header's version.
+func (h Header) HeaderSize() int {
+	if h.Version == VersionV2 {
+		return HeaderSizeV2
+	}
+	return HeaderSizeV3
+}
+
+// BlockSize returns the on-disk bytes per stripe block: the shard
+// payload plus the checksum trailer.
+func (h Header) BlockSize() int64 {
+	return int64(h.ShardSize) + int64(h.Algo.TrailerSize())
+}
+
+// ExpectedFileSize returns the exact byte length a well-formed shard
+// file with this header must have; anything else is truncated or
+// ragged.
+func (h Header) ExpectedFileSize() int64 {
+	return int64(h.HeaderSize()) + int64(h.StripeCount)*h.BlockSize()
+}
+
+// Marshal serializes the header in its version's layout (v3 when
+// Version is zero), computing the self-CRC for v3.
+func (h Header) Marshal() []byte {
+	version := h.Version
+	if version == 0 {
+		version = VersionV3
+	}
+	size := HeaderSizeV3
+	if version == VersionV2 {
+		size = HeaderSizeV2
+	}
+	buf := make([]byte, size)
+	binary.LittleEndian.PutUint32(buf[0:], Magic)
+	binary.LittleEndian.PutUint32(buf[4:], version)
+	binary.LittleEndian.PutUint32(buf[8:], h.K)
+	binary.LittleEndian.PutUint32(buf[12:], h.M)
+	binary.LittleEndian.PutUint32(buf[16:], h.Index)
+	binary.LittleEndian.PutUint32(buf[20:], h.ShardSize)
+	binary.LittleEndian.PutUint64(buf[24:], h.StripeCount)
+	binary.LittleEndian.PutUint64(buf[32:], h.FileSize)
+	if version >= VersionV3 {
+		binary.LittleEndian.PutUint32(buf[40:], uint32(h.Algo))
+		binary.LittleEndian.PutUint32(buf[headerCRCOff:], crc32.Checksum(buf[:headerCRCOff], castagnoli))
+	}
+	return buf
+}
+
+// Parse reads and validates a shard header from r, consuming exactly
+// the header's on-disk length (40 bytes for v2, 48 for v3) and
+// nothing more.
+func Parse(r io.Reader) (Header, error) {
+	buf := make([]byte, HeaderSizeV3)
+	if _, err := io.ReadFull(r, buf[:HeaderSizeV2]); err != nil {
+		return Header{}, fmt.Errorf("header truncated: %w", err)
+	}
+	if magic := binary.LittleEndian.Uint32(buf[0:]); magic != Magic {
+		return Header{}, fmt.Errorf("bad magic %#x", magic)
+	}
+	version := binary.LittleEndian.Uint32(buf[4:])
+	switch version {
+	case VersionV2:
+	case VersionV3:
+		if _, err := io.ReadFull(r, buf[HeaderSizeV2:]); err != nil {
+			return Header{}, fmt.Errorf("v3 header truncated: %w", err)
+		}
+		want := binary.LittleEndian.Uint32(buf[headerCRCOff:])
+		if got := crc32.Checksum(buf[:headerCRCOff], castagnoli); got != want {
+			return Header{}, fmt.Errorf("header self-CRC mismatch: computed %#x, stored %#x (corrupt header)", got, want)
+		}
+	default:
+		return Header{}, fmt.Errorf("unsupported shard header version %d (want %d or %d)", version, VersionV2, VersionV3)
+	}
+	h := Header{
+		Version:     version,
+		K:           binary.LittleEndian.Uint32(buf[8:]),
+		M:           binary.LittleEndian.Uint32(buf[12:]),
+		Index:       binary.LittleEndian.Uint32(buf[16:]),
+		ShardSize:   binary.LittleEndian.Uint32(buf[20:]),
+		StripeCount: binary.LittleEndian.Uint64(buf[24:]),
+		FileSize:    binary.LittleEndian.Uint64(buf[32:]),
+	}
+	if version >= VersionV3 {
+		h.Algo = Algo(binary.LittleEndian.Uint32(buf[40:]))
+		if h.Algo != AlgoNone && h.Algo != AlgoCRC32C {
+			return Header{}, fmt.Errorf("unknown checksum algorithm %d", h.Algo)
+		}
+	}
+	if h.K == 0 || h.M == 0 {
+		return Header{}, fmt.Errorf("invalid geometry k=%d m=%d", h.K, h.M)
+	}
+	if h.Index >= h.K+h.M {
+		return Header{}, fmt.Errorf("shard index %d outside geometry k+m=%d", h.Index, h.K+h.M)
+	}
+	if h.ShardSize == 0 && h.StripeCount > 0 {
+		return Header{}, fmt.Errorf("zero shard size with %d stripes", h.StripeCount)
+	}
+	return h, nil
+}
+
+// Path returns the conventional file name of shard i in dir.
+func Path(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard.%03d", i))
+}
+
+// ErrNoChecksum reports a scrub request against a shard format that
+// carries no per-block integrity trailer (v2, or v3 with AlgoNone).
+var ErrNoChecksum = errors.New("shardfile: shard has no checksum trailers to verify")
+
+// maxCorruptListed caps the per-shard corrupt-stripe list a scrub
+// returns, keeping reports bounded on badly damaged files.
+const maxCorruptListed = 16
+
+// ScrubResult summarizes one shard file's integrity scan.
+type ScrubResult struct {
+	Stripes        uint64   // blocks scanned
+	Corrupt        uint64   // blocks whose trailer failed verification
+	CorruptStripes []uint64 // first maxCorruptListed corrupt stripe indices
+}
+
+// Scrub reads every stripe block of a shard file (r must be
+// positioned just past the header) and verifies each block's checksum
+// trailer. It returns ErrNoChecksum when the header's algorithm
+// cannot be verified, and a read error if the file ends before
+// StripeCount blocks.
+func Scrub(r io.Reader, h Header) (ScrubResult, error) {
+	var res ScrubResult
+	if h.Algo != AlgoCRC32C {
+		return res, ErrNoChecksum
+	}
+	block := make([]byte, h.BlockSize())
+	payload := int(h.ShardSize)
+	for s := uint64(0); s < h.StripeCount; s++ {
+		if _, err := io.ReadFull(r, block); err != nil {
+			return res, fmt.Errorf("stripe %d: %w (truncated shard)", s, err)
+		}
+		res.Stripes++
+		want := binary.LittleEndian.Uint32(block[payload:])
+		if crc32.Checksum(block[:payload], castagnoli) != want {
+			res.Corrupt++
+			if len(res.CorruptStripes) < maxCorruptListed {
+				res.CorruptStripes = append(res.CorruptStripes, s)
+			}
+		}
+	}
+	return res, nil
+}

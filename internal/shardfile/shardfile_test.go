@@ -1,0 +1,232 @@
+package shardfile
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"testing"
+
+	"dialga/internal/rs"
+	"dialga/internal/stream"
+)
+
+func mustRS(t testing.TB, k, m int) *rs.Code {
+	t.Helper()
+	c, err := rs.New(k, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func v3Header() Header {
+	return Header{
+		Version: VersionV3, K: 8, M: 4, Index: 11,
+		ShardSize: 131072, StripeCount: 2048, FileSize: 1 << 31,
+		Algo: AlgoCRC32C,
+	}
+}
+
+func TestHeaderMarshalParseRoundTrip(t *testing.T) {
+	for _, h := range []Header{
+		v3Header(),
+		{Version: VersionV2, K: 4, M: 2, Index: 0, ShardSize: 256, StripeCount: 10, FileSize: 9999},
+		{Version: VersionV3, K: 3, M: 1, Index: 3, ShardSize: 64, StripeCount: 1, FileSize: 100, Algo: AlgoNone},
+	} {
+		got, err := Parse(bytes.NewReader(h.Marshal()))
+		if err != nil {
+			t.Fatalf("Parse(%+v): %v", h, err)
+		}
+		if got != h {
+			t.Fatalf("round trip: got %+v want %+v", got, h)
+		}
+	}
+	// Version 0 marshals as v3.
+	h := v3Header()
+	h.Version = 0
+	got, err := Parse(bytes.NewReader(h.Marshal()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != VersionV3 {
+		t.Fatalf("zero version marshalled as %d, want v3", got.Version)
+	}
+}
+
+// TestHeaderRejections is the table-driven negative suite: every
+// mutation of a valid v3 header must be rejected, and the self-CRC
+// must catch silent field corruption that would otherwise still parse.
+func TestHeaderRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(b []byte) []byte
+	}{
+		{"bad magic", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[0:], 0xdeadbeef)
+			return b
+		}},
+		{"unknown version", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[4:], 7)
+			return b
+		}},
+		{"corrupt k field under self-CRC", func(b []byte) []byte {
+			b[8] ^= 0xff // parses as a plausible geometry without the CRC
+			return b
+		}},
+		{"single bit flip under self-CRC", func(b []byte) []byte {
+			b[25] ^= 1 // stripe count off by one
+			return b
+		}},
+		{"corrupt self-CRC itself", func(b []byte) []byte {
+			b[45] ^= 1
+			return b
+		}},
+		{"unknown checksum algo", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[40:], 99)
+			binary.LittleEndian.PutUint32(b[44:], crc32.Checksum(b[:44], castagnoli))
+			return b
+		}},
+		{"index outside geometry", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[16:], 12)
+			binary.LittleEndian.PutUint32(b[44:], crc32.Checksum(b[:44], castagnoli))
+			return b
+		}},
+		{"zero geometry", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[8:], 0)
+			binary.LittleEndian.PutUint32(b[44:], crc32.Checksum(b[:44], castagnoli))
+			return b
+		}},
+		{"truncated v3 tail", func(b []byte) []byte {
+			return b[:HeaderSizeV2+2]
+		}},
+		{"truncated v2 prefix", func(b []byte) []byte {
+			return b[:16]
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			buf := tc.mutate(v3Header().Marshal())
+			if _, err := Parse(bytes.NewReader(buf)); err == nil {
+				t.Fatalf("mutated header accepted")
+			}
+		})
+	}
+}
+
+// TestParseV1Rejected pins the oldest layout: a 16-byte v1 header
+// (magic + size, no version) must not parse.
+func TestParseV1Rejected(t *testing.T) {
+	old := make([]byte, 16)
+	binary.LittleEndian.PutUint32(old[0:], Magic)
+	binary.LittleEndian.PutUint64(old[8:], 12345)
+	if _, err := Parse(bytes.NewReader(old)); err == nil {
+		t.Fatal("v1 header accepted")
+	}
+}
+
+func TestHeaderSizes(t *testing.T) {
+	v2 := Header{Version: VersionV2, K: 4, M: 2, ShardSize: 100, StripeCount: 3}
+	v3 := Header{Version: VersionV3, K: 4, M: 2, ShardSize: 100, StripeCount: 3, Algo: AlgoCRC32C}
+	if len(v2.Marshal()) != HeaderSizeV2 || v2.HeaderSize() != HeaderSizeV2 {
+		t.Fatal("v2 header size wrong")
+	}
+	if len(v3.Marshal()) != HeaderSizeV3 || v3.HeaderSize() != HeaderSizeV3 {
+		t.Fatal("v3 header size wrong")
+	}
+	if v2.ExpectedFileSize() != 40+3*100 {
+		t.Fatalf("v2 expected size %d", v2.ExpectedFileSize())
+	}
+	if v3.ExpectedFileSize() != 48+3*104 {
+		t.Fatalf("v3 expected size %d", v3.ExpectedFileSize())
+	}
+	if AlgoNone.TrailerSize() != 0 || AlgoCRC32C.TrailerSize() != 4 {
+		t.Fatal("trailer sizes wrong")
+	}
+	if AlgoNone.Stream() != stream.ChecksumNone || AlgoCRC32C.Stream() != stream.ChecksumCRC32C {
+		t.Fatal("Algo -> stream.Checksum mapping wrong")
+	}
+}
+
+// block builds a shardSize payload + CRC trailer stripe block.
+func block(payload []byte) []byte {
+	b := append([]byte(nil), payload...)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(payload, castagnoli))
+	return append(b, crc[:]...)
+}
+
+func TestScrub(t *testing.T) {
+	h := Header{Version: VersionV3, K: 2, M: 1, Index: 0, ShardSize: 32, StripeCount: 4, Algo: AlgoCRC32C}
+	p := func(fill byte) []byte { return bytes.Repeat([]byte{fill}, 32) }
+
+	var body bytes.Buffer
+	body.Write(block(p(1)))
+	bad := block(p(2))
+	bad[5] ^= 0x40 // corrupt stripe 1
+	body.Write(bad)
+	body.Write(block(p(3)))
+	bad2 := block(p(4))
+	bad2[32] ^= 1 // corrupt the trailer of stripe 3
+	body.Write(bad2)
+
+	res, err := Scrub(bytes.NewReader(body.Bytes()), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stripes != 4 || res.Corrupt != 2 {
+		t.Fatalf("scrub found %d/%d corrupt, want 2/4", res.Corrupt, res.Stripes)
+	}
+	if len(res.CorruptStripes) != 2 || res.CorruptStripes[0] != 1 || res.CorruptStripes[1] != 3 {
+		t.Fatalf("corrupt stripes %v, want [1 3]", res.CorruptStripes)
+	}
+
+	// Truncated shard: body ends one block early.
+	short := body.Bytes()[:3*36]
+	if _, err := Scrub(bytes.NewReader(short), h); err == nil {
+		t.Fatal("scrub accepted a truncated shard")
+	}
+
+	// Unverifiable formats.
+	h2 := h
+	h2.Algo = AlgoNone
+	if _, err := Scrub(bytes.NewReader(nil), h2); !errors.Is(err, ErrNoChecksum) {
+		t.Fatalf("scrub of AlgoNone returned %v, want ErrNoChecksum", err)
+	}
+}
+
+// TestScrubMatchesEncoderOutput scrubs blocks produced by the real
+// streaming encoder, pinning the two packages to one trailer format.
+func TestScrubMatchesEncoderOutput(t *testing.T) {
+	code := mustRS(t, 3, 2)
+	enc, err := stream.NewEncoder(stream.Options{Codec: code, StripeSize: 3 * 64, Checksum: stream.ChecksumCRC32C})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("dialga!"), 100)
+	bufs := make([]bytes.Buffer, enc.Shards())
+	writers := make([]io.Writer, enc.Shards())
+	for i := range bufs {
+		writers[i] = &bufs[i]
+	}
+	if err := enc.Encode(context.Background(), bytes.NewReader(payload), writers); err != nil {
+		t.Fatal(err)
+	}
+	stripes := uint64(enc.Stats().Stripes)
+	for i := range bufs {
+		h := Header{
+			Version: VersionV3, K: 3, M: 2, Index: uint32(i),
+			ShardSize: uint32(enc.ShardSize()), StripeCount: stripes,
+			Algo: AlgoCRC32C,
+		}
+		res, err := Scrub(bytes.NewReader(bufs[i].Bytes()), h)
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		if res.Corrupt != 0 || res.Stripes != stripes {
+			t.Fatalf("shard %d: scrub %d/%d corrupt on pristine encoder output", i, res.Corrupt, res.Stripes)
+		}
+	}
+}

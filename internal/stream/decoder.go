@@ -2,21 +2,35 @@ package stream
 
 import (
 	"context"
+	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"time"
 )
 
-// Decoder is the inverse pipeline: it reads one shardSize block per
-// stripe from each of k+m shard readers, reconstructs missing or
-// failed shards (up to m per stripe), and writes the recovered data
-// payload to a single writer in stripe order.
+// Decoder is the inverse pipeline: it reads one block per stripe from
+// each of k+m shard readers, verifies each block's checksum trailer
+// (under ChecksumCRC32C, the default), reconstructs missing, failed,
+// or corrupt shards (up to m per stripe), and writes the recovered
+// data payload to a single writer in stripe order.
 //
-// A nil entry in the reader slice is a shard known to be missing. A
-// reader that fails mid-stream — an error, or EOF before its peers —
-// is marked dead and treated as missing for that stripe and all later
-// ones; decoding continues as long as at least k healthy shards
-// remain.
+// Shards degrade at three severities:
+//
+//   - A nil entry in the reader slice is a shard known to be missing.
+//   - A reader that fails hard — a non-transient error, or EOF before
+//     its peers — is retired and treated as missing for that stripe
+//     and all later ones.
+//   - A block whose checksum trailer does not verify, or that was
+//     read across a transient (Transient() bool == true) error with
+//     no checksum to clear it, is demoted to an erasure for that
+//     stripe only; the shard stays live and may serve the next
+//     stripe.
+//
+// Decoding continues as long as at least k usable blocks remain per
+// stripe; a stripe below that returns an error wrapping
+// ErrTooManyCorrupt rather than ever emitting unverified bytes.
 type Decoder struct {
 	g     geom
 	stats counters
@@ -31,15 +45,20 @@ func NewDecoder(opts Options) (*Decoder, error) {
 	}
 	return &Decoder{
 		g:   g,
-		buf: newBufPool((g.k + g.m) * g.shardSize),
+		buf: newBufPool((g.k + g.m) * g.blockSize),
 	}, nil
 }
 
 // StripeSize returns the data payload per stripe.
 func (d *Decoder) StripeSize() int { return d.g.stripeSize }
 
-// ShardSize returns the per-shard byte count of every stripe.
+// ShardSize returns the data bytes per shard per stripe, excluding
+// any checksum trailer.
 func (d *Decoder) ShardSize() int { return d.g.shardSize }
+
+// BlockSize returns the bytes consumed from each shard reader per
+// stripe: ShardSize plus the checksum trailer.
+func (d *Decoder) BlockSize() int { return d.g.blockSize }
 
 // Shards returns the total shard count k+m.
 func (d *Decoder) Shards() int { return d.g.k + d.g.m }
@@ -47,13 +66,24 @@ func (d *Decoder) Shards() int { return d.g.k + d.g.m }
 // Stats returns a snapshot of the pipeline counters.
 func (d *Decoder) Stats() Stats { return d.stats.snapshot() }
 
+// transienter matches errors that advertise themselves as momentary —
+// fault.ErrInjected, flaky-transport wrappers — via a Transient() bool
+// method (the net.Error convention).
+type transienter interface{ Transient() bool }
+
+func isTransient(err error) bool {
+	var t transienter
+	return errors.As(err, &t) && t.Transient()
+}
+
 // Decode reconstructs the original stream from k+m shard readers and
 // writes it to w. size is the original payload length: output is
 // trimmed to exactly size bytes and Decode fails if the shards end
 // early. size < 0 means "until EOF": every recovered stripe is written
 // in full, including any zero padding the encoder added to the tail.
 func (d *Decoder) Decode(ctx context.Context, shards []io.Reader, w io.Writer, size int64) error {
-	k, m, shardSize := d.g.k, d.g.m, d.g.shardSize
+	k, m, blockSize := d.g.k, d.g.m, d.g.blockSize
+	shardSize := d.g.shardSize
 	if len(shards) != k+m {
 		return fmt.Errorf("stream: got %d shard readers, want k+m=%d", len(shards), k+m)
 	}
@@ -81,22 +111,47 @@ func (d *Decoder) Decode(ctx context.Context, shards []io.Reader, w io.Writer, s
 			buf := d.buf.get()
 			blocks := make([][]byte, k+m)
 			var eofIdx []int
-			got := 0
+			got, demoted := 0, 0
 			var firstErr error
 			for i, r := range shards {
 				if r == nil || dead[i] {
 					continue
 				}
-				bl := buf[i*shardSize : (i+1)*shardSize]
+				bl := buf[i*blockSize : (i+1)*blockSize]
 				n, err := io.ReadFull(r, bl)
 				switch {
 				case err == nil:
-					blocks[i] = bl
+					blocks[i] = bl[:shardSize:shardSize]
 					got++
 				case err == io.EOF && n == 0:
 					// Clean stripe-boundary EOF: end of stream if
 					// everyone agrees, a dead shard otherwise.
 					eofIdx = append(eofIdx, i)
+				case isTransient(err):
+					// A flaky reader, not a dead one. Finish the
+					// block so the shard stays stripe-aligned, then
+					// decide how much of it to trust.
+					if _, err2 := io.ReadFull(r, bl[n:]); err2 == nil {
+						d.stats.transientFaults.Add(1)
+						if d.g.trailer > 0 {
+							// The checksum trailer is the arbiter:
+							// the worker verifies this block like any
+							// other.
+							blocks[i] = bl[:shardSize:shardSize]
+							got++
+						} else {
+							// No checksum to clear bytes read across
+							// a fault: demote for this stripe only.
+							demoted++
+							d.stats.shardsCorrupted.Add(1)
+						}
+					} else {
+						dead[i] = true
+						d.stats.shardFailures.Add(1)
+						if firstErr == nil {
+							firstErr = fmt.Errorf("stream: shard %d failed at stripe %d: %w", i, seq, err2)
+						}
+					}
 				default:
 					dead[i] = true
 					d.stats.shardFailures.Add(1)
@@ -105,7 +160,7 @@ func (d *Decoder) Decode(ctx context.Context, shards []io.Reader, w io.Writer, s
 					}
 				}
 			}
-			if got == 0 {
+			if got == 0 && demoted == 0 {
 				d.buf.put(buf)
 				if wantStripes >= 0 {
 					return fmt.Errorf("stream: shards ended at stripe %d, want %d stripes", seq, wantStripes)
@@ -118,9 +173,9 @@ func (d *Decoder) Decode(ctx context.Context, shards []io.Reader, w io.Writer, s
 			if got < k {
 				d.buf.put(buf)
 				if firstErr != nil {
-					return fmt.Errorf("stream: stripe %d: only %d of %d required shards readable: %w", seq, got, k, firstErr)
+					return fmt.Errorf("stream: stripe %d: only %d of %d required shard blocks usable (%w): %v", seq, got, k, ErrTooManyCorrupt, firstErr)
 				}
-				return fmt.Errorf("stream: stripe %d: only %d of %d required shards readable", seq, got, k)
+				return fmt.Errorf("stream: stripe %d: only %d of %d required shard blocks usable: %w", seq, got, k, ErrTooManyCorrupt)
 			}
 			// Shards that hit EOF while peers still had data are
 			// ragged-short: retire them so they never resync.
@@ -128,8 +183,8 @@ func (d *Decoder) Decode(ctx context.Context, shards []io.Reader, w io.Writer, s
 				dead[i] = true
 				d.stats.shardFailures.Add(1)
 			}
-			d.stats.bytesIn.Add(uint64(got * shardSize))
-			j := &job{seq: seq, ready: make(chan struct{}), buf: buf, blocks: blocks}
+			d.stats.bytesIn.Add(uint64(got * blockSize))
+			j := &job{seq: seq, ready: make(chan struct{}), buf: buf, blocks: blocks, demoted: demoted}
 			if !push(j) {
 				return nil
 			}
@@ -138,6 +193,33 @@ func (d *Decoder) Decode(ctx context.Context, shards []io.Reader, w io.Writer, s
 	}
 
 	work := func(j *job) error {
+		demoted := j.demoted
+		if d.g.trailer > 0 {
+			// Verify every block that was read; a bad trailer demotes
+			// the block to an erasure for this stripe only.
+			for i := 0; i < k+m; i++ {
+				if j.blocks[i] == nil {
+					continue
+				}
+				bl := j.buf[i*blockSize : (i+1)*blockSize]
+				want := binary.LittleEndian.Uint32(bl[shardSize:])
+				if crc32.Checksum(bl[:shardSize], castagnoli) != want {
+					j.blocks[i] = nil
+					demoted++
+					d.stats.shardsCorrupted.Add(1)
+				}
+			}
+		}
+		valid := 0
+		for i := 0; i < k+m; i++ {
+			if j.blocks[i] != nil {
+				valid++
+			}
+		}
+		if valid < k {
+			return fmt.Errorf("stream: stripe %d: %d corrupt or missing shard blocks leave %d of %d required: %w",
+				j.seq, (k+m)-valid, valid, k, ErrTooManyCorrupt)
+		}
 		missing := false
 		for i := 0; i < k; i++ {
 			if j.blocks[i] == nil {
@@ -145,21 +227,26 @@ func (d *Decoder) Decode(ctx context.Context, shards []io.Reader, w io.Writer, s
 				break
 			}
 		}
-		if !missing {
-			return nil
+		if missing {
+			start := time.Now()
+			var err error
+			if rd, ok := d.g.codec.(dataReconstructor); ok {
+				err = rd.ReconstructData(j.blocks)
+			} else {
+				err = d.g.codec.Reconstruct(j.blocks)
+			}
+			if err != nil {
+				return fmt.Errorf("stream: reconstruct stripe %d: %w", j.seq, err)
+			}
+			d.stats.reconstructed.Add(1)
+			d.stats.observe(time.Since(start))
 		}
-		start := time.Now()
-		var err error
-		if rd, ok := d.g.codec.(dataReconstructor); ok {
-			err = rd.ReconstructData(j.blocks)
-		} else {
-			err = d.g.codec.Reconstruct(j.blocks)
+		if demoted > 0 {
+			// The stripe decoded despite corrupt blocks: either a
+			// data block was rebuilt through the erasure path, or the
+			// corruption was confined to parity we did not need.
+			d.stats.stripesHealed.Add(1)
 		}
-		if err != nil {
-			return fmt.Errorf("stream: reconstruct stripe %d: %w", j.seq, err)
-		}
-		d.stats.reconstructed.Add(1)
-		d.stats.observe(time.Since(start))
 		return nil
 	}
 

@@ -2,7 +2,9 @@ package stream
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"time"
 
@@ -13,7 +15,9 @@ import (
 // stripes, encodes stripes concurrently, and writes the k data and m
 // parity shards of each stripe to k+m writers in stripe order. The
 // tail stripe is zero-padded to a full stripe, so every shard writer
-// receives exactly shardSize bytes per stripe; recording the original
+// receives exactly BlockSize bytes per stripe — shardSize data bytes
+// plus, under ChecksumCRC32C (the default), a 4-byte CRC-32C trailer
+// the decoder verifies and heals against. Recording the original
 // length for trimming on decode is the caller's job (the dialga-encode
 // shard header does this).
 //
@@ -24,6 +28,7 @@ type Encoder struct {
 	stats  counters
 	data   *bufPool
 	parity *bufPool
+	crc    *bufPool // nil when checksums are disabled
 }
 
 // NewEncoder validates opts and returns a ready Encoder.
@@ -32,19 +37,28 @@ func NewEncoder(opts Options) (*Encoder, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Encoder{
+	e := &Encoder{
 		g:      g,
 		data:   newBufPool(g.stripeSize),
 		parity: newBufPool(g.m * g.shardSize),
-	}, nil
+	}
+	if g.trailer > 0 {
+		e.crc = newBufPool((g.k + g.m) * crcSize)
+	}
+	return e, nil
 }
 
 // StripeSize returns the data payload per stripe after rounding
 // StripeSize up to a multiple of k.
 func (e *Encoder) StripeSize() int { return e.g.stripeSize }
 
-// ShardSize returns the per-shard byte count of every stripe.
+// ShardSize returns the data bytes per shard per stripe, excluding
+// any checksum trailer.
 func (e *Encoder) ShardSize() int { return e.g.shardSize }
+
+// BlockSize returns the bytes each shard writer receives per stripe:
+// ShardSize plus the checksum trailer.
+func (e *Encoder) BlockSize() int { return e.g.blockSize }
 
 // Shards returns the total shard count k+m.
 func (e *Encoder) Shards() int { return e.g.k + e.g.m }
@@ -111,23 +125,55 @@ func (e *Encoder) Encode(ctx context.Context, r io.Reader, shards []io.Writer) e
 		if err := e.g.codec.Encode(data, shardViews(j.parity, e.g.m, e.g.shardSize)); err != nil {
 			return fmt.Errorf("stream: encode stripe %d: %w", j.seq, err)
 		}
+		if e.crc != nil {
+			// Trailers ride the worker too: CRC-32C of each block,
+			// hardware-accelerated, off the serial deliver path.
+			j.crc = e.crc.get()
+			for i := 0; i < e.g.k; i++ {
+				sum := crc32.Checksum(j.data[i*e.g.shardSize:(i+1)*e.g.shardSize], castagnoli)
+				binary.LittleEndian.PutUint32(j.crc[i*crcSize:], sum)
+			}
+			for i := 0; i < e.g.m; i++ {
+				sum := crc32.Checksum(j.parity[i*e.g.shardSize:(i+1)*e.g.shardSize], castagnoli)
+				binary.LittleEndian.PutUint32(j.crc[(e.g.k+i)*crcSize:], sum)
+			}
+		}
 		e.stats.observe(time.Since(start))
 		return nil
 	}
 
+	writeBlock := func(w io.Writer, idx int, block []byte, crc []byte) error {
+		if _, err := w.Write(block); err != nil {
+			return fmt.Errorf("stream: write shard %d: %w", idx, err)
+		}
+		if crc != nil {
+			if _, err := w.Write(crc); err != nil {
+				return fmt.Errorf("stream: write shard %d trailer: %w", idx, err)
+			}
+		}
+		return nil
+	}
+
 	deliver := func(j *job) error {
+		var crc []byte
 		for i := 0; i < e.g.k; i++ {
-			if _, err := shards[i].Write(j.data[i*e.g.shardSize : (i+1)*e.g.shardSize]); err != nil {
-				return fmt.Errorf("stream: write shard %d: %w", i, err)
+			if j.crc != nil {
+				crc = j.crc[i*crcSize : (i+1)*crcSize]
+			}
+			if err := writeBlock(shards[i], i, j.data[i*e.g.shardSize:(i+1)*e.g.shardSize], crc); err != nil {
+				return err
 			}
 		}
 		for i := 0; i < e.g.m; i++ {
-			if _, err := shards[e.g.k+i].Write(j.parity[i*e.g.shardSize : (i+1)*e.g.shardSize]); err != nil {
-				return fmt.Errorf("stream: write shard %d: %w", e.g.k+i, err)
+			if j.crc != nil {
+				crc = j.crc[(e.g.k+i)*crcSize : (e.g.k+i+1)*crcSize]
+			}
+			if err := writeBlock(shards[e.g.k+i], e.g.k+i, j.parity[i*e.g.shardSize:(i+1)*e.g.shardSize], crc); err != nil {
+				return err
 			}
 		}
 		e.stats.stripes.Add(1)
-		e.stats.bytesOut.Add(uint64((e.g.k + e.g.m) * e.g.shardSize))
+		e.stats.bytesOut.Add(uint64((e.g.k + e.g.m) * e.g.blockSize))
 		return nil
 	}
 
@@ -137,6 +183,9 @@ func (e *Encoder) Encode(ctx context.Context, r io.Reader, shards []io.Writer) e
 		}
 		if j.parity != nil {
 			e.parity.put(j.parity)
+		}
+		if j.crc != nil {
+			e.crc.put(j.crc)
 		}
 	}
 

@@ -87,7 +87,9 @@ func referenceEncode(t testing.TB, code *rs.Code, stripeSize int, payload []byte
 
 func TestEncoderMatchesWholeBufferKernel(t *testing.T) {
 	code := mustRS(t, 5, 3)
-	opts := Options{Codec: code, StripeSize: 1000, Workers: 3}
+	// ChecksumNone: this test pins byte-identity against the raw
+	// whole-buffer kernel, which has no trailers.
+	opts := Options{Codec: code, StripeSize: 1000, Workers: 3, Checksum: ChecksumNone}
 	enc, err := NewEncoder(opts)
 	if err != nil {
 		t.Fatal(err)
@@ -117,7 +119,7 @@ func TestEncoderEmptyInput(t *testing.T) {
 
 func TestEncoderInputSmallerThanOneStripe(t *testing.T) {
 	code := mustRS(t, 4, 2)
-	opts := Options{Codec: code, StripeSize: 4096, Workers: 2}
+	opts := Options{Codec: code, StripeSize: 4096, Workers: 2, Checksum: ChecksumNone}
 	payload := randBytes(t, 100, 1)
 	shards := encodeAll(t, opts, payload)
 	want := referenceEncode(t, code, 4096, payload)
@@ -171,7 +173,7 @@ func TestEncoderStats(t *testing.T) {
 	if st.BytesIn != 2500 {
 		t.Fatalf("BytesIn = %d, want 2500", st.BytesIn)
 	}
-	wantOut := uint64(3 * 6 * enc.ShardSize())
+	wantOut := uint64(3 * 6 * enc.BlockSize())
 	if st.BytesOut != wantOut {
 		t.Fatalf("BytesOut = %d, want %d", st.BytesOut, wantOut)
 	}
@@ -319,7 +321,7 @@ func TestEncoderShardCountValidation(t *testing.T) {
 
 func TestEncoderReusableAcrossCalls(t *testing.T) {
 	code := mustRS(t, 4, 2)
-	enc, err := NewEncoder(Options{Codec: code, StripeSize: 1024, Workers: 2})
+	enc, err := NewEncoder(Options{Codec: code, StripeSize: 1024, Workers: 2, Checksum: ChecksumNone})
 	if err != nil {
 		t.Fatal(err)
 	}

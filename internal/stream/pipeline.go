@@ -15,11 +15,13 @@ type job struct {
 	ready chan struct{} // closed once the worker (or an abort) is done with the job
 	err   error         // sticky per-job failure, set before ready closes
 
-	data   []byte   // encoder: pooled stripe buffer (k*shardSize)
-	n      int      // encoder: valid payload bytes in data (tail stripe may be short)
-	parity []byte   // encoder: pooled parity buffer (m*shardSize), set by the worker
-	buf    []byte   // decoder: pooled stripe buffer ((k+m)*shardSize)
-	blocks [][]byte // decoder: k+m shard views into buf, nil for missing shards
+	data    []byte   // encoder: pooled stripe buffer (k*shardSize)
+	n       int      // encoder: valid payload bytes in data (tail stripe may be short)
+	parity  []byte   // encoder: pooled parity buffer (m*shardSize), set by the worker
+	crc     []byte   // encoder: pooled checksum trailers ((k+m)*crcSize), set by the worker
+	buf     []byte   // decoder: pooled stripe buffer ((k+m)*blockSize, trailers inline)
+	blocks  [][]byte // decoder: k+m shardSize-byte views into buf, nil for missing shards
+	demoted int      // decoder: blocks discarded as untrustworthy by the producer
 }
 
 // failFirst records the first error of the run and cancels the

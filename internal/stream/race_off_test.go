@@ -1,0 +1,8 @@
+//go:build !race
+
+package stream
+
+// raceEnabled reports whether the race detector is active; race-only
+// tests (concurrent Stats polling during a healing decode) scale
+// their workload down under instrumentation.
+const raceEnabled = false

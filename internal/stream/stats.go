@@ -15,12 +15,15 @@ const latencyBuckets = 27
 // counters is the internal, atomically updated statistics block of a
 // pipeline.
 type counters struct {
-	stripes       atomic.Uint64
-	bytesIn       atomic.Uint64
-	bytesOut      atomic.Uint64
-	shardFailures atomic.Uint64
-	reconstructed atomic.Uint64
-	lat           [latencyBuckets]atomic.Uint64
+	stripes         atomic.Uint64
+	bytesIn         atomic.Uint64
+	bytesOut        atomic.Uint64
+	shardFailures   atomic.Uint64
+	reconstructed   atomic.Uint64
+	shardsCorrupted atomic.Uint64
+	stripesHealed   atomic.Uint64
+	transientFaults atomic.Uint64
+	lat             [latencyBuckets]atomic.Uint64
 }
 
 func (c *counters) observe(d time.Duration) {
@@ -34,11 +37,14 @@ func (c *counters) observe(d time.Duration) {
 
 func (c *counters) snapshot() Stats {
 	s := Stats{
-		Stripes:       c.stripes.Load(),
-		BytesIn:       c.bytesIn.Load(),
-		BytesOut:      c.bytesOut.Load(),
-		ShardFailures: c.shardFailures.Load(),
-		Reconstructed: c.reconstructed.Load(),
+		Stripes:         c.stripes.Load(),
+		BytesIn:         c.bytesIn.Load(),
+		BytesOut:        c.bytesOut.Load(),
+		ShardFailures:   c.shardFailures.Load(),
+		Reconstructed:   c.reconstructed.Load(),
+		ShardsCorrupted: c.shardsCorrupted.Load(),
+		StripesHealed:   c.stripesHealed.Load(),
+		TransientFaults: c.transientFaults.Load(),
 	}
 	for i := range c.lat {
 		s.Latency.Counts[i] = c.lat[i].Load()
@@ -62,6 +68,19 @@ type Stats struct {
 	// Reconstructed counts stripes that needed erasure reconstruction
 	// (decoder only).
 	Reconstructed uint64
+	// ShardsCorrupted counts shard blocks demoted to erasures for one
+	// stripe (decoder only): checksum-trailer mismatches, plus blocks
+	// discarded after a transient read fault when no checksum is
+	// available to clear them. Unlike ShardFailures, a corrupted
+	// shard stays live for later stripes.
+	ShardsCorrupted uint64
+	// StripesHealed counts stripes that decoded correctly despite one
+	// or more corrupted shard blocks (decoder only).
+	StripesHealed uint64
+	// TransientFaults counts momentary read errors (errors exposing
+	// Transient() bool == true, e.g. fault.ErrInjected) the decoder
+	// absorbed without retiring the shard (decoder only).
+	TransientFaults uint64
 	// Latency is the per-stripe codec latency histogram (encode or
 	// reconstruct time, excluding I/O).
 	Latency LatencyHistogram

@@ -26,6 +26,7 @@ package stream
 import (
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"runtime"
 
 	"dialga/internal/lrc"
@@ -35,6 +36,56 @@ import (
 // Options.StripeSize is zero: 1 MiB, large enough to amortize
 // per-stripe scheduling, small enough that a deep window stays cheap.
 const DefaultStripeSize = 1 << 20
+
+// crcSize is the per-block checksum trailer width: one little-endian
+// CRC-32C word.
+const crcSize = 4
+
+// castagnoli is the CRC-32C table; hash/crc32 dispatches to the SSE4.2
+// / ARMv8 CRC instructions for this polynomial, so trailer computation
+// rides the hardware path.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum selects the per-block integrity trailer the pipeline
+// appends on encode and verifies on decode.
+type Checksum int
+
+const (
+	// ChecksumCRC32C appends a 4-byte little-endian CRC-32C
+	// (Castagnoli) over each shard block. It is the zero value:
+	// pipelines detect and self-heal silent corruption by default.
+	ChecksumCRC32C Checksum = iota
+	// ChecksumNone emits bare shard blocks — the legacy (v2 shard
+	// header) framing. The decoder then has no way to detect wrong
+	// bytes; only reader errors and early EOFs demote shards.
+	ChecksumNone
+)
+
+func (c Checksum) String() string {
+	switch c {
+	case ChecksumCRC32C:
+		return "crc32c"
+	case ChecksumNone:
+		return "none"
+	default:
+		return fmt.Sprintf("checksum(%d)", int(c))
+	}
+}
+
+// trailerSize is the number of trailer bytes appended to every shard
+// block under this checksum.
+func (c Checksum) trailerSize() int {
+	if c == ChecksumCRC32C {
+		return crcSize
+	}
+	return 0
+}
+
+// ErrTooManyCorrupt reports a stripe left with fewer than k usable
+// shard blocks once corrupt (checksum-failed), unreadable, and missing
+// shards are discounted. The decoder returns it — wrapped with the
+// stripe number — instead of ever emitting unverified bytes.
+var ErrTooManyCorrupt = errors.New("stream: too many corrupt or missing shard blocks in stripe")
 
 // Codec is the stripe-level erasure codec the pipeline drives: k data
 // shards in, m parity shards out, and reconstruction of a k+m stripe
@@ -92,16 +143,24 @@ type Options struct {
 	// memory stays at O(Window * StripeSize) regardless of input
 	// size. Default 2*Workers.
 	Window int
+
+	// Checksum selects the per-block integrity trailer. The zero
+	// value is ChecksumCRC32C; pass ChecksumNone to read or write the
+	// legacy trailer-less framing.
+	Checksum Checksum
 }
 
 // geom is a validated, defaulted view of Options.
 type geom struct {
 	codec      Codec
 	k, m       int
-	shardSize  int // bytes per shard per stripe
+	shardSize  int // data bytes per shard per stripe
 	stripeSize int // k * shardSize
 	workers    int
 	window     int
+	checksum   Checksum
+	trailer    int // trailer bytes per shard block (0 or crcSize)
+	blockSize  int // shardSize + trailer: bytes on the wire per shard per stripe
 }
 
 var errNoCodec = errors.New("stream: Options.Codec is required")
@@ -136,6 +195,10 @@ func (o Options) geometry() (geom, error) {
 	if window < 0 {
 		return geom{}, fmt.Errorf("stream: Window %d must be positive", window)
 	}
+	if o.Checksum != ChecksumCRC32C && o.Checksum != ChecksumNone {
+		return geom{}, fmt.Errorf("stream: unknown Checksum %d", o.Checksum)
+	}
+	trailer := o.Checksum.trailerSize()
 	return geom{
 		codec:      o.Codec,
 		k:          k,
@@ -144,6 +207,9 @@ func (o Options) geometry() (geom, error) {
 		stripeSize: shard * k,
 		workers:    workers,
 		window:     window,
+		checksum:   o.Checksum,
+		trailer:    trailer,
+		blockSize:  shard + trailer,
 	}, nil
 }
 
