@@ -5,6 +5,8 @@
 //	dialga-bench -all                # every figure
 //	dialga-bench -fig fig13 -csv     # CSV for plotting
 //	dialga-bench -all -quick         # fast smoke run (shapes untrusted)
+//	dialga-bench -straggler          # hedged vs plain decode under one slow shard
+//	dialga-bench -straggler -json    # same, machine-readable
 //
 // Figure ids follow the paper: fig03..fig07 are the §3 observations,
 // fig10..fig19 the §5 evaluation.
@@ -21,15 +23,25 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "", "figure id to run (fig03..fig19)")
-		all     = flag.Bool("all", false, "run every figure")
-		csv     = flag.Bool("csv", false, "emit CSV instead of a text table")
-		quick   = flag.Bool("quick", false, "small working sets and sweeps (fast, shapes untrusted)")
-		repeats = flag.Int("repeats", 1, "average multi-threaded points over N layout seeds")
-		verbose = flag.Bool("v", false, "log each run")
-		list    = flag.Bool("list", false, "list figure ids")
+		fig       = flag.String("fig", "", "figure id to run (fig03..fig19)")
+		all       = flag.Bool("all", false, "run every figure")
+		csv       = flag.Bool("csv", false, "emit CSV instead of a text table")
+		quick     = flag.Bool("quick", false, "small working sets and sweeps (fast, shapes untrusted)")
+		repeats   = flag.Int("repeats", 1, "average multi-threaded points over N layout seeds")
+		verbose   = flag.Bool("v", false, "log each run")
+		list      = flag.Bool("list", false, "list figure ids")
+		straggler = flag.Bool("straggler", false, "benchmark hedged vs plain decode with one slow shard")
+		asJSON    = flag.Bool("json", false, "with -straggler: emit JSON instead of text")
 	)
 	flag.Parse()
+
+	if *straggler {
+		if err := runStraggler(*quick, *asJSON); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		fmt.Println(strings.Join(harness.FigureIDs, "\n"))

@@ -1,0 +1,190 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"dialga/internal/fault"
+	"dialga/internal/rs"
+	"dialga/internal/stream"
+)
+
+// stragglerConfig is the fixed, seeded geometry of the -straggler
+// benchmark: one data shard pays a recurring seeded delay on every
+// block read while the rest of the fleet serves from memory.
+type stragglerConfig struct {
+	K          int   `json:"k"`
+	M          int   `json:"m"`
+	ShardSize  int   `json:"shard_size"`
+	Stripes    int   `json:"stripes"`
+	SlowShard  int   `json:"slow_shard"`
+	SlowMicros int64 `json:"slow_micros"` // mean injected delay per read; floor is half
+	Seed       int64 `json:"seed"`
+}
+
+// stragglerRun is one decode pass over the same shard set.
+type stragglerRun struct {
+	Hedged       bool    `json:"hedged"`
+	P50StripeUS  float64 `json:"p50_stripe_us"`
+	P99StripeUS  float64 `json:"p99_stripe_us"`
+	TotalMS      float64 `json:"total_ms"`
+	HedgedReads  uint64  `json:"hedged_reads"`
+	HedgeWins    uint64  `json:"hedge_wins"`
+	BreakerTrips uint64  `json:"breaker_trips"`
+	Retries      uint64  `json:"retries"`
+}
+
+type stragglerReport struct {
+	Config stragglerConfig `json:"config"`
+	Runs   []stragglerRun  `json:"runs"`
+}
+
+// stripeTimer is an output writer that timestamps every stripe
+// boundary, yielding the per-stripe delivery-latency distribution the
+// tail percentiles are computed from.
+type stripeTimer struct {
+	w          io.Writer
+	stripeSize int
+	n          int
+	last       time.Time
+	intervals  []time.Duration
+}
+
+func (s *stripeTimer) Write(p []byte) (int, error) {
+	if s.last.IsZero() {
+		s.last = time.Now()
+	}
+	n, err := s.w.Write(p)
+	s.n += n
+	for s.n >= s.stripeSize {
+		s.n -= s.stripeSize
+		now := time.Now()
+		s.intervals = append(s.intervals, now.Sub(s.last))
+		s.last = now
+	}
+	return n, err
+}
+
+func percentile(ds []time.Duration, q float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// runStraggler encodes a seeded payload once, then decodes it twice —
+// hedging off, hedging on — against a fleet with one straggling shard,
+// reporting p50/p99 per-stripe latency and the straggler counters for
+// each pass.
+func runStraggler(quick, asJSON bool) error {
+	cfg := stragglerConfig{
+		K: 4, M: 2, ShardSize: 4096, Stripes: 96,
+		SlowShard: 1, SlowMicros: 3000, Seed: 42,
+	}
+	if quick {
+		cfg.Stripes, cfg.SlowMicros = 24, 2000
+	}
+
+	code, err := rs.New(cfg.K, cfg.M)
+	if err != nil {
+		return err
+	}
+	opts := stream.Options{
+		Codec:      code,
+		StripeSize: cfg.K * cfg.ShardSize,
+		Workers:    2,
+		Seed:       uint64(cfg.Seed),
+	}
+	payload := make([]byte, cfg.Stripes*cfg.K*cfg.ShardSize)
+	// Seeded deterministic payload; content is irrelevant to timing.
+	st := uint64(cfg.Seed)
+	for i := range payload {
+		st = st*6364136223846793005 + 1442695040888963407
+		payload[i] = byte(st >> 56)
+	}
+	enc, err := stream.NewEncoder(opts)
+	if err != nil {
+		return err
+	}
+	shardBufs := make([]bytes.Buffer, cfg.K+cfg.M)
+	writers := make([]io.Writer, cfg.K+cfg.M)
+	for i := range shardBufs {
+		writers[i] = &shardBufs[i]
+	}
+	if err := enc.Encode(context.Background(), bytes.NewReader(payload), writers); err != nil {
+		return err
+	}
+
+	decode := func(hedge bool) (stragglerRun, error) {
+		o := opts
+		if hedge {
+			o.HedgeAfter = 500 * time.Microsecond
+		}
+		dec, err := stream.NewDecoder(o)
+		if err != nil {
+			return stragglerRun{}, err
+		}
+		readers := make([]io.Reader, cfg.K+cfg.M)
+		for i := range shardBufs {
+			readers[i] = bytes.NewReader(shardBufs[i].Bytes())
+		}
+		readers[cfg.SlowShard] = fault.NewReader(
+			bytes.NewReader(shardBufs[cfg.SlowShard].Bytes()),
+			fault.Plan{Ops: []fault.Op{{Kind: fault.Slow, Off: 0, Len: cfg.SlowMicros}}},
+		)
+		timer := &stripeTimer{w: io.Discard, stripeSize: cfg.K * cfg.ShardSize}
+		start := time.Now()
+		if err := dec.Decode(context.Background(), readers, timer, int64(len(payload))); err != nil {
+			return stragglerRun{}, err
+		}
+		total := time.Since(start)
+		s := dec.Stats()
+		return stragglerRun{
+			Hedged:       hedge,
+			P50StripeUS:  float64(percentile(timer.intervals, 0.50)) / float64(time.Microsecond),
+			P99StripeUS:  float64(percentile(timer.intervals, 0.99)) / float64(time.Microsecond),
+			TotalMS:      float64(total) / float64(time.Millisecond),
+			HedgedReads:  s.HedgedReads,
+			HedgeWins:    s.HedgeWins,
+			BreakerTrips: s.BreakerTrips,
+			Retries:      s.Retries,
+		}, nil
+	}
+
+	report := stragglerReport{Config: cfg}
+	for _, hedge := range []bool{false, true} {
+		run, err := decode(hedge)
+		if err != nil {
+			return fmt.Errorf("straggler decode (hedged=%v): %w", hedge, err)
+		}
+		report.Runs = append(report.Runs, run)
+	}
+
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report)
+	}
+	fmt.Printf("straggler decode: RS(%d,%d) shard=%dB stripes=%d, shard %d at ~%dus/read (seed %d)\n",
+		cfg.K, cfg.M, cfg.ShardSize, cfg.Stripes, cfg.SlowShard, cfg.SlowMicros, cfg.Seed)
+	fmt.Printf("  %-8s %12s %12s %10s %8s %6s %6s\n",
+		"mode", "p50/stripe", "p99/stripe", "total", "hedged", "wins", "trips")
+	for _, r := range report.Runs {
+		mode := "plain"
+		if r.Hedged {
+			mode = "hedged"
+		}
+		fmt.Printf("  %-8s %10.0fus %10.0fus %8.1fms %8d %6d %6d\n",
+			mode, r.P50StripeUS, r.P99StripeUS, r.TotalMS, r.HedgedReads, r.HedgeWins, r.BreakerTrips)
+	}
+	return nil
+}

@@ -136,6 +136,10 @@ func Join(shards [][]byte, size int) ([]byte, error) { return rs.Join(shards, si
 
 // StreamOptions configures a streaming pipeline. StreamOptions.Codec
 // accepts a *Codec directly; wrap an *LRC with its StreamCodec method.
+// The straggler-tolerance knobs (HedgeAfter, DeadlineMult, MaxRetries,
+// Backoff, BreakerThreshold, BreakerCooldown, Seed) configure the
+// decoder's hedged degraded reads, retry policy, and per-shard circuit
+// breakers; hedging is off until HedgeAfter is set.
 type StreamOptions = stream.Options
 
 // StreamCodec is the stripe-level codec interface the pipeline drives.
@@ -143,8 +147,15 @@ type StreamCodec = stream.Codec
 
 // StreamStats is a snapshot of pipeline counters: stripes, bytes
 // in/out, reconstruction and integrity counts (ShardsCorrupted,
-// StripesHealed, TransientFaults), and a stripe-latency histogram.
+// StripesHealed, TransientFaults), straggler-tolerance counts
+// (HedgedReads, HedgeWins, BreakerTrips, Retries, WorkerPanics), and a
+// stripe-latency histogram.
 type StreamStats = stream.Stats
+
+// StreamPanicError is a panic recovered from a pipeline or shard-reader
+// goroutine, surfaced as an ordinary error (and counted in
+// StreamStats.WorkerPanics) instead of crashing the process.
+type StreamPanicError = stream.PanicError
 
 // StreamChecksum selects the per-block integrity trailer of a
 // streaming pipeline. The zero value is StreamChecksumCRC32C, so

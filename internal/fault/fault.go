@@ -3,8 +3,9 @@
 //
 // A Plan is an ordered list of byte-offset-addressed operations —
 // flip a bit, zero a range, truncate the stream, raise a one-shot
-// transient error, cut or stall a write — applied by the Reader and
-// Writer wrappers as bytes flow through them. Plans are plain data:
+// transient error, cut or stall a write, slow every read like a
+// straggling device — applied by the Reader and Writer wrappers as
+// bytes flow through them. Plans are plain data:
 // they serialize to a compact string (Plan.String / Parse) so a
 // failing fuzz or property-test case can be pinned verbatim in a
 // regression test, and Generate derives a random-but-reproducible
@@ -44,6 +45,14 @@ const (
 	// Stall sleeps Len microseconds before the transfer that crosses
 	// offset Off proceeds (write path).
 	Stall
+	// Slow turns the stream into a persistent straggler: every read
+	// that transfers a byte at or past offset Off first sleeps a delay
+	// drawn deterministically per read from the op itself — the j-th
+	// delayed read sleeps a value in [Len/2, 3*Len/2) microseconds
+	// derived by hashing (Off, Len, j), so a plan replays the same
+	// latency trace every run without any extra seed state (read
+	// path).
+	Slow
 )
 
 var kindNames = map[Kind]string{
@@ -53,6 +62,7 @@ var kindNames = map[Kind]string{
 	ErrOnce:    "err",
 	ShortWrite: "short",
 	Stall:      "stall",
+	Slow:       "slow",
 }
 
 func (k Kind) String() string {
@@ -66,7 +76,7 @@ func (k Kind) String() string {
 type Op struct {
 	Kind Kind
 	Off  int64 // absolute byte offset the fault anchors to
-	Len  int64 // ZeroFill: span in bytes; Stall: microseconds
+	Len  int64 // ZeroFill: span in bytes; Stall/Slow: microseconds
 	Bit  uint8 // BitFlip: bit index 0..7
 }
 

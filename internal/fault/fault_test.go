@@ -2,9 +2,11 @@ package fault
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"io"
 	"testing"
+	"time"
 )
 
 func payload(n int) []byte {
@@ -203,6 +205,7 @@ func TestPlanStringParseRoundTrip(t *testing.T) {
 			{Kind: ErrOnce, Off: 50},
 			{Kind: ShortWrite, Off: 8},
 			{Kind: Stall, Off: 64, Len: 250},
+			{Kind: Slow, Off: 0, Len: 4000},
 		}},
 	}
 	for _, p := range plans {
@@ -266,5 +269,105 @@ func TestReaderPlanFromString(t *testing.T) {
 	clear(want[20:25])
 	if transients != 1 || !bytes.Equal(got, want) {
 		t.Fatalf("replayed plan mismatch: %d transients, %d bytes", transients, len(got))
+	}
+}
+
+// TestReaderSlowDeterministic pins the Slow contract: every read that
+// transfers a byte at or past the op's offset sleeps a per-read delay
+// that replays identically run over run, and the payload is untouched.
+func TestReaderSlowDeterministic(t *testing.T) {
+	src := payload(64)
+	run := func() ([]byte, time.Duration) {
+		start := time.Now()
+		got, _ := readAllFlaky(t, NewReader(bytes.NewReader(src), Plan{
+			Ops: []Op{{Kind: Slow, Off: 0, Len: 2000}}, // ~2ms mean per read
+		}))
+		return got, time.Since(start)
+	}
+	got, dur := run()
+	if !bytes.Equal(got, src) {
+		t.Fatal("slow reader corrupted the stream")
+	}
+	// 64 bytes in 13-byte reads = 5 delayed reads of >= 1ms each.
+	if dur < 5*time.Millisecond {
+		t.Fatalf("slow plan added only %v of latency, want >= 5ms", dur)
+	}
+	// The delay schedule itself is a pure function of the op.
+	for j := int64(0); j < 16; j++ {
+		if slowDelay(Op{Kind: Slow, Off: 0, Len: 2000}, j) != slowDelay(Op{Kind: Slow, Off: 0, Len: 2000}, j) {
+			t.Fatal("slowDelay not deterministic")
+		}
+		d := slowDelay(Op{Kind: Slow, Off: 0, Len: 2000}, j)
+		if d < time.Millisecond || d >= 3*time.Millisecond {
+			t.Fatalf("draw %d = %v outside [Len/2, 3*Len/2)", j, d)
+		}
+	}
+}
+
+// TestReaderSlowRespectsOffset: reads entirely before the offset pay
+// no latency.
+func TestReaderSlowRespectsOffset(t *testing.T) {
+	src := payload(100)
+	r := NewReader(bytes.NewReader(src), Plan{
+		Ops: []Op{{Kind: Slow, Off: 90, Len: 50000}},
+	})
+	start := time.Now()
+	buf := make([]byte, 45)
+	for pos := 0; pos < 90; pos += 45 {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := time.Since(start); d > 20*time.Millisecond {
+		t.Fatalf("reads before the slow offset took %v", d)
+	}
+}
+
+// TestReaderSlowCancelled: a cancelled context interrupts an injected
+// sleep instead of serving it out.
+func TestReaderSlowCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	r := NewReader(bytes.NewReader(payload(64)), Plan{
+		Ops: []Op{{Kind: Slow, Off: 0, Len: 10_000_000}}, // ~10s mean
+	}).WithContext(ctx)
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.Read(make([]byte, 16))
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled slow read returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled slow read did not return")
+	}
+}
+
+// TestWriterStallCancelled: the write-side stall honours its context
+// the same way.
+func TestWriterStallCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var sink bytes.Buffer
+	w := NewWriter(&sink, Plan{
+		Ops: []Op{{Kind: Stall, Off: 0, Len: 10_000_000}},
+	}).WithContext(ctx)
+	done := make(chan error, 1)
+	go func() {
+		_, err := w.Write(payload(8))
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled stall returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled stalled write did not return")
 	}
 }

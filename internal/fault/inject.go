@@ -1,9 +1,54 @@
 package fault
 
 import (
+	"context"
 	"io"
 	"time"
 )
+
+// sleep pauses for d unless ctx is cancelled first, in which case it
+// returns the context's error. A nil ctx sleeps unconditionally.
+// Injected latency (Stall, Slow) goes through here so a cancelled
+// decode is never held hostage by its own fault plan.
+func sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	if ctx == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// splitmix64 is the SplitMix64 finalizer: a cheap, stateless hash used
+// to derive per-read Slow delays from plan data alone, so the latency
+// trace is reproducible without carrying RNG state.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// slowDelay returns the sleep for the j-th read delayed by a Slow op:
+// uniform over [Len/2, 3*Len/2) microseconds, deterministic in
+// (Off, Len, j).
+func slowDelay(op Op, j int64) time.Duration {
+	if op.Len <= 0 {
+		return 0
+	}
+	h := splitmix64(uint64(op.Off)*0x100000001b3 ^ uint64(op.Len)<<1 ^ uint64(j))
+	us := op.Len/2 + int64(h%uint64(op.Len))
+	return time.Duration(us) * time.Microsecond
+}
 
 // Reader applies a Plan to the bytes flowing out of an underlying
 // reader. Offsets are absolute: byte 0 is the first byte the wrapped
@@ -11,19 +56,31 @@ import (
 // place, Truncate converts the stream to a clean early EOF, and
 // ErrOnce raises one transient *Err without consuming input — the
 // next Read resumes exactly where the stream stopped, the way a
-// flaky-but-live transport behaves.
+// flaky-but-live transport behaves. Slow makes the reader a
+// persistent straggler: a deterministic per-read sleep before every
+// transfer at or past its offset.
 type Reader struct {
 	r     io.Reader
+	ctx   context.Context
 	pos   int64
 	ops   []Op
-	fired []bool // ErrOnce ops that already triggered
+	fired []bool  // ErrOnce ops that already triggered
+	count []int64 // Slow ops: reads delayed so far (the delay-draw index)
 }
 
 // NewReader wraps r with the plan's read-side faults. Write-side ops
 // (ShortWrite, Stall) are ignored.
 func NewReader(r io.Reader, p Plan) *Reader {
 	ops := append([]Op(nil), p.Ops...)
-	return &Reader{r: r, ops: ops, fired: make([]bool, len(ops))}
+	return &Reader{r: r, ops: ops, fired: make([]bool, len(ops)), count: make([]int64, len(ops))}
+}
+
+// WithContext binds ctx to the reader's injected sleeps: a Slow delay
+// in progress returns ctx.Err() as soon as ctx is cancelled instead of
+// sleeping out its full draw. It returns f for chaining.
+func (f *Reader) WithContext(ctx context.Context) *Reader {
+	f.ctx = ctx
+	return f
 }
 
 func (f *Reader) Read(p []byte) (int, error) {
@@ -51,6 +108,19 @@ func (f *Reader) Read(p []byte) (int, error) {
 			// Stop this read just short of the trigger byte so the
 			// fault fires with nothing lost.
 			limit = op.Off - f.pos
+		}
+	}
+	// Straggler latency fires after the transfer window is known: any
+	// read that would deliver a byte at or past a Slow op's offset
+	// sleeps that op's next deterministic delay first.
+	for i, op := range f.ops {
+		if op.Kind != Slow || op.Off >= f.pos+limit {
+			continue
+		}
+		j := f.count[i]
+		f.count[i]++
+		if err := sleep(f.ctx, slowDelay(op, j)); err != nil {
+			return 0, err
 		}
 	}
 	n, err := f.r.Read(p[:limit])
@@ -98,6 +168,7 @@ func applyDataOps(ops []Op, b []byte, pos int64) {
 // hiccups without failing.
 type Writer struct {
 	w     io.Writer
+	ctx   context.Context
 	pos   int64
 	ops   []Op
 	fired []bool // ErrOnce/ShortWrite/Stall ops that already triggered
@@ -108,6 +179,14 @@ type Writer struct {
 func NewWriter(w io.Writer, p Plan) *Writer {
 	ops := append([]Op(nil), p.Ops...)
 	return &Writer{w: w, ops: ops, fired: make([]bool, len(ops))}
+}
+
+// WithContext binds ctx to the writer's injected sleeps (Stall): a
+// stall in progress returns ctx.Err() as soon as ctx is cancelled. It
+// returns f for chaining.
+func (f *Writer) WithContext(ctx context.Context) *Writer {
+	f.ctx = ctx
+	return f
 }
 
 func (f *Writer) Write(p []byte) (int, error) {
@@ -137,7 +216,9 @@ func (f *Writer) Write(p []byte) (int, error) {
 		case Stall:
 			if op.Off >= f.pos && op.Off < f.pos+limit {
 				f.fired[i] = true
-				time.Sleep(time.Duration(op.Len) * time.Microsecond)
+				if err := sleep(f.ctx, time.Duration(op.Len)*time.Microsecond); err != nil {
+					return 0, err
+				}
 			}
 		}
 	}

@@ -23,6 +23,8 @@ func (p Plan) String() string {
 			fmt.Fprintf(&b, "zero@%d+%d", op.Off, op.Len)
 		case Stall:
 			fmt.Fprintf(&b, "stall@%d+%d", op.Off, op.Len)
+		case Slow:
+			fmt.Fprintf(&b, "slow@%d+%d", op.Off, op.Len)
 		default:
 			fmt.Fprintf(&b, "%s@%d", op.Kind, op.Off)
 		}
@@ -59,11 +61,14 @@ func Parse(s string) (Plan, error) {
 				return Plan{}, fmt.Errorf("%w: flip bit %q out of range", errBadPlan, bits)
 			}
 			op.Off, op.Bit = off, uint8(bit)
-		case "zero", "stall":
-			if name == "zero" {
+		case "zero", "stall", "slow":
+			switch name {
+			case "zero":
 				op.Kind = ZeroFill
-			} else {
+			case "stall":
 				op.Kind = Stall
+			case "slow":
+				op.Kind = Slow
 			}
 			offs, lens, ok := strings.Cut(rest, "+")
 			if !ok {

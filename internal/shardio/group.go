@@ -1,0 +1,371 @@
+package shardio
+
+import (
+	"context"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ewmaAlpha is the weight of the newest block-read latency sample in a
+// shard's moving average: heavy enough to react to a shard turning
+// slow within a few stripes, light enough to ride out one hiccup.
+const ewmaAlpha = 0.25
+
+// shardMeta is the gather loop's per-shard state. It is owned by the
+// single consumer goroutine; the shard goroutines never touch it.
+type shardMeta struct {
+	missing bool
+	dead    bool
+	deadErr error
+	eof     bool
+
+	outstanding    bool  // a request is in flight
+	outstandingSeq int64 // its stripe
+	late           *lateSlot
+	lateSeq        int64
+
+	ewma    float64 // block-read latency EWMA, microseconds
+	samples uint64
+
+	misses    int // consecutive adaptive-deadline misses (breaker input)
+	trips     int // total breaker trips (sets the cooldown backoff)
+	open      bool
+	openUntil time.Time
+}
+
+func (m *shardMeta) observe(d time.Duration) {
+	us := float64(d) / float64(time.Microsecond)
+	if m.samples == 0 {
+		m.ewma = us
+	} else {
+		m.ewma = ewmaAlpha*us + (1-ewmaAlpha)*m.ewma
+	}
+	m.samples++
+}
+
+// Group schedules block reads across a stripe's shard readers. Create
+// one per decode with NewGroup, call Next once per stripe from a
+// single goroutine, and Close when done.
+type Group struct {
+	opts    Options
+	n       int
+	readers []io.Reader
+	req     []chan request
+	results chan result
+	pool    *blockPool
+
+	stop      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	seq int64
+	sh  []shardMeta
+}
+
+// NewGroup validates opts, spawns one reader goroutine per non-nil
+// shard reader, and returns the ready group. Nil entries in readers
+// are permanently missing shards.
+func NewGroup(readers []io.Reader, opts Options) (*Group, error) {
+	opts, err := opts.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	n := len(readers)
+	g := &Group{
+		opts:    opts,
+		n:       n,
+		readers: readers,
+		req:     make([]chan request, n),
+		results: make(chan result, n),
+		pool:    newBlockPool(opts.BlockSize),
+		stop:    make(chan struct{}),
+		sh:      make([]shardMeta, n),
+	}
+	for i, r := range readers {
+		if r == nil {
+			g.sh[i].missing = true
+			continue
+		}
+		g.req[i] = make(chan request, 1)
+		g.wg.Add(1)
+		go g.runShard(i)
+	}
+	return g, nil
+}
+
+// Close signals every shard goroutine to exit and drains any results
+// already buffered. A goroutine blocked inside an underlying Read
+// exits as soon as that Read returns (use context-aware readers to
+// make that prompt under cancellation); its buffer is dropped to the
+// GC. Close is idempotent and safe after a cancelled Next.
+func (g *Group) Close() {
+	g.closeOnce.Do(func() {
+		close(g.stop)
+		// Recycle whatever already landed; goroutines still blocked in
+		// a Read will drop their buffers on the floor when they wake.
+		for {
+			select {
+			case res := <-g.results:
+				g.pool.put(res.buf)
+			default:
+				return
+			}
+		}
+	})
+}
+
+// wait blocks until every shard goroutine has exited — i.e. until
+// every in-flight Read has returned. Exposed for leak tests.
+func (g *Group) wait() { g.wg.Wait() }
+
+// enqueue hands shard i a request for stripe seq. The caller must
+// know the shard is idle (no outstanding request).
+func (g *Group) enqueue(i int, seq int64) {
+	m := &g.sh[i]
+	m.outstanding = true
+	m.outstandingSeq = seq
+	g.req[i] <- request{seq: seq, buf: g.pool.get()}
+}
+
+// eligible reports whether shard i can be asked for a block right now.
+func (g *Group) eligible(i int, now time.Time) bool {
+	m := &g.sh[i]
+	return !m.missing && !m.dead && !m.eof && !m.outstanding &&
+		!(m.open && now.Before(m.openUntil))
+}
+
+// deadline derives the stripe's adaptive deadline from the fleet: the
+// median of live shards' latency EWMAs times DeadlineMult, clamped to
+// [HedgeAfter, MaxDeadline]. ok is false until any shard has a sample.
+func (g *Group) deadline() (time.Duration, bool) {
+	ewmas := make([]float64, 0, g.n)
+	for i := range g.sh {
+		m := &g.sh[i]
+		if m.samples > 0 && !m.missing && !m.dead && !m.eof {
+			ewmas = append(ewmas, m.ewma)
+		}
+	}
+	if len(ewmas) == 0 {
+		return 0, false
+	}
+	sort.Float64s(ewmas)
+	med := ewmas[len(ewmas)/2]
+	d := time.Duration(g.opts.DeadlineMult * med * float64(time.Microsecond))
+	if d < g.opts.HedgeAfter {
+		d = g.opts.HedgeAfter
+	}
+	if d > g.opts.MaxDeadline {
+		d = g.opts.MaxDeadline
+	}
+	return d, true
+}
+
+// miss records a deadline miss against shard i's breaker, tripping it
+// open (or re-opening a half-open probe) once misses reach the
+// threshold. Cooldown doubles with every consecutive trip.
+func (g *Group) miss(i int, st *Stripe) {
+	m := &g.sh[i]
+	m.misses++
+	if g.opts.BreakerThreshold <= 0 {
+		return
+	}
+	if !m.open && m.misses < g.opts.BreakerThreshold {
+		return
+	}
+	shift := m.trips
+	if shift > 6 {
+		shift = 6
+	}
+	m.open = true
+	m.openUntil = time.Now().Add(g.opts.BreakerCooldown << shift)
+	m.trips++
+	m.misses = 0
+	st.Trips++
+}
+
+// Next gathers the blocks of the next stripe. It returns a non-nil
+// error only when ctx is cancelled; every per-shard failure is
+// reported in the Stripe instead. The caller owns the returned stripe
+// and must Release it.
+func (g *Group) Next(ctx context.Context) (*Stripe, error) {
+	seq := g.seq
+	g.seq++
+	st := &Stripe{
+		Seq:        seq,
+		Blocks:     make([][]byte, g.n),
+		States:     make([]ShardState, g.n),
+		Errs:       make([]error, g.n),
+		Transients: make([]uint64, g.n),
+		slots:      make([]*lateSlot, g.n),
+		pool:       g.pool,
+	}
+	now := time.Now()
+	awaited := make([]bool, g.n)
+	wait := 0
+	for i := range g.sh {
+		m := &g.sh[i]
+		switch {
+		case m.missing:
+			st.States[i] = StateMissing
+		case m.dead:
+			st.States[i] = StateDead
+			st.Errs[i] = m.deadErr
+		case m.eof:
+			st.States[i] = StateEOF
+		case m.open && now.Before(m.openUntil):
+			st.States[i] = StateOpen
+		case m.outstanding:
+			// Still serving an earlier stripe: a straggler mid-read.
+			st.States[i] = StateSlow
+		default:
+			g.enqueue(i, seq)
+			awaited[i] = true
+			wait++
+			st.States[i] = StateSlow // provisional until its result lands
+		}
+	}
+
+	hedge := g.opts.HedgeAfter > 0
+	got := 0
+	var timer *time.Timer
+	var timeC <-chan time.Time
+	timedOut := false
+	arm := func() {
+		if !hedge || timer != nil {
+			return
+		}
+		if d, ok := g.deadline(); ok {
+			timer = time.NewTimer(d)
+			timeC = timer.C
+		}
+	}
+	arm()
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
+
+	// abandon demotes every still-awaited shard to slow for this
+	// stripe, registering the late slot that lets the hedge race
+	// resolve in the worker.
+	abandon := func() {
+		for i := range awaited {
+			if !awaited[i] {
+				continue
+			}
+			awaited[i] = false
+			m := &g.sh[i]
+			slot := &lateSlot{}
+			m.late, m.lateSeq = slot, m.outstandingSeq
+			st.slots[i] = slot
+			st.States[i] = StateSlow
+			st.Hedged = true
+			g.miss(i, st)
+		}
+		wait = 0
+	}
+
+	for wait > 0 {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-timeC:
+			timeC = nil
+			if got >= g.opts.Quorum {
+				abandon()
+			} else {
+				timedOut = true // keep waiting; hedge as soon as quorum lands
+			}
+		case res := <-g.results:
+			g.consume(&res, seq, st, awaited, &wait, &got)
+			if hedge && wait > 0 && got >= g.opts.Quorum {
+				if timedOut {
+					abandon()
+				} else {
+					arm() // first samples may only exist now (cold start)
+				}
+			}
+		}
+	}
+	return st, nil
+}
+
+// consume folds one shard result into the gather state. Stale results
+// (from stripes already hedged past) recycle or hand off their block
+// and re-admit the shard to the current stripe when it is eligible.
+func (g *Group) consume(res *result, seq int64, st *Stripe, awaited []bool, wait, got *int) {
+	i := res.shard
+	m := &g.sh[i]
+	m.outstanding = false
+	st.Retries += uint64(res.retries)
+	if res.panicked {
+		st.Panics++
+	}
+
+	if res.seq != seq {
+		// A background read from a stripe the pipeline already left.
+		switch {
+		case res.eof:
+			m.eof = true
+			st.States[i] = StateEOF
+			g.pool.put(res.buf)
+		case res.err != nil:
+			m.dead, m.deadErr = true, res.err
+			st.States[i] = StateDead
+			st.Errs[i] = res.err
+			g.pool.put(res.buf)
+		default:
+			st.LateTransients += uint64(res.transients)
+			m.observe(res.dur)
+			delivered := false
+			if m.late != nil && m.lateSeq == res.seq {
+				delivered = m.late.offer(res.buf)
+			}
+			if !delivered {
+				g.pool.put(res.buf)
+			}
+			// Rejoin the stripe being gathered: the shard may have
+			// recovered and can still make this deadline.
+			if g.eligible(i, time.Now()) {
+				g.enqueue(i, seq)
+				awaited[i] = true
+				*wait++
+			}
+		}
+		if m.late != nil && m.lateSeq == res.seq {
+			m.late = nil
+		}
+		return
+	}
+
+	if awaited[i] {
+		awaited[i] = false
+		*wait--
+	}
+	switch {
+	case res.eof:
+		m.eof = true
+		st.States[i] = StateEOF
+		g.pool.put(res.buf)
+	case res.err != nil:
+		m.dead, m.deadErr = true, res.err
+		st.States[i] = StateDead
+		st.Errs[i] = res.err
+		g.pool.put(res.buf)
+	default:
+		st.Blocks[i] = res.buf
+		st.Transients[i] = uint64(res.transients)
+		st.States[i] = StateOK
+		*got++
+		m.observe(res.dur)
+		m.misses = 0
+		if m.open {
+			// Half-open probe answered in time: breaker closes.
+			m.open = false
+			m.trips = 0
+		}
+	}
+}

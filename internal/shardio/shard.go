@@ -1,0 +1,156 @@
+package shardio
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime/debug"
+	"time"
+)
+
+// request asks a shard goroutine for the block of stripe seq. The
+// goroutine skip-reads any blocks between its stream position and seq
+// first, so shards sidelined by an open breaker stay stripe-aligned.
+type request struct {
+	seq int64
+	buf []byte
+}
+
+// result is a shard goroutine's answer to one request. Exactly one
+// result is sent per request, so the results channel (capacity = shard
+// count) can never block a send.
+type result struct {
+	shard      int
+	seq        int64
+	buf        []byte
+	err        error         // terminal failure; nil for delivered blocks and clean EOF
+	eof        bool          // clean EOF at a block boundary, at or before seq
+	panicked   bool          // err is a *PanicError
+	dur        time.Duration // wall time of the final block read, incl. retries
+	transients int           // transient errors absorbed reading this request
+	retries    int           // backoff retries spent on this request
+}
+
+// errClosed reports a read abandoned because the group was closed
+// mid-backoff.
+var errClosed = errors.New("shardio: group closed")
+
+// runShard serves block requests for shard i until the group closes.
+// It owns the reader: all Reads for the shard happen here, so a slow
+// read blocks only this goroutine while the gather loop moves on.
+func (g *Group) runShard(i int) {
+	defer g.wg.Done()
+	r := g.readers[i]
+	// Deterministic full-jitter source: fixed Seed => fixed schedule.
+	rng := rand.New(rand.NewSource(int64(g.opts.Seed ^ uint64(i)*0x9e3779b97f4a7c15)))
+	var scratch []byte
+	pos := int64(0) // next block index the reader is positioned at
+	for {
+		var req request
+		select {
+		case <-g.stop:
+			return
+		case req = <-g.req[i]:
+		}
+		res := result{shard: i, seq: req.seq, buf: req.buf}
+		g.serve(i, r, rng, &scratch, &pos, req, &res)
+		select {
+		case g.results <- res:
+		case <-g.stop:
+			return
+		}
+	}
+}
+
+// serve fulfills one request, converting panics (a misbehaving reader
+// implementation) into a typed error instead of killing the process.
+func (g *Group) serve(i int, r io.Reader, rng *rand.Rand, scratch *[]byte, pos *int64, req request, res *result) {
+	defer func() {
+		if p := recover(); p != nil {
+			res.err = &PanicError{
+				Stage: fmt.Sprintf("shard %d reader", i),
+				Value: p,
+				Stack: debug.Stack(),
+			}
+			res.panicked = true
+		}
+	}()
+	// Catch up: consume the blocks between the reader's position and
+	// the requested stripe (skipped while the breaker was open or the
+	// shard was sidelined as slow).
+	for *pos < req.seq {
+		if *scratch == nil {
+			*scratch = make([]byte, g.opts.BlockSize)
+		}
+		eof, err := g.readBlock(r, rng, *scratch, res)
+		*pos++
+		if eof {
+			res.eof = true
+			return
+		}
+		if err != nil {
+			res.err = err
+			return
+		}
+	}
+	start := time.Now()
+	eof, err := g.readBlock(r, rng, req.buf, res)
+	*pos++
+	res.dur = time.Since(start)
+	if eof {
+		res.eof = true
+		return
+	}
+	res.err = err
+}
+
+// readBlock reads one full block, absorbing up to MaxRetries transient
+// errors with exponential full-jitter backoff. A clean EOF before the
+// first byte returns eof=true; a mid-block EOF or any other failure is
+// terminal.
+func (g *Group) readBlock(r io.Reader, rng *rand.Rand, buf []byte, res *result) (eof bool, err error) {
+	n := 0
+	for attempt := 0; ; {
+		m, err := io.ReadFull(r, buf[n:])
+		n += m
+		switch {
+		case err == nil:
+			return false, nil
+		case err == io.EOF && n == 0:
+			return true, nil
+		case isTransient(err) && attempt < g.opts.MaxRetries:
+			attempt++
+			res.retries++
+			res.transients++
+			if g.opts.Backoff > 0 {
+				shift := attempt - 1
+				if shift > 16 {
+					shift = 16
+				}
+				d := time.Duration(rng.Int63n(int64(g.opts.Backoff<<shift) + 1))
+				if !g.sleep(d) {
+					return false, errClosed
+				}
+			}
+		default:
+			return false, err
+		}
+	}
+}
+
+// sleep pauses for d or until the group closes; it reports whether the
+// full duration elapsed.
+func (g *Group) sleep(d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-g.stop:
+		return false
+	}
+}

@@ -1,0 +1,373 @@
+// Package shardio is a straggler-tolerant shard-I/O scheduling layer
+// for the streaming erasure decoder.
+//
+// The plain decoder reads one block per stripe from every shard reader
+// in turn, so a single slow-but-alive reader drags every stripe down
+// to the straggler's speed. Erasure coding makes "slow" a soft
+// failure: any k of the k+m blocks recover the stripe, so a laggard
+// can be treated as an erasure-for-now and reconstructed around — the
+// stream-layer analogue of DIALGA's relative-latency trigger, which
+// reacts to a shard running behind its peers rather than to hard
+// errors only.
+//
+// A Group owns one goroutine per shard reader and schedules block
+// reads with four defenses layered on top of the raw io.Reader:
+//
+//   - Latency tracking. Every block read updates a per-shard EWMA;
+//     the fleet median of those EWMAs yields an adaptive per-stripe
+//     deadline (DeadlineMult × p50, clamped to [HedgeAfter,
+//     MaxDeadline]).
+//   - Hedged reads. A shard that misses the deadline while at least
+//     Quorum blocks have arrived is demoted to slow for the stripe:
+//     the stripe proceeds to reconstruction immediately while the slow
+//     read continues in the background. Whichever finishes first wins
+//     — the consumer may claim a late-arriving block via
+//     Stripe.TakeLate up to the moment it commits to reconstruction.
+//   - Retry with backoff. Transient read errors (Transient() bool ==
+//     true) are retried up to MaxRetries times with exponential
+//     backoff and full jitter, deterministically seeded, instead of a
+//     single immediate retry.
+//   - Circuit breaking. A shard that misses its deadline
+//     BreakerThreshold times in a row is demoted to open: the group
+//     stops waiting for it entirely. After a cooldown (doubling per
+//     trip) the breaker goes half-open and the next stripe issues a
+//     probe read; an on-time probe closes the breaker, a miss re-opens
+//     it with a longer cooldown.
+//
+// Per-shard stream position is tracked by the shard goroutine itself:
+// a request for stripe s first skip-reads any blocks an open or slow
+// period left behind, so shards re-admitted by a half-open probe are
+// always stripe-aligned.
+//
+// All Group methods are intended for a single consumer goroutine (the
+// decoder's producer); only Stripe.TakeLate is safe to call
+// concurrently with the gather loop.
+package shardio
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Defaults applied by NewGroup for zero-valued Options fields.
+const (
+	DefaultDeadlineMult     = 3.0
+	DefaultMaxDeadline      = 15 * time.Second
+	DefaultMaxRetries       = 3
+	DefaultBackoff          = 500 * time.Microsecond
+	DefaultBreakerThreshold = 5
+	DefaultBreakerCooldown  = 250 * time.Millisecond
+)
+
+// Options configures a Group.
+type Options struct {
+	// BlockSize is the bytes read from each shard per stripe.
+	// Required.
+	BlockSize int
+
+	// Quorum is the minimum number of delivered blocks that makes a
+	// stripe recoverable (the code's k). Hedging never abandons a
+	// laggard while fewer than Quorum blocks have arrived. Required.
+	Quorum int
+
+	// HedgeAfter enables hedged reads when positive: it is both the
+	// switch and the floor of the adaptive deadline, so scheduling
+	// noise on fast in-memory reads cannot trigger spurious hedges.
+	// Zero disables hedging (and the circuit breaker with it): every
+	// stripe waits for all live shards, however slow.
+	HedgeAfter time.Duration
+
+	// DeadlineMult scales the fleet-median EWMA into the per-stripe
+	// deadline. Default DefaultDeadlineMult; must be >= 1.
+	DeadlineMult float64
+
+	// MaxDeadline caps the adaptive deadline. Default
+	// DefaultMaxDeadline.
+	MaxDeadline time.Duration
+
+	// MaxRetries bounds transient-error retries per block read.
+	// Default DefaultMaxRetries; negative means no retries.
+	MaxRetries int
+
+	// Backoff is the base of the exponential full-jitter backoff
+	// between retries: retry i sleeps uniform [0, Backoff<<(i-1)).
+	// Default DefaultBackoff.
+	Backoff time.Duration
+
+	// BreakerThreshold is the number of consecutive deadline misses
+	// that opens a shard's circuit breaker. Default
+	// DefaultBreakerThreshold; negative disables the breaker.
+	BreakerThreshold int
+
+	// BreakerCooldown is the open period before the first half-open
+	// probe; it doubles with every consecutive trip. Default
+	// DefaultBreakerCooldown.
+	BreakerCooldown time.Duration
+
+	// Seed makes retry jitter reproducible. Shard i derives its RNG
+	// from Seed^i, so a fixed seed yields a fixed backoff schedule.
+	Seed uint64
+}
+
+// Normalize fills defaults and validates. NewGroup applies it
+// automatically; it is exported so wrappers can validate straggler
+// options at construction time and surface errors early.
+func (o Options) Normalize() (Options, error) {
+	if o.BlockSize <= 0 {
+		return o, fmt.Errorf("shardio: BlockSize %d must be positive", o.BlockSize)
+	}
+	if o.Quorum <= 0 {
+		return o, fmt.Errorf("shardio: Quorum %d must be positive", o.Quorum)
+	}
+	if o.HedgeAfter < 0 {
+		return o, fmt.Errorf("shardio: HedgeAfter %v must not be negative", o.HedgeAfter)
+	}
+	if o.DeadlineMult == 0 {
+		o.DeadlineMult = DefaultDeadlineMult
+	}
+	if o.DeadlineMult < 1 {
+		return o, fmt.Errorf("shardio: DeadlineMult %g must be >= 1", o.DeadlineMult)
+	}
+	if o.MaxDeadline == 0 {
+		o.MaxDeadline = DefaultMaxDeadline
+	}
+	if o.MaxDeadline < 0 {
+		return o, fmt.Errorf("shardio: MaxDeadline %v must not be negative", o.MaxDeadline)
+	}
+	switch {
+	case o.MaxRetries == 0:
+		o.MaxRetries = DefaultMaxRetries
+	case o.MaxRetries < 0:
+		o.MaxRetries = 0
+	}
+	if o.Backoff == 0 {
+		o.Backoff = DefaultBackoff
+	}
+	if o.Backoff < 0 {
+		return o, fmt.Errorf("shardio: Backoff %v must not be negative", o.Backoff)
+	}
+	switch {
+	case o.BreakerThreshold == 0:
+		o.BreakerThreshold = DefaultBreakerThreshold
+	case o.BreakerThreshold < 0:
+		o.BreakerThreshold = 0 // disabled
+	}
+	if o.BreakerCooldown == 0 {
+		o.BreakerCooldown = DefaultBreakerCooldown
+	}
+	if o.BreakerCooldown < 0 {
+		return o, fmt.Errorf("shardio: BreakerCooldown %v must not be negative", o.BreakerCooldown)
+	}
+	return o, nil
+}
+
+// ShardState is a shard's disposition for one stripe — the decoder's
+// four-severity model plus the bookkeeping states around it.
+type ShardState uint8
+
+const (
+	// StateOK: the block arrived in time and is present in Blocks.
+	StateOK ShardState = iota
+	// StateMissing: no reader was provided for this shard.
+	StateMissing
+	// StateEOF: the shard ended cleanly at a block boundary (at or
+	// before this stripe).
+	StateEOF
+	// StateDead: the shard failed hard — a non-transient error, a
+	// ragged mid-block EOF, or retries exhausted — and is retired for
+	// the rest of the stream.
+	StateDead
+	// StateSlow: the shard is alive but missed the stripe's adaptive
+	// deadline (or is still serving an earlier stripe); its block may
+	// yet arrive and be claimed with TakeLate.
+	StateSlow
+	// StateOpen: the shard's circuit breaker is open; the group did
+	// not ask it for this stripe at all.
+	StateOpen
+)
+
+func (s ShardState) String() string {
+	switch s {
+	case StateOK:
+		return "ok"
+	case StateMissing:
+		return "missing"
+	case StateEOF:
+		return "eof"
+	case StateDead:
+		return "dead"
+	case StateSlow:
+		return "slow"
+	case StateOpen:
+		return "open"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// PanicError is a panic recovered from a pipeline or shard-reader
+// goroutine, surfaced as an ordinary error instead of killing the
+// process.
+type PanicError struct {
+	Stage string // which goroutine panicked, e.g. "shard 3 reader"
+	Value any    // the recovered panic value
+	Stack []byte // stack captured at recovery
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic in %s: %v", e.Stage, e.Value)
+}
+
+// transienter matches errors advertising themselves as momentary via
+// a Transient() bool method (the net.Error convention, also satisfied
+// by fault.Err).
+type transienter interface{ Transient() bool }
+
+func isTransient(err error) bool {
+	var t transienter
+	return errors.As(err, &t) && t.Transient()
+}
+
+// blockPool recycles block buffers across stripes. Dropped buffers
+// (abandoned mid-read at Close) are simply collected by the GC.
+type blockPool struct {
+	size int
+	p    sync.Pool
+}
+
+func newBlockPool(size int) *blockPool {
+	bp := &blockPool{size: size}
+	bp.p.New = func() any {
+		b := make([]byte, size)
+		return &b
+	}
+	return bp
+}
+
+func (bp *blockPool) get() []byte { return *bp.p.Get().(*[]byte) }
+
+func (bp *blockPool) put(b []byte) {
+	b = b[:cap(b)]
+	if len(b) != bp.size {
+		return
+	}
+	bp.p.Put(&b)
+}
+
+// lateSlot is the rendezvous for the hedge race on one abandoned
+// block read: the gather loop offers the straggler's block when it
+// finally lands, the worker takes it if reconstruction has not won
+// yet. All methods are safe for concurrent use.
+type lateSlot struct {
+	mu       sync.Mutex
+	buf      []byte
+	taken    bool // consumer committed (with or without the block)
+	released bool // stripe recycled; arrivals after this are recycled by the caller
+}
+
+// offer hands the late block to the slot. It reports false when the
+// consumer has already committed (or the stripe was released), in
+// which case the caller keeps ownership of buf.
+func (s *lateSlot) offer(buf []byte) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.taken || s.released {
+		return false
+	}
+	s.buf = buf
+	return true
+}
+
+// take commits the consumer's decision: it returns the late block if
+// one arrived (the direct read won the hedge race) or nil (the hedge
+// reconstruction wins), and blocks later offers either way. The
+// returned slice stays valid until the stripe is released.
+func (s *lateSlot) take() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.taken = true
+	return s.buf
+}
+
+// reclaim detaches the buffered block, if any, for recycling.
+func (s *lateSlot) reclaim() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.released = true
+	b := s.buf
+	s.buf = nil
+	return b
+}
+
+// Stripe is the outcome of one Group.Next gather: per-shard blocks and
+// dispositions plus the counters the stripe accrued.
+type Stripe struct {
+	Seq int64
+	// Blocks holds the full BlockSize-byte block per StateOK shard,
+	// nil otherwise. Slices are owned by the group's pool and are
+	// valid until Release.
+	Blocks [][]byte
+	// States is each shard's disposition this stripe.
+	States []ShardState
+	// Errs carries the terminal error for StateDead shards (every
+	// stripe from the one it died on).
+	Errs []error
+	// Transients counts transient read errors absorbed while reading
+	// each delivered block — the consumer decides whether a checksum
+	// clears such a block or it must be demoted.
+	Transients []uint64
+	// Retries totals backoff retries observed during this gather,
+	// including ones surfacing from stale background reads.
+	Retries uint64
+	// LateTransients totals transient errors absorbed by background
+	// reads whose blocks arrived too late to serve their stripe.
+	LateTransients uint64
+	// Hedged reports that the stripe proceeded without at least one
+	// live shard that missed the adaptive deadline.
+	Hedged bool
+	// Trips counts circuit-breaker trips (first trips and half-open
+	// re-trips) during this gather.
+	Trips uint64
+	// Panics counts shard-reader panics recovered during this gather;
+	// the affected shards surface as StateDead with a *PanicError.
+	Panics uint64
+
+	slots []*lateSlot
+	pool  *blockPool
+}
+
+// TakeLate claims shard i's late-arriving block for a StateSlow
+// shard: non-nil when the direct read beat reconstruction to the
+// worker. At most one call per shard decides the race; the block is
+// valid until Release. Safe to call from a worker goroutine while the
+// gather loop runs.
+func (st *Stripe) TakeLate(i int) []byte {
+	if st.slots == nil || st.slots[i] == nil {
+		return nil
+	}
+	return st.slots[i].take()
+}
+
+// Release recycles every buffer the stripe owns, including late
+// blocks. The stripe's slices must not be used afterwards.
+func (st *Stripe) Release() {
+	if st.pool == nil {
+		return
+	}
+	for i, b := range st.Blocks {
+		if b != nil {
+			st.pool.put(b)
+			st.Blocks[i] = nil
+		}
+	}
+	for _, s := range st.slots {
+		if s == nil {
+			continue
+		}
+		if b := s.reclaim(); b != nil {
+			st.pool.put(b)
+		}
+	}
+}

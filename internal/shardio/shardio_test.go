@@ -1,0 +1,466 @@
+package shardio
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"runtime"
+	"testing"
+	"time"
+
+	"dialga/internal/fault"
+)
+
+const testBlock = 16
+
+// mkShards builds n shard streams of stripes blocks each, every byte
+// tagged with (shard, stripe) so misdelivery is detectable.
+func mkShards(n, stripes int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		b := make([]byte, stripes*testBlock)
+		for s := 0; s < stripes; s++ {
+			for j := 0; j < testBlock; j++ {
+				b[s*testBlock+j] = byte(i*31 + s*7 + j)
+			}
+		}
+		out[i] = b
+	}
+	return out
+}
+
+func newTestGroup(t *testing.T, readers []io.Reader, opts Options) *Group {
+	t.Helper()
+	if opts.BlockSize == 0 {
+		opts.BlockSize = testBlock
+	}
+	if opts.Quorum == 0 {
+		opts.Quorum = 2
+	}
+	g, err := NewGroup(readers, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(g.Close)
+	return g
+}
+
+// slowReader delays every Read by a fixed duration, optionally only
+// for the first slowReads calls (a straggler that recovers).
+type slowReader struct {
+	r         io.Reader
+	delay     time.Duration
+	slowReads int // <0: always slow
+	calls     int
+}
+
+func (s *slowReader) Read(p []byte) (int, error) {
+	s.calls++
+	if s.slowReads < 0 || s.calls <= s.slowReads {
+		time.Sleep(s.delay)
+	}
+	return s.r.Read(p)
+}
+
+// alwaysTransient fails every Read with a transient error.
+type alwaysTransient struct{}
+
+func (alwaysTransient) Read([]byte) (int, error) { return 0, &fault.Err{Off: 0} }
+
+func TestOptionsValidation(t *testing.T) {
+	for _, bad := range []Options{
+		{BlockSize: 0, Quorum: 1},
+		{BlockSize: 8, Quorum: 0},
+		{BlockSize: 8, Quorum: 1, HedgeAfter: -time.Second},
+		{BlockSize: 8, Quorum: 1, DeadlineMult: 0.5},
+		{BlockSize: 8, Quorum: 1, Backoff: -1},
+		{BlockSize: 8, Quorum: 1, MaxDeadline: -1},
+		{BlockSize: 8, Quorum: 1, BreakerCooldown: -1},
+	} {
+		if _, err := bad.Normalize(); err == nil {
+			t.Fatalf("options %+v accepted", bad)
+		}
+	}
+	got, err := Options{BlockSize: 8, Quorum: 1, MaxRetries: -1, BreakerThreshold: -1}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MaxRetries != 0 || got.BreakerThreshold != 0 {
+		t.Fatalf("negative MaxRetries/BreakerThreshold should disable, got %d/%d",
+			got.MaxRetries, got.BreakerThreshold)
+	}
+	if got.DeadlineMult != DefaultDeadlineMult || got.Backoff != DefaultBackoff {
+		t.Fatal("defaults not applied")
+	}
+}
+
+func TestGroupDeliversInOrder(t *testing.T) {
+	const n, stripes = 4, 5
+	shards := mkShards(n, stripes)
+	readers := make([]io.Reader, n)
+	for i := range readers {
+		readers[i] = bytes.NewReader(shards[i])
+	}
+	g := newTestGroup(t, readers, Options{})
+	for s := 0; s < stripes; s++ {
+		st, err := g.Next(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if st.States[i] != StateOK {
+				t.Fatalf("stripe %d shard %d state %v", s, i, st.States[i])
+			}
+			want := shards[i][s*testBlock : (s+1)*testBlock]
+			if !bytes.Equal(st.Blocks[i], want) {
+				t.Fatalf("stripe %d shard %d block mismatch", s, i)
+			}
+		}
+		st.Release()
+	}
+	st, err := g.Next(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if st.States[i] != StateEOF {
+			t.Fatalf("post-end shard %d state %v, want eof", i, st.States[i])
+		}
+	}
+	st.Release()
+}
+
+func TestGroupMissingAndDead(t *testing.T) {
+	const n, stripes = 4, 3
+	shards := mkShards(n, stripes)
+	readers := make([]io.Reader, n)
+	readers[0] = nil // missing
+	readers[1] = bytes.NewReader(shards[1])
+	readers[2] = bytes.NewReader(shards[2][:testBlock+3]) // dies mid-block on stripe 1
+	readers[3] = bytes.NewReader(shards[3])
+	g := newTestGroup(t, readers, Options{})
+	st, err := g.Next(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.States[0] != StateMissing || st.States[2] != StateOK {
+		t.Fatalf("stripe 0 states %v", st.States)
+	}
+	st.Release()
+	st, err = g.Next(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.States[2] != StateDead || st.Errs[2] == nil {
+		t.Fatalf("ragged shard state %v err %v, want dead", st.States[2], st.Errs[2])
+	}
+	st.Release()
+	// Death is sticky and keeps reporting.
+	st, err = g.Next(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.States[2] != StateDead {
+		t.Fatalf("stripe 2 shard 2 state %v, want sticky dead", st.States[2])
+	}
+	st.Release()
+}
+
+func TestGroupRetriesTransients(t *testing.T) {
+	const n, stripes = 3, 4
+	shards := mkShards(n, stripes)
+	readers := make([]io.Reader, n)
+	for i := range readers {
+		readers[i] = bytes.NewReader(shards[i])
+	}
+	// Shard 1 hiccups twice: once at a block boundary, once mid-block.
+	readers[1] = fault.NewReader(bytes.NewReader(shards[1]), fault.Plan{Ops: []fault.Op{
+		{Kind: fault.ErrOnce, Off: testBlock},
+		{Kind: fault.ErrOnce, Off: 2*testBlock + 5},
+	}})
+	g := newTestGroup(t, readers, Options{Backoff: 50 * time.Microsecond})
+	var retries, transients uint64
+	for s := 0; s < stripes; s++ {
+		st, err := g.Next(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if st.States[i] != StateOK {
+				t.Fatalf("stripe %d shard %d state %v", s, i, st.States[i])
+			}
+			if !bytes.Equal(st.Blocks[i], shards[i][s*testBlock:(s+1)*testBlock]) {
+				t.Fatalf("stripe %d shard %d corrupted across retry", s, i)
+			}
+			transients += st.Transients[i]
+		}
+		retries += st.Retries
+		st.Release()
+	}
+	if retries != 2 || transients != 2 {
+		t.Fatalf("retries/transients = %d/%d, want 2/2", retries, transients)
+	}
+}
+
+func TestGroupRetriesExhaust(t *testing.T) {
+	readers := []io.Reader{alwaysTransient{}, bytes.NewReader(mkShards(2, 2)[1])}
+	g := newTestGroup(t, readers, Options{Quorum: 1, MaxRetries: 2, Backoff: 10 * time.Microsecond})
+	st, err := g.Next(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.States[0] != StateDead {
+		t.Fatalf("shard 0 state %v, want dead after retries exhausted", st.States[0])
+	}
+	if !errors.Is(st.Errs[0], fault.ErrInjected) {
+		t.Fatalf("dead err %v does not expose the underlying fault", st.Errs[0])
+	}
+	if st.Retries != 2 {
+		t.Fatalf("Retries = %d, want 2", st.Retries)
+	}
+	st.Release()
+}
+
+// TestGroupHedgesStraggler: with hedging on, a straggler is demoted to
+// slow once quorum has landed, the stripe proceeds, and the late block
+// is claimable afterwards via TakeLate.
+func TestGroupHedgesStraggler(t *testing.T) {
+	const n, stripes = 4, 3
+	shards := mkShards(n, stripes)
+	readers := make([]io.Reader, n)
+	for i := range readers {
+		readers[i] = bytes.NewReader(shards[i])
+	}
+	readers[2] = &slowReader{r: bytes.NewReader(shards[2]), delay: 40 * time.Millisecond, slowReads: -1}
+	g := newTestGroup(t, readers, Options{
+		Quorum:           3,
+		HedgeAfter:       2 * time.Millisecond,
+		BreakerThreshold: -1, // isolate hedging from the breaker
+	})
+
+	start := time.Now()
+	st, err := g.Next(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 30*time.Millisecond {
+		t.Fatalf("hedged gather took %v, stalled on the straggler", d)
+	}
+	if !st.Hedged || st.States[2] != StateSlow {
+		t.Fatalf("Hedged=%v States[2]=%v, want hedged slow", st.Hedged, st.States[2])
+	}
+	for _, i := range []int{0, 1, 3} {
+		if st.States[i] != StateOK {
+			t.Fatalf("healthy shard %d state %v", i, st.States[i])
+		}
+	}
+	// The slow read finishes in the background; its block becomes
+	// claimable for exactly this stripe.
+	time.Sleep(80 * time.Millisecond)
+	st2, err := g.Next(context.Background()) // drains the stale result
+	if err != nil {
+		t.Fatal(err)
+	}
+	late := st.TakeLate(2)
+	if late == nil {
+		t.Fatal("straggler block never became claimable")
+	}
+	if !bytes.Equal(late[:testBlock], shards[2][:testBlock]) {
+		t.Fatal("late block has wrong bytes")
+	}
+	st.Release()
+	st2.Release()
+}
+
+// TestGroupTakeLateBeforeArrival: committing before the straggler
+// lands returns nil (the hedge reconstruction wins) and the late
+// arrival is recycled, not delivered.
+func TestGroupTakeLateBeforeArrival(t *testing.T) {
+	const n = 3
+	shards := mkShards(n, 2)
+	readers := make([]io.Reader, n)
+	for i := range readers {
+		readers[i] = bytes.NewReader(shards[i])
+	}
+	readers[0] = &slowReader{r: bytes.NewReader(shards[0]), delay: 30 * time.Millisecond, slowReads: -1}
+	g := newTestGroup(t, readers, Options{
+		Quorum:           2,
+		HedgeAfter:       2 * time.Millisecond,
+		BreakerThreshold: -1,
+	})
+	st, err := g.Next(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Hedged {
+		t.Fatal("expected a hedged stripe")
+	}
+	if b := st.TakeLate(0); b != nil {
+		t.Fatal("TakeLate returned a block before the straggler delivered")
+	}
+	time.Sleep(60 * time.Millisecond)
+	st2, err := g.Next(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := st.TakeLate(0); b != nil {
+		t.Fatal("TakeLate delivered after the race was decided")
+	}
+	st.Release()
+	st2.Release()
+}
+
+// TestGroupBreakerTripsAndRecovers: a persistent straggler trips the
+// breaker open (stop waiting entirely); once it recovers, a half-open
+// probe closes the breaker and the shard serves blocks again — from
+// the correct stream offset.
+func TestGroupBreakerTripsAndRecovers(t *testing.T) {
+	const n, stripes = 4, 300
+	shards := mkShards(n, stripes)
+	readers := make([]io.Reader, n)
+	for i := range readers {
+		readers[i] = bytes.NewReader(shards[i])
+	}
+	// Slow for the first 4 reads (~enough to trip), then instant.
+	readers[1] = &slowReader{r: bytes.NewReader(shards[1]), delay: 25 * time.Millisecond, slowReads: 4}
+	g := newTestGroup(t, readers, Options{
+		Quorum:           3,
+		HedgeAfter:       2 * time.Millisecond,
+		BreakerThreshold: 2,
+		BreakerCooldown:  10 * time.Millisecond,
+	})
+	var trips uint64
+	sawOpen, sawRecovered := false, false
+	deadline := time.Now().Add(5 * time.Second)
+	for s := 0; s < stripes && time.Now().Before(deadline); s++ {
+		st, err := g.Next(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		trips += st.Trips
+		switch st.States[1] {
+		case StateOpen:
+			sawOpen = true
+		case StateOK:
+			if sawOpen {
+				sawRecovered = true
+				if !bytes.Equal(st.Blocks[1], shards[1][int(st.Seq)*testBlock:(int(st.Seq)+1)*testBlock]) {
+					t.Fatalf("stripe %d: recovered shard served a misaligned block", st.Seq)
+				}
+			}
+		}
+		st.Release()
+		if sawRecovered {
+			break
+		}
+		// Give the straggler's background read room to land so the
+		// probe path can run.
+		time.Sleep(2 * time.Millisecond)
+	}
+	if trips == 0 {
+		t.Fatal("breaker never tripped")
+	}
+	if !sawOpen {
+		t.Fatal("breaker never reported an open (skipped) stripe")
+	}
+	if !sawRecovered {
+		t.Fatal("half-open probe never re-admitted the recovered shard")
+	}
+}
+
+func TestGroupPanicRecovered(t *testing.T) {
+	panicky := readerFunc(func([]byte) (int, error) { panic("boom") })
+	readers := []io.Reader{panicky, bytes.NewReader(mkShards(2, 1)[1])}
+	g := newTestGroup(t, readers, Options{Quorum: 1})
+	st, err := g.Next(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.States[0] != StateDead || st.Panics != 1 {
+		t.Fatalf("state %v panics %d, want dead/1", st.States[0], st.Panics)
+	}
+	var pe *PanicError
+	if !errors.As(st.Errs[0], &pe) || pe.Value != "boom" {
+		t.Fatalf("err %v is not the recovered panic", st.Errs[0])
+	}
+	st.Release()
+}
+
+type readerFunc func([]byte) (int, error)
+
+func (f readerFunc) Read(p []byte) (int, error) { return f(p) }
+
+// TestGroupCancelledNext: a cancelled context unblocks Next while a
+// read is still in flight; Close then lets the goroutines drain.
+func TestGroupCancelledNext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	blocked := fault.NewReader(bytes.NewReader(mkShards(1, 4)[0]), fault.Plan{
+		Ops: []fault.Op{{Kind: fault.Slow, Off: 0, Len: 5_000_000}}, // ~5s per read
+	}).WithContext(ctx)
+	g := newTestGroup(t, []io.Reader{blocked}, Options{Quorum: 1})
+	done := make(chan error, 1)
+	go func() {
+		_, err := g.Next(ctx)
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Next returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Next did not return after cancellation")
+	}
+	g.Close()
+	waitDone := make(chan struct{})
+	go func() { g.wait(); close(waitDone) }()
+	select {
+	case <-waitDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("shard goroutines leaked after Close of a cancelled group")
+	}
+}
+
+// TestGroupCloseReleasesGoroutines is the package-level leak check:
+// goroutine count returns to baseline after heavy hedged use.
+func TestGroupCloseReleasesGoroutines(t *testing.T) {
+	base := runtime.NumGoroutine()
+	for round := 0; round < 3; round++ {
+		const n = 5
+		shards := mkShards(n, 6)
+		readers := make([]io.Reader, n)
+		for i := range readers {
+			readers[i] = bytes.NewReader(shards[i])
+		}
+		readers[4] = &slowReader{r: bytes.NewReader(shards[4]), delay: 5 * time.Millisecond, slowReads: -1}
+		g, err := NewGroup(readers, Options{
+			BlockSize: testBlock, Quorum: 3,
+			HedgeAfter: time.Millisecond, BreakerThreshold: 2,
+			BreakerCooldown: 5 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < 6; s++ {
+			st, err := g.Next(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			st.Release()
+		}
+		g.Close()
+		g.wait()
+	}
+	// The runtime may briefly keep helper goroutines (timers); poll.
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d at start, %d after", base, runtime.NumGoroutine())
+}

@@ -8,25 +8,37 @@ import (
 	"hash/crc32"
 	"io"
 	"time"
+
+	"dialga/internal/shardio"
 )
 
 // Decoder is the inverse pipeline: it reads one block per stripe from
 // each of k+m shard readers, verifies each block's checksum trailer
 // (under ChecksumCRC32C, the default), reconstructs missing, failed,
-// or corrupt shards (up to m per stripe), and writes the recovered
-// data payload to a single writer in stripe order.
+// corrupt, or straggling shards (up to m per stripe), and writes the
+// recovered data payload to a single writer in stripe order.
 //
-// Shards degrade at three severities:
+// Shard reads are scheduled by an internal/shardio.Group: one goroutine
+// per shard owns its reader, so a slow shard blocks only itself, and
+// transient errors are retried with exponential full-jitter backoff.
 //
-//   - A nil entry in the reader slice is a shard known to be missing.
-//   - A reader that fails hard — a non-transient error, or EOF before
-//     its peers — is retired and treated as missing for that stripe
-//     and all later ones.
-//   - A block whose checksum trailer does not verify, or that was
-//     read across a transient (Transient() bool == true) error with
-//     no checksum to clear it, is demoted to an erasure for that
-//     stripe only; the shard stays live and may serve the next
-//     stripe.
+// Shards degrade at four severities:
+//
+//   - missing: a nil entry in the reader slice — never read at all.
+//   - dead: a reader that failed hard (non-transient error with
+//     retries exhausted, or EOF before its peers); retired and treated
+//     as missing for that stripe and all later ones.
+//   - erased: a block whose checksum trailer does not verify, or that
+//     was read across a transient (Transient() bool == true) error
+//     with no checksum to clear it; an erasure for that stripe only —
+//     the shard stays live and may serve the next stripe.
+//   - slow: with Options.HedgeAfter set, a live shard that missed the
+//     stripe's adaptive deadline while at least k blocks had arrived.
+//     The stripe proceeds to reconstruction immediately (a hedged
+//     degraded read) while the slow read continues in the background;
+//     whichever finishes first supplies the block. A shard that stays
+//     slow trips its circuit breaker and is skipped entirely until a
+//     half-open probe readmits it.
 //
 // Decoding continues as long as at least k usable blocks remain per
 // stripe; a stripe below that returns an error wrapping
@@ -34,7 +46,6 @@ import (
 type Decoder struct {
 	g     geom
 	stats counters
-	buf   *bufPool
 }
 
 // NewDecoder validates opts and returns a ready Decoder.
@@ -43,10 +54,7 @@ func NewDecoder(opts Options) (*Decoder, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Decoder{
-		g:   g,
-		buf: newBufPool((g.k + g.m) * g.blockSize),
-	}, nil
+	return &Decoder{g: g}, nil
 }
 
 // StripeSize returns the data payload per stripe.
@@ -101,67 +109,73 @@ func (d *Decoder) Decode(ctx context.Context, shards []io.Reader, w io.Writer, s
 		wantStripes = (size + int64(d.g.stripeSize) - 1) / int64(d.g.stripeSize)
 	}
 
-	dead := make([]bool, k+m) // producer-goroutine state only
+	grp, err := shardio.NewGroup(shards, d.g.straggler)
+	if err != nil {
+		return err
+	}
+	defer grp.Close()
+
+	// counted marks shards already charged to ShardFailures: the group
+	// re-reports dead and ragged-EOF shards on every later stripe.
+	counted := make([]bool, k+m)
 
 	produce := func(ctx context.Context, push func(*job) bool) error {
 		for seq := int64(0); wantStripes < 0 || seq < wantStripes; seq++ {
-			if ctx.Err() != nil {
-				return nil
+			st, err := grp.Next(ctx)
+			if err != nil {
+				return nil // only context cancellation; run() reports it
 			}
-			buf := d.buf.get()
+			d.stats.retries.Add(st.Retries)
+			d.stats.breakerTrips.Add(st.Trips)
+			d.stats.workerPanics.Add(st.Panics)
+			d.stats.transientFaults.Add(st.LateTransients)
+			if st.Hedged {
+				d.stats.hedgedReads.Add(1)
+			}
+
 			blocks := make([][]byte, k+m)
 			var eofIdx []int
 			got, demoted := 0, 0
 			var firstErr error
-			for i, r := range shards {
-				if r == nil || dead[i] {
-					continue
-				}
-				bl := buf[i*blockSize : (i+1)*blockSize]
-				n, err := io.ReadFull(r, bl)
-				switch {
-				case err == nil:
-					blocks[i] = bl[:shardSize:shardSize]
-					got++
-				case err == io.EOF && n == 0:
-					// Clean stripe-boundary EOF: end of stream if
-					// everyone agrees, a dead shard otherwise.
-					eofIdx = append(eofIdx, i)
-				case isTransient(err):
-					// A flaky reader, not a dead one. Finish the
-					// block so the shard stays stripe-aligned, then
-					// decide how much of it to trust.
-					if _, err2 := io.ReadFull(r, bl[n:]); err2 == nil {
-						d.stats.transientFaults.Add(1)
-						if d.g.trailer > 0 {
-							// The checksum trailer is the arbiter:
-							// the worker verifies this block like any
-							// other.
-							blocks[i] = bl[:shardSize:shardSize]
-							got++
-						} else {
-							// No checksum to clear bytes read across
-							// a fault: demote for this stripe only.
+			for i, state := range st.States {
+				switch state {
+				case shardio.StateOK:
+					if t := st.Transients[i]; t > 0 {
+						d.stats.transientFaults.Add(t)
+						if d.g.trailer == 0 {
+							// No checksum to clear bytes read across a
+							// fault: demote for this stripe only.
 							demoted++
 							d.stats.shardsCorrupted.Add(1)
+							continue
 						}
-					} else {
-						dead[i] = true
+						// The checksum trailer is the arbiter: the
+						// worker verifies this block like any other.
+					}
+					blocks[i] = st.Blocks[i]
+					got++
+				case shardio.StateEOF:
+					// Clean stripe-boundary EOF: end of stream if
+					// everyone agrees, a dead shard otherwise.
+					if !counted[i] {
+						eofIdx = append(eofIdx, i)
+					}
+				case shardio.StateDead:
+					if !counted[i] {
+						counted[i] = true
 						d.stats.shardFailures.Add(1)
 						if firstErr == nil {
-							firstErr = fmt.Errorf("stream: shard %d failed at stripe %d: %w", i, seq, err2)
+							firstErr = fmt.Errorf("stream: shard %d failed at stripe %d: %w", i, seq, st.Errs[i])
 						}
 					}
-				default:
-					dead[i] = true
-					d.stats.shardFailures.Add(1)
-					if firstErr == nil {
-						firstErr = fmt.Errorf("stream: shard %d failed at stripe %d: %w", i, seq, err)
-					}
+				case shardio.StateSlow, shardio.StateOpen, shardio.StateMissing:
+					// Slow and breaker-open shards are erasures for this
+					// stripe; the worker may still claim a slow shard's
+					// late block. Missing shards were never read.
 				}
 			}
 			if got == 0 && demoted == 0 {
-				d.buf.put(buf)
+				st.Release()
 				if wantStripes >= 0 {
 					return fmt.Errorf("stream: shards ended at stripe %d, want %d stripes", seq, wantStripes)
 				}
@@ -170,8 +184,8 @@ func (d *Decoder) Decode(ctx context.Context, shards []io.Reader, w io.Writer, s
 				}
 				return nil // unanimous EOF
 			}
-			if got < k {
-				d.buf.put(buf)
+			if got < k && !st.Hedged {
+				st.Release()
 				if firstErr != nil {
 					return fmt.Errorf("stream: stripe %d: only %d of %d required shard blocks usable (%w): %v", seq, got, k, ErrTooManyCorrupt, firstErr)
 				}
@@ -180,11 +194,11 @@ func (d *Decoder) Decode(ctx context.Context, shards []io.Reader, w io.Writer, s
 			// Shards that hit EOF while peers still had data are
 			// ragged-short: retire them so they never resync.
 			for _, i := range eofIdx {
-				dead[i] = true
+				counted[i] = true
 				d.stats.shardFailures.Add(1)
 			}
 			d.stats.bytesIn.Add(uint64(got * blockSize))
-			j := &job{seq: seq, ready: make(chan struct{}), buf: buf, blocks: blocks, demoted: demoted}
+			j := &job{seq: seq, ready: make(chan struct{}), blocks: blocks, demoted: demoted, stripe: st}
 			if !push(j) {
 				return nil
 			}
@@ -193,16 +207,37 @@ func (d *Decoder) Decode(ctx context.Context, shards []io.Reader, w io.Writer, s
 	}
 
 	work := func(j *job) error {
+		st := j.stripe
 		demoted := j.demoted
+		// Resolve the hedge race for slow shards: claim the block if
+		// the direct read beat us here (TakeLate is the commit point),
+		// but only under a checksum, which can vouch for bytes that
+		// arrived out from under the gather loop. Without a trailer,
+		// reconstruction always wins.
+		hedgeLost := 0 // slow shards whose direct read won after all
+		if d.g.trailer > 0 {
+			for i, state := range st.States {
+				if state != shardio.StateSlow {
+					continue
+				}
+				if late := st.TakeLate(i); late != nil {
+					want := binary.LittleEndian.Uint32(late[shardSize:blockSize])
+					if crc32.Checksum(late[:shardSize], castagnoli) == want {
+						j.blocks[i] = late
+						hedgeLost++
+					}
+				}
+			}
+		}
 		if d.g.trailer > 0 {
 			// Verify every block that was read; a bad trailer demotes
 			// the block to an erasure for this stripe only.
-			for i := 0; i < k+m; i++ {
-				if j.blocks[i] == nil {
-					continue
+			for i, state := range st.States {
+				if j.blocks[i] == nil || state == shardio.StateSlow {
+					continue // slow claims were verified above
 				}
-				bl := j.buf[i*blockSize : (i+1)*blockSize]
-				want := binary.LittleEndian.Uint32(bl[shardSize:])
+				bl := j.blocks[i]
+				want := binary.LittleEndian.Uint32(bl[shardSize:blockSize])
 				if crc32.Checksum(bl[:shardSize], castagnoli) != want {
 					j.blocks[i] = nil
 					demoted++
@@ -210,9 +245,12 @@ func (d *Decoder) Decode(ctx context.Context, shards []io.Reader, w io.Writer, s
 				}
 			}
 		}
+		// Truncate the surviving full blocks to their data payload for
+		// the codec.
 		valid := 0
-		for i := 0; i < k+m; i++ {
+		for i := range j.blocks {
 			if j.blocks[i] != nil {
+				j.blocks[i] = j.blocks[i][:shardSize:shardSize]
 				valid++
 			}
 		}
@@ -240,6 +278,19 @@ func (d *Decoder) Decode(ctx context.Context, shards []io.Reader, w io.Writer, s
 			}
 			d.stats.reconstructed.Add(1)
 			d.stats.observe(time.Since(start))
+		}
+		if st.Hedged {
+			slow := 0
+			for _, state := range st.States {
+				if state == shardio.StateSlow {
+					slow++
+				}
+			}
+			if slow > hedgeLost {
+				// At least one straggler's block never made it in time:
+				// reconstruction beat the direct read.
+				d.stats.hedgeWins.Add(1)
+			}
 		}
 		if demoted > 0 {
 			// The stripe decoded despite corrupt blocks: either a
@@ -273,10 +324,10 @@ func (d *Decoder) Decode(ctx context.Context, shards []io.Reader, w io.Writer, s
 	}
 
 	release := func(j *job) {
-		if j.buf != nil {
-			d.buf.put(j.buf)
+		if j.stripe != nil {
+			j.stripe.Release()
 		}
 	}
 
-	return run(ctx, d.g, produce, work, deliver, release)
+	return run(ctx, d.g, &d.stats, produce, work, deliver, release)
 }

@@ -189,5 +189,5 @@ func (e *Encoder) Encode(ctx context.Context, r io.Reader, shards []io.Writer) e
 		}
 	}
 
-	return run(ctx, e.g, produce, work, deliver, release)
+	return run(ctx, e.g, &e.stats, produce, work, deliver, release)
 }

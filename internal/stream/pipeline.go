@@ -2,8 +2,18 @@ package stream
 
 import (
 	"context"
+	"fmt"
+	"runtime/debug"
 	"sync"
+
+	"dialga/internal/shardio"
 )
+
+// PanicError is a panic recovered from a pipeline-stage or shard-reader
+// goroutine and surfaced as an ordinary error: Stage names the
+// goroutine, Value is the recovered panic value, Stack the captured
+// stack. Counted in Stats.WorkerPanics.
+type PanicError = shardio.PanicError
 
 // job is one stripe moving through the pipeline. The producer fills
 // seq/data/blocks/n, a worker fills parity/err and closes ready, and
@@ -15,13 +25,14 @@ type job struct {
 	ready chan struct{} // closed once the worker (or an abort) is done with the job
 	err   error         // sticky per-job failure, set before ready closes
 
-	data    []byte   // encoder: pooled stripe buffer (k*shardSize)
-	n       int      // encoder: valid payload bytes in data (tail stripe may be short)
-	parity  []byte   // encoder: pooled parity buffer (m*shardSize), set by the worker
-	crc     []byte   // encoder: pooled checksum trailers ((k+m)*crcSize), set by the worker
-	buf     []byte   // decoder: pooled stripe buffer ((k+m)*blockSize, trailers inline)
-	blocks  [][]byte // decoder: k+m shardSize-byte views into buf, nil for missing shards
-	demoted int      // decoder: blocks discarded as untrustworthy by the producer
+	data    []byte          // encoder: pooled stripe buffer (k*shardSize)
+	n       int             // encoder: valid payload bytes in data (tail stripe may be short)
+	parity  []byte          // encoder: pooled parity buffer (m*shardSize), set by the worker
+	crc     []byte          // encoder: pooled checksum trailers ((k+m)*crcSize), set by the worker
+	buf     []byte          // decoder: pooled stripe buffer ((k+m)*blockSize, trailers inline)
+	blocks  [][]byte        // decoder: k+m full block slices, nil for missing shards
+	demoted int             // decoder: blocks discarded as untrustworthy by the producer
+	stripe  *shardio.Stripe // decoder: gather result backing blocks; released with the job
 }
 
 // failFirst records the first error of the run and cancels the
@@ -61,8 +72,11 @@ func (f *failFirst) get() error {
 //
 // The first error from any stage cancels the context, drains the
 // remaining jobs without delivering them, and is returned after every
-// goroutine has exited.
-func run(parent context.Context, g geom,
+// goroutine has exited. A panic in produce or work is recovered into a
+// *PanicError and fails the pipeline the same way — a buggy codec or
+// reader implementation cannot take the process down or leak the
+// pipeline's goroutines.
+func run(parent context.Context, g geom, stats *counters,
 	produce func(ctx context.Context, push func(*job) bool) error,
 	work func(*job) error,
 	deliver func(*job) error,
@@ -71,6 +85,19 @@ func run(parent context.Context, g geom,
 	ctx, cancel := context.WithCancel(parent)
 	defer cancel()
 	fail := &failFirst{cancel: cancel}
+
+	recovered := func(stage string, p any) error {
+		stats.workerPanics.Add(1)
+		return &PanicError{Stage: stage, Value: p, Stack: debug.Stack()}
+	}
+	safeWork := func(j *job) (err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				err = recovered(fmt.Sprintf("worker (stripe %d)", j.seq), p)
+			}
+		}()
+		return work(j)
+	}
 
 	workCh := make(chan *job)            // unbuffered: a successful send is a worker handoff
 	orderCh := make(chan *job, g.window) // submission order; buffer bounds in-flight stripes
@@ -83,7 +110,7 @@ func run(parent context.Context, g geom,
 			for j := range workCh {
 				if ctx.Err() != nil {
 					j.err = ctx.Err()
-				} else if err := work(j); err != nil {
+				} else if err := safeWork(j); err != nil {
 					j.err = err
 					fail.set(err)
 				}
@@ -95,8 +122,6 @@ func run(parent context.Context, g geom,
 	prodDone := make(chan struct{})
 	go func() {
 		defer close(prodDone)
-		defer close(workCh)
-		defer close(orderCh)
 		push := func(j *job) bool {
 			select {
 			case orderCh <- j:
@@ -116,7 +141,20 @@ func run(parent context.Context, g geom,
 			}
 			return true
 		}
-		if err := produce(ctx, push); err != nil {
+		err := func() (err error) {
+			// Closing the channels inside the recovery scope (rather
+			// than deferred around it) keeps the shutdown order fixed:
+			// recover first, then release the workers and consumer.
+			defer close(workCh)
+			defer close(orderCh)
+			defer func() {
+				if p := recover(); p != nil {
+					err = recovered("producer", p)
+				}
+			}()
+			return produce(ctx, push)
+		}()
+		if err != nil {
 			fail.set(err)
 		}
 	}()

@@ -23,6 +23,11 @@ type counters struct {
 	shardsCorrupted atomic.Uint64
 	stripesHealed   atomic.Uint64
 	transientFaults atomic.Uint64
+	hedgedReads     atomic.Uint64
+	hedgeWins       atomic.Uint64
+	breakerTrips    atomic.Uint64
+	retries         atomic.Uint64
+	workerPanics    atomic.Uint64
 	lat             [latencyBuckets]atomic.Uint64
 }
 
@@ -45,6 +50,11 @@ func (c *counters) snapshot() Stats {
 		ShardsCorrupted: c.shardsCorrupted.Load(),
 		StripesHealed:   c.stripesHealed.Load(),
 		TransientFaults: c.transientFaults.Load(),
+		HedgedReads:     c.hedgedReads.Load(),
+		HedgeWins:       c.hedgeWins.Load(),
+		BreakerTrips:    c.breakerTrips.Load(),
+		Retries:         c.retries.Load(),
+		WorkerPanics:    c.workerPanics.Load(),
 	}
 	for i := range c.lat {
 		s.Latency.Counts[i] = c.lat[i].Load()
@@ -81,6 +91,27 @@ type Stats struct {
 	// Transient() bool == true, e.g. fault.ErrInjected) the decoder
 	// absorbed without retiring the shard (decoder only).
 	TransientFaults uint64
+	// HedgedReads counts stripes that proceeded to reconstruction
+	// without waiting for at least one live shard that missed its
+	// adaptive deadline (decoder only; requires Options.HedgeAfter).
+	HedgedReads uint64
+	// HedgeWins counts hedged stripes where reconstruction finished
+	// before the straggler's block arrived — the hedge genuinely saved
+	// the stripe's latency, rather than merely racing a read that won
+	// anyway (decoder only).
+	HedgeWins uint64
+	// BreakerTrips counts per-shard circuit-breaker trips: a shard
+	// demoted after missing BreakerThreshold consecutive deadlines,
+	// plus every half-open probe that missed again (decoder only).
+	BreakerTrips uint64
+	// Retries counts exponential-backoff retries of transient shard
+	// read errors, including retries spent on reads that ultimately
+	// failed (decoder only).
+	Retries uint64
+	// WorkerPanics counts panics recovered from pipeline stages and
+	// shard-reader goroutines and surfaced as *PanicError instead of
+	// crashing the process.
+	WorkerPanics uint64
 	// Latency is the per-stripe codec latency histogram (encode or
 	// reconstruct time, excluding I/O).
 	Latency LatencyHistogram

@@ -1,0 +1,386 @@
+package stream
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"runtime"
+	"testing"
+	"time"
+
+	"dialga/internal/fault"
+)
+
+// laggard delays each of the first slowReads Reads by delay (every
+// Read when slowReads < 0), then serves at full speed — a straggler
+// that recovers.
+type laggard struct {
+	r         io.Reader
+	delay     time.Duration
+	slowReads int
+	calls     int
+}
+
+func (l *laggard) Read(p []byte) (int, error) {
+	l.calls++
+	if l.slowReads < 0 || l.calls <= l.slowReads {
+		time.Sleep(l.delay)
+	}
+	return l.r.Read(p)
+}
+
+// pacedWriter sleeps before every Write, slowing delivery so the
+// producer keeps gathering stripes for a known minimum wall time (the
+// straggler tests need the decode to outlive the straggler's reads).
+type pacedWriter struct {
+	w     io.Writer
+	pause time.Duration
+}
+
+func (p *pacedWriter) Write(b []byte) (int, error) {
+	time.Sleep(p.pause)
+	return p.w.Write(b)
+}
+
+// stragglerOpts is the common geometry of the straggler matrix: small
+// stripes so reconstruction is cheap relative to the injected delays,
+// hedging with a 1ms floor, and everything seeded.
+func stragglerOpts(t *testing.T, k, m, shardSize int) Options {
+	t.Helper()
+	return Options{
+		Codec:      mustRS(t, k, m),
+		StripeSize: k * shardSize,
+		Workers:    2,
+		Checksum:   ChecksumCRC32C,
+		HedgeAfter: time.Millisecond,
+		Seed:       42,
+	}
+}
+
+// TestChaosStragglerHedgedDecode is the acceptance scenario: one shard
+// at ~10x the fleet's latency. Hedged, the decode reconstructs around
+// the straggler and finishes in a fraction of the stalled time;
+// unhedged, the same shard set demonstrably stalls (every stripe pays
+// the straggler's delay, which has a deterministic seeded lower
+// bound). Output must be byte-exact both ways.
+func TestChaosStragglerHedgedDecode(t *testing.T) {
+	const (
+		k, m, shardSize = 4, 2, 256
+		stripes         = 6
+		slowMicros      = 20_000 // fault.Slow mean; per-read floor is half that
+	)
+	opts := stragglerOpts(t, k, m, shardSize)
+	opts.BreakerThreshold = -1 // isolate hedging; the breaker has its own test
+	payload := randBytes(t, stripes*k*shardSize, 7)
+	shards := encodeAll(t, opts, payload)
+
+	decode := func(hedge bool) (time.Duration, Stats, []byte) {
+		o := opts
+		if !hedge {
+			o.HedgeAfter = 0
+		}
+		dec, err := NewDecoder(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		readers := make([]io.Reader, k+m)
+		for i := range readers {
+			readers[i] = bytes.NewReader(shards[i])
+		}
+		// Shard 1 (a data shard) pays a seeded recurring delay on every
+		// read: mean slowMicros, deterministic floor slowMicros/2.
+		readers[1] = fault.NewReader(bytes.NewReader(shards[1]), fault.Plan{
+			Ops: []fault.Op{{Kind: fault.Slow, Off: 0, Len: slowMicros}},
+		})
+		var out bytes.Buffer
+		start := time.Now()
+		if err := dec.Decode(context.Background(), readers, &out, int64(len(payload))); err != nil {
+			t.Fatalf("decode (hedge=%v): %v", hedge, err)
+		}
+		return time.Since(start), dec.Stats(), out.Bytes()
+	}
+
+	hedgedDur, st, got := decode(true)
+	if !bytes.Equal(got, payload) {
+		t.Fatal("hedged decode produced wrong bytes")
+	}
+	if st.HedgedReads == 0 {
+		t.Fatal("HedgedReads = 0: the straggler never triggered a hedge")
+	}
+	if st.HedgeWins == 0 {
+		t.Fatal("HedgeWins = 0: reconstruction never beat the straggler")
+	}
+	if st.ShardFailures != 0 {
+		t.Fatalf("ShardFailures = %d: a slow shard was retired as dead", st.ShardFailures)
+	}
+	if st.Stripes != stripes {
+		t.Fatalf("Stripes = %d, want %d", st.Stripes, stripes)
+	}
+
+	unhedgedDur, st0, got0 := decode(false)
+	if !bytes.Equal(got0, payload) {
+		t.Fatal("unhedged decode produced wrong bytes")
+	}
+	if st0.HedgedReads != 0 || st0.HedgeWins != 0 {
+		t.Fatalf("unhedged decode hedged anyway: HedgedReads=%d HedgeWins=%d", st0.HedgedReads, st0.HedgeWins)
+	}
+	// The unhedged pipeline pays the straggler on every stripe; the
+	// injected sleeps give it a deterministic floor no scheduler can
+	// shrink.
+	stallFloor := time.Duration(stripes) * (slowMicros / 2) * time.Microsecond
+	if unhedgedDur < stallFloor {
+		t.Fatalf("unhedged decode took %v, below the injected stall floor %v", unhedgedDur, stallFloor)
+	}
+	if hedgedDur*2 >= unhedgedDur {
+		t.Fatalf("hedging saved too little: hedged %v vs unhedged %v", hedgedDur, unhedgedDur)
+	}
+}
+
+// TestChaosStragglerWithCorruption combines a straggler with checksum
+// corruption on another shard, staying within the parity budget
+// (slow + corrupt = 2 erasures = m). The corruption counters must
+// match the plan exactly and the output must be byte-exact.
+func TestChaosStragglerWithCorruption(t *testing.T) {
+	const (
+		k, m, shardSize = 4, 2, 128
+		stripes         = 5
+	)
+	opts := stragglerOpts(t, k, m, shardSize)
+	opts.BreakerThreshold = -1
+	payload := randBytes(t, stripes*k*shardSize, 11)
+	shards := encodeAll(t, opts, payload)
+	blockSize := shardSize + crcSize
+
+	dec, err := NewDecoder(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readers := make([]io.Reader, k+m)
+	for i := range readers {
+		readers[i] = bytes.NewReader(shards[i])
+	}
+	// Shard 5 (parity) straggles on every read; shard 2 serves corrupt
+	// blocks on stripes 1 and 3.
+	readers[5] = fault.NewReader(bytes.NewReader(shards[5]), fault.Plan{
+		Ops: []fault.Op{{Kind: fault.Slow, Off: 0, Len: 10_000}},
+	})
+	readers[2] = fault.NewReader(bytes.NewReader(shards[2]), fault.Plan{
+		Ops: []fault.Op{
+			{Kind: fault.BitFlip, Off: int64(1*blockSize) + 17, Bit: 3},
+			{Kind: fault.BitFlip, Off: int64(3*blockSize) + 101, Bit: 6},
+		},
+	})
+	var out bytes.Buffer
+	if err := dec.Decode(context.Background(), readers, &out, int64(len(payload))); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), payload) {
+		t.Fatal("decode with straggler + corruption produced wrong bytes")
+	}
+	st := dec.Stats()
+	if st.ShardsCorrupted != 2 {
+		t.Fatalf("ShardsCorrupted = %d, plan flipped 2 blocks", st.ShardsCorrupted)
+	}
+	if st.StripesHealed != 2 {
+		t.Fatalf("StripesHealed = %d, plan poisoned 2 stripes", st.StripesHealed)
+	}
+	if st.ShardFailures != 0 {
+		t.Fatalf("ShardFailures = %d, want 0", st.ShardFailures)
+	}
+	if st.Stripes != stripes {
+		t.Fatalf("Stripes = %d, want %d", st.Stripes, stripes)
+	}
+}
+
+// TestChaosStragglerRecovers: a shard that is slow for its first two
+// reads and then healthy must be hedged around while slow, re-admitted
+// once fast, and never counted as failed or breaker-tripped (the
+// threshold is above its two misses).
+func TestChaosStragglerRecovers(t *testing.T) {
+	const (
+		k, m, shardSize = 3, 2, 128
+		stripes         = 30
+	)
+	opts := stragglerOpts(t, k, m, shardSize)
+	opts.BreakerThreshold = 3
+	opts.BreakerCooldown = time.Millisecond
+	payload := randBytes(t, stripes*k*shardSize, 13)
+	shards := encodeAll(t, opts, payload)
+
+	dec, err := NewDecoder(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readers := make([]io.Reader, k+m)
+	for i := range readers {
+		readers[i] = bytes.NewReader(shards[i])
+	}
+	readers[0] = &laggard{r: bytes.NewReader(shards[0]), delay: 8 * time.Millisecond, slowReads: 2}
+	var out bytes.Buffer
+	// Pace delivery so the decode outlives the straggler's slow phase
+	// and its recovery is actually exercised.
+	w := &pacedWriter{w: &out, pause: 300 * time.Microsecond}
+	if err := dec.Decode(context.Background(), readers, w, int64(len(payload))); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), payload) {
+		t.Fatal("decode with recovering straggler produced wrong bytes")
+	}
+	st := dec.Stats()
+	if st.HedgedReads == 0 {
+		t.Fatal("HedgedReads = 0: the slow phase never triggered a hedge")
+	}
+	if st.BreakerTrips != 0 {
+		t.Fatalf("BreakerTrips = %d: two misses tripped a threshold of three", st.BreakerTrips)
+	}
+	if st.ShardFailures != 0 {
+		t.Fatalf("ShardFailures = %d, want 0", st.ShardFailures)
+	}
+	if st.Stripes != stripes {
+		t.Fatalf("Stripes = %d, want %d", st.Stripes, stripes)
+	}
+}
+
+// TestChaosStragglerBreakerProbe: a shard slow for exactly two reads
+// under BreakerThreshold 2 trips the breaker once; after the cooldown
+// the half-open probe finds it recovered, closes the breaker, and the
+// decode finishes with the shard back in rotation. Exactly one trip,
+// no shard failures, byte-exact output.
+func TestChaosStragglerBreakerProbe(t *testing.T) {
+	const (
+		k, m, shardSize = 3, 2, 128
+		stripes         = 40
+	)
+	opts := stragglerOpts(t, k, m, shardSize)
+	opts.BreakerThreshold = 2
+	opts.BreakerCooldown = time.Millisecond
+	payload := randBytes(t, stripes*k*shardSize, 17)
+	shards := encodeAll(t, opts, payload)
+
+	dec, err := NewDecoder(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readers := make([]io.Reader, k+m)
+	for i := range readers {
+		readers[i] = bytes.NewReader(shards[i])
+	}
+	readers[4] = &laggard{r: bytes.NewReader(shards[4]), delay: 8 * time.Millisecond, slowReads: 2}
+	var out bytes.Buffer
+	w := &pacedWriter{w: &out, pause: 300 * time.Microsecond}
+	if err := dec.Decode(context.Background(), readers, w, int64(len(payload))); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), payload) {
+		t.Fatal("decode across a breaker trip produced wrong bytes")
+	}
+	st := dec.Stats()
+	if st.BreakerTrips != 1 {
+		t.Fatalf("BreakerTrips = %d, want exactly 1 (two misses, then a successful probe)", st.BreakerTrips)
+	}
+	if st.ShardFailures != 0 {
+		t.Fatalf("ShardFailures = %d, want 0", st.ShardFailures)
+	}
+	if st.Stripes != stripes {
+		t.Fatalf("Stripes = %d, want %d", st.Stripes, stripes)
+	}
+}
+
+// TestChaosStragglerNoGoroutineLeaks drives the decoder through the
+// three abortive paths — a cancelled decode, a failed (beyond-parity)
+// decode, and a breaker-tripped straggler decode — and requires the
+// goroutine count to return to baseline: shard readers, workers, and
+// the producer must all drain.
+func TestChaosStragglerNoGoroutineLeaks(t *testing.T) {
+	const (
+		k, m, shardSize = 3, 2, 128
+		stripes         = 20
+	)
+	opts := stragglerOpts(t, k, m, shardSize)
+	opts.BreakerThreshold = 2
+	opts.BreakerCooldown = time.Millisecond
+	payload := randBytes(t, stripes*k*shardSize, 19)
+	shards := encodeAll(t, opts, payload)
+	blockSize := shardSize + crcSize
+
+	base := runtime.NumGoroutine()
+
+	// Cancelled mid-decode, with a straggler still mid-read. The
+	// injected sleeps are context-aware, so cancellation propagates
+	// into the blocked Read instead of waiting it out.
+	func() {
+		dec, err := NewDecoder(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		readers := make([]io.Reader, k+m)
+		for i := range readers {
+			readers[i] = bytes.NewReader(shards[i])
+		}
+		readers[1] = fault.NewReader(bytes.NewReader(shards[1]), fault.Plan{
+			Ops: []fault.Op{{Kind: fault.Slow, Off: 0, Len: 500_000}},
+		}).WithContext(ctx)
+		var out bytes.Buffer
+		go func() {
+			time.Sleep(3 * time.Millisecond)
+			cancel()
+		}()
+		err = dec.Decode(ctx, readers, &pacedWriter{w: &out, pause: 200 * time.Microsecond}, int64(len(payload)))
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled decode returned %v, want context.Canceled", err)
+		}
+	}()
+
+	// Failed decode: one stripe corrupted beyond the parity budget.
+	func() {
+		dec, err := NewDecoder(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		readers := make([]io.Reader, k+m)
+		for i := range readers {
+			plan := fault.Plan{Ops: []fault.Op{
+				{Kind: fault.BitFlip, Off: int64(2*blockSize) + int64(i+1), Bit: 1},
+			}}
+			readers[i] = fault.NewReader(bytes.NewReader(shards[i]), plan)
+		}
+		var out bytes.Buffer
+		err = dec.Decode(context.Background(), readers, &out, int64(len(payload)))
+		if !errors.Is(err, ErrTooManyCorrupt) {
+			t.Fatalf("poisoned decode returned %v, want ErrTooManyCorrupt", err)
+		}
+	}()
+
+	// Breaker-tripped straggler decode that runs to completion.
+	func() {
+		dec, err := NewDecoder(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		readers := make([]io.Reader, k+m)
+		for i := range readers {
+			readers[i] = bytes.NewReader(shards[i])
+		}
+		readers[4] = &laggard{r: bytes.NewReader(shards[4]), delay: 5 * time.Millisecond, slowReads: 3}
+		var out bytes.Buffer
+		err = dec.Decode(context.Background(), readers, &pacedWriter{w: &out, pause: 200 * time.Microsecond}, int64(len(payload)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out.Bytes(), payload) {
+			t.Fatal("decode produced wrong bytes")
+		}
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d at baseline, %d after decodes", base, runtime.NumGoroutine())
+}

@@ -28,8 +28,10 @@ import (
 	"fmt"
 	"hash/crc32"
 	"runtime"
+	"time"
 
 	"dialga/internal/lrc"
+	"dialga/internal/shardio"
 )
 
 // DefaultStripeSize is the data payload per stripe when
@@ -148,6 +150,48 @@ type Options struct {
 	// value is ChecksumCRC32C; pass ChecksumNone to read or write the
 	// legacy trailer-less framing.
 	Checksum Checksum
+
+	// HedgeAfter enables hedged degraded reads on decode when
+	// positive: a shard that misses the stripe's adaptive deadline
+	// (derived from the fleet-median block-read latency) while at
+	// least k blocks have arrived is demoted to slow, and the stripe
+	// reconstructs around it immediately while the slow read continues
+	// in the background — first finisher wins. HedgeAfter is also the
+	// deadline floor. Zero (the default) disables hedging and the
+	// circuit breaker: every stripe waits for all live shards.
+	HedgeAfter time.Duration
+
+	// DeadlineMult scales the fleet-median latency EWMA into the
+	// per-stripe deadline. Default shardio.DefaultDeadlineMult (3x).
+	DeadlineMult float64
+
+	// MaxDeadline caps the adaptive deadline. Default
+	// shardio.DefaultMaxDeadline.
+	MaxDeadline time.Duration
+
+	// MaxRetries bounds exponential-backoff retries of transient shard
+	// read errors per block. Default shardio.DefaultMaxRetries;
+	// negative disables retries.
+	MaxRetries int
+
+	// Backoff is the base of the full-jitter backoff between retries.
+	// Default shardio.DefaultBackoff.
+	Backoff time.Duration
+
+	// BreakerThreshold is the number of consecutive deadline misses
+	// that trips a shard's circuit breaker open (the decoder stops
+	// waiting for it until a half-open probe succeeds). Default
+	// shardio.DefaultBreakerThreshold; negative disables the breaker.
+	BreakerThreshold int
+
+	// BreakerCooldown is the open period before the first half-open
+	// probe, doubling with every consecutive trip. Default
+	// shardio.DefaultBreakerCooldown.
+	BreakerCooldown time.Duration
+
+	// Seed makes retry jitter (and fault-injection schedules layered
+	// underneath) reproducible.
+	Seed uint64
 }
 
 // geom is a validated, defaulted view of Options.
@@ -159,8 +203,9 @@ type geom struct {
 	workers    int
 	window     int
 	checksum   Checksum
-	trailer    int // trailer bytes per shard block (0 or crcSize)
-	blockSize  int // shardSize + trailer: bytes on the wire per shard per stripe
+	trailer    int             // trailer bytes per shard block (0 or crcSize)
+	blockSize  int             // shardSize + trailer: bytes on the wire per shard per stripe
+	straggler  shardio.Options // validated shard-I/O scheduling config (decoder)
 }
 
 var errNoCodec = errors.New("stream: Options.Codec is required")
@@ -199,6 +244,21 @@ func (o Options) geometry() (geom, error) {
 		return geom{}, fmt.Errorf("stream: unknown Checksum %d", o.Checksum)
 	}
 	trailer := o.Checksum.trailerSize()
+	straggler, err := shardio.Options{
+		BlockSize:        shard + trailer,
+		Quorum:           k,
+		HedgeAfter:       o.HedgeAfter,
+		DeadlineMult:     o.DeadlineMult,
+		MaxDeadline:      o.MaxDeadline,
+		MaxRetries:       o.MaxRetries,
+		Backoff:          o.Backoff,
+		BreakerThreshold: o.BreakerThreshold,
+		BreakerCooldown:  o.BreakerCooldown,
+		Seed:             o.Seed,
+	}.Normalize()
+	if err != nil {
+		return geom{}, err
+	}
 	return geom{
 		codec:      o.Codec,
 		k:          k,
@@ -210,6 +270,7 @@ func (o Options) geometry() (geom, error) {
 		checksum:   o.Checksum,
 		trailer:    trailer,
 		blockSize:  shard + trailer,
+		straggler:  straggler,
 	}, nil
 }
 
