@@ -7,6 +7,8 @@
 //	dialga-bench -all -quick         # fast smoke run (shapes untrusted)
 //	dialga-bench -straggler          # hedged vs plain decode under one slow shard
 //	dialga-bench -straggler -json    # same, machine-readable
+//	dialga-bench -serve :8080        # loop the straggler workload and expose
+//	                                 # /metrics, /debug/trace, /debug/pprof
 //
 // Figure ids follow the paper: fig03..fig07 are the §3 observations,
 // fig10..fig19 the §5 evaluation.
@@ -32,8 +34,17 @@ func main() {
 		list      = flag.Bool("list", false, "list figure ids")
 		straggler = flag.Bool("straggler", false, "benchmark hedged vs plain decode with one slow shard")
 		asJSON    = flag.Bool("json", false, "with -straggler: emit JSON instead of text")
+		serve     = flag.String("serve", "", "loop the straggler workload and serve /metrics, /debug/trace and pprof on this address (e.g. :8080)")
 	)
 	flag.Parse()
+
+	if *serve != "" {
+		if err := runServe(*serve, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *straggler {
 		if err := runStraggler(*quick, *asJSON); err != nil {

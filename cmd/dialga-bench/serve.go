@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"time"
+
+	"dialga/internal/fault"
+	"dialga/internal/obs"
+	"dialga/internal/rs"
+	"dialga/internal/stream"
+)
+
+// runServe starts an observability endpoint and loops the straggler
+// workload behind it so every route serves live data:
+//
+//	/metrics      Prometheus text exposition of the shared registry
+//	/debug/trace  the last stripe-lifecycle spans as JSON
+//	/debug/pprof  the standard Go profiler endpoints
+//
+// The workload is the -straggler decode (one shard with a recurring
+// seeded delay, hedging on), re-run continuously with a shared
+// registry and tracer, so counters accumulate and the trace ring stays
+// fresh until the process is interrupted.
+func runServe(addr string, quick bool) error {
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(obs.DefaultTraceCapacity)
+
+	go func() {
+		for {
+			if err := serveWorkload(reg, tracer, quick); err != nil {
+				fmt.Fprintf(os.Stderr, "workload: %v\n", err)
+				time.Sleep(time.Second)
+			}
+		}
+	}()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.Expose(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := tracer.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "dialga-bench observability endpoint\n\n"+
+			"  /metrics       Prometheus text format\n"+
+			"  /debug/trace   last stripe spans (JSON)\n"+
+			"  /debug/pprof/  Go profiler\n")
+	})
+
+	fmt.Fprintf(os.Stderr, "serving metrics on %s (workload: straggler decode, hedged)\n", addr)
+	return http.ListenAndServe(addr, mux)
+}
+
+// serveWorkload runs one encode + hedged straggler decode with all
+// telemetry attached to the shared registry and tracer.
+func serveWorkload(reg *obs.Registry, tracer *obs.Tracer, quick bool) error {
+	cfg := stragglerConfig{
+		K: 4, M: 2, ShardSize: 4096, Stripes: 96,
+		SlowShard: 1, SlowMicros: 3000, Seed: 42,
+	}
+	if quick {
+		cfg.Stripes, cfg.SlowMicros = 24, 2000
+	}
+	code, err := rs.New(cfg.K, cfg.M)
+	if err != nil {
+		return err
+	}
+	opts := stream.Options{
+		Codec:      code,
+		StripeSize: cfg.K * cfg.ShardSize,
+		Workers:    2,
+		Seed:       uint64(cfg.Seed),
+		HedgeAfter: 500 * time.Microsecond,
+		Metrics:    reg,
+		Trace:      tracer,
+	}
+
+	payload := make([]byte, cfg.Stripes*cfg.K*cfg.ShardSize)
+	st := uint64(cfg.Seed)
+	for i := range payload {
+		st = st*6364136223846793005 + 1442695040888963407
+		payload[i] = byte(st >> 56)
+	}
+	enc, err := stream.NewEncoder(opts)
+	if err != nil {
+		return err
+	}
+	shardBufs := make([]bytes.Buffer, cfg.K+cfg.M)
+	writers := make([]io.Writer, cfg.K+cfg.M)
+	for i := range shardBufs {
+		writers[i] = &shardBufs[i]
+	}
+	if err := enc.Encode(context.Background(), bytes.NewReader(payload), writers); err != nil {
+		return err
+	}
+
+	dec, err := stream.NewDecoder(opts)
+	if err != nil {
+		return err
+	}
+	readers := make([]io.Reader, cfg.K+cfg.M)
+	for i := range shardBufs {
+		readers[i] = bytes.NewReader(shardBufs[i].Bytes())
+	}
+	readers[cfg.SlowShard] = fault.NewReader(
+		bytes.NewReader(shardBufs[cfg.SlowShard].Bytes()),
+		fault.Plan{Ops: []fault.Op{{Kind: fault.Slow, Off: 0, Len: cfg.SlowMicros}}},
+	).WithMetrics(reg)
+	return dec.Decode(context.Background(), readers, io.Discard, int64(len(payload)))
+}

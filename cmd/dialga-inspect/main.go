@@ -24,6 +24,7 @@ import (
 	"dialga/internal/engine"
 	"dialga/internal/isal"
 	"dialga/internal/mem"
+	"dialga/internal/obs"
 	"dialga/internal/workload"
 )
 
@@ -49,14 +50,25 @@ func main() {
 		dialgaOn = flag.Bool("dialga", false, "run the DIALGA adaptive scheduler instead of fixed kernel parameters")
 		trace    = flag.Bool("trace", false, "with -dialga: print the coordinator trace (CSV to stderr)")
 		verify   = flag.String("verify", "", "scrub the given shard directory (headers + block checksums) instead of running the simulator")
+		metrics  = flag.Bool("metrics", false, "with -verify: append the scrub's metric series in Prometheus text format")
 	)
 	flag.Parse()
 
 	if *verify != "" {
-		corrupt, err := verifyDir(*verify, os.Stdout)
+		var reg *obs.Registry
+		if *metrics {
+			reg = obs.NewRegistry()
+		}
+		corrupt, err := verifyDir(*verify, os.Stdout, reg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dialga-inspect:", err)
 			os.Exit(1)
+		}
+		if *metrics {
+			if err := reg.Expose(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "dialga-inspect:", err)
+				os.Exit(1)
+			}
 		}
 		if corrupt {
 			os.Exit(1)

@@ -7,8 +7,38 @@ import (
 	"os"
 	"path/filepath"
 
+	"dialga/internal/obs"
 	"dialga/internal/shardfile"
 )
+
+// scrubMetrics is the scrub's registry series; all fields no-op when
+// built from a nil registry.
+type scrubMetrics struct {
+	ok            *obs.Counter
+	corrupt       *obs.Counter
+	missing       *obs.Counter
+	unverifiable  *obs.Counter
+	blocksCorrupt *obs.Counter
+	stripes       *obs.Counter
+}
+
+func newScrubMetrics(reg *obs.Registry) scrubMetrics {
+	shard := func(result string) *obs.Counter {
+		return reg.Counter("inspect_shards_scrubbed_total",
+			"Shard files scrubbed, by outcome.",
+			obs.Label{Key: "result", Value: result})
+	}
+	return scrubMetrics{
+		ok:           shard("ok"),
+		corrupt:      shard("corrupt"),
+		missing:      shard("missing"),
+		unverifiable: shard("unverifiable"),
+		blocksCorrupt: reg.Counter("inspect_blocks_corrupt_total",
+			"Stripe blocks whose checksum trailer failed verification."),
+		stripes: reg.Counter("inspect_stripes_scrubbed_total",
+			"Stripes read and verified across all scrubbed shards."),
+	}
+}
 
 // verifyDir scrubs every shard file in dir: it parses and validates
 // each header (the v3 self-CRC catches corrupted headers) and then
@@ -16,8 +46,10 @@ import (
 // per shard slot plus a summary, and returns whether any corruption,
 // truncation, or header damage was found. Legacy v2 shards (and v3
 // shards written without checksums) are reported as unverifiable but
-// do not count as corrupt: they carry nothing to check against.
-func verifyDir(dir string, w io.Writer) (corrupt bool, err error) {
+// do not count as corrupt: they carry nothing to check against. A
+// non-nil reg additionally receives the scrub's inspect_* series.
+func verifyDir(dir string, w io.Writer, reg *obs.Registry) (corrupt bool, err error) {
+	sm := newScrubMetrics(reg)
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return false, err
@@ -56,37 +88,46 @@ func verifyDir(dir string, w io.Writer) (corrupt bool, err error) {
 		if err != nil {
 			fmt.Fprintf(w, "%s: missing\n", name)
 			missing++
+			sm.missing.Inc()
 			continue
 		}
 		h, err := shardfile.Parse(f)
 		if err != nil {
 			fmt.Fprintf(w, "%s: BAD HEADER: %v\n", name, err)
 			bad++
+			sm.corrupt.Inc()
 			f.Close()
 			continue
 		}
 		if fi, err := f.Stat(); err == nil && fi.Size() != h.ExpectedFileSize() {
 			fmt.Fprintf(w, "%s: TRUNCATED: %d bytes on disk, want %d\n", name, fi.Size(), h.ExpectedFileSize())
 			bad++
+			sm.corrupt.Inc()
 			f.Close()
 			continue
 		}
 		res, err := shardfile.Scrub(f, h)
 		f.Close()
+		sm.stripes.Add(res.Stripes)
+		sm.blocksCorrupt.Add(res.Corrupt)
 		switch {
 		case errors.Is(err, shardfile.ErrNoChecksum):
 			fmt.Fprintf(w, "%s: unverifiable (v%d, checksum=%s: no block trailers)\n", name, h.Version, h.Algo)
 			unverifiable++
+			sm.unverifiable.Inc()
 		case err != nil:
 			fmt.Fprintf(w, "%s: READ ERROR: %v\n", name, err)
 			bad++
+			sm.corrupt.Inc()
 		case res.Corrupt > 0:
 			fmt.Fprintf(w, "%s: CORRUPT: %d of %d blocks failed %s (stripes %v)\n",
 				name, res.Corrupt, res.Stripes, h.Algo, res.CorruptStripes)
 			bad++
+			sm.corrupt.Inc()
 		default:
 			fmt.Fprintf(w, "%s: ok (%d stripes, %s)\n", name, res.Stripes, h.Algo)
 			verified++
+			sm.ok.Inc()
 		}
 	}
 	fmt.Fprintf(w, "scrub: %d ok, %d corrupt/damaged, %d missing, %d unverifiable (geometry k=%d m=%d)\n",

@@ -78,7 +78,7 @@ func TestVerifyDir(t *testing.T) {
 		dir := filepath.Join(t.TempDir(), "shards")
 		writeShardDir(t, dir, 4, 2, shardfile.VersionV3, payload)
 		var out strings.Builder
-		corrupt, err := verifyDir(dir, &out)
+		corrupt, err := verifyDir(dir, &out, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -95,7 +95,7 @@ func TestVerifyDir(t *testing.T) {
 		writeShardDir(t, dir, 4, 2, shardfile.VersionV3, payload)
 		corruptFile(t, shardfile.Path(dir, 2), int64(shardfile.HeaderSizeV3)+777, 0x04)
 		var out strings.Builder
-		corrupt, err := verifyDir(dir, &out)
+		corrupt, err := verifyDir(dir, &out, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -115,7 +115,7 @@ func TestVerifyDir(t *testing.T) {
 			t.Fatal(err)
 		}
 		var out strings.Builder
-		corrupt, err := verifyDir(dir, &out)
+		corrupt, err := verifyDir(dir, &out, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -140,7 +140,7 @@ func TestVerifyDir(t *testing.T) {
 			t.Fatal(err)
 		}
 		var out strings.Builder
-		corrupt, err := verifyDir(dir, &out)
+		corrupt, err := verifyDir(dir, &out, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -153,7 +153,7 @@ func TestVerifyDir(t *testing.T) {
 		dir := filepath.Join(t.TempDir(), "shards")
 		writeShardDir(t, dir, 3, 2, shardfile.VersionV2, payload)
 		var out strings.Builder
-		corrupt, err := verifyDir(dir, &out)
+		corrupt, err := verifyDir(dir, &out, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -166,7 +166,7 @@ func TestVerifyDir(t *testing.T) {
 	})
 
 	t.Run("empty dir errors", func(t *testing.T) {
-		if _, err := verifyDir(t.TempDir(), io.Discard); err == nil {
+		if _, err := verifyDir(t.TempDir(), io.Discard, nil); err == nil {
 			t.Fatal("empty directory accepted")
 		}
 	})

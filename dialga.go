@@ -22,6 +22,7 @@ import (
 
 	"dialga/internal/harness"
 	"dialga/internal/lrc"
+	"dialga/internal/obs"
 	"dialga/internal/rs"
 	"dialga/internal/stream"
 )
@@ -219,6 +220,44 @@ func StreamDecode(ctx context.Context, opts StreamOptions, shards []io.Reader, w
 // StreamCodec adapts the LRC to the streaming pipeline: its m global
 // and l local parities appear as m+l parity shards in stripe order.
 func (c *LRC) StreamCodec() StreamCodec { return stream.WrapLRC(c.code) }
+
+// Observability — see internal/obs. Pipelines register their counters,
+// gauges, and latency histograms in a MetricsRegistry set on
+// StreamOptions.Metrics, and record per-stripe lifecycle spans into a
+// StreamTracer set on StreamOptions.Trace. The registry renders in the
+// Prometheus text exposition format via its Expose method;
+// `dialga-bench -serve :PORT` mounts both at /metrics and
+// /debug/trace.
+
+// MetricsRegistry is an atomic metrics registry: counters, gauges, and
+// log-linear histograms addressable by name + labels, rendered in
+// Prometheus text format with Expose. All methods are safe for
+// concurrent use, and all methods on a nil registry (and on nil
+// metrics obtained from one) are no-ops.
+type MetricsRegistry = obs.Registry
+
+// MetricLabel is one name/value label pair qualifying a metric series.
+type MetricLabel = obs.Label
+
+// NewMetricsRegistry returns an empty registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// StreamTracer records per-stripe lifecycle spans (read → verify →
+// reconstruct → emit, annotated with hedge/breaker/heal decisions)
+// into a fixed-capacity ring; Snapshot and WriteJSON read it back,
+// newest first.
+type StreamTracer = obs.Tracer
+
+// StreamSpan is one traced stripe lifecycle.
+type StreamSpan = obs.Span
+
+// NewStreamTracer returns a tracer retaining the last capacity spans
+// (DefaultTraceCapacity when capacity <= 0).
+func NewStreamTracer(capacity int) *StreamTracer { return obs.NewTracer(capacity) }
+
+// DefaultTraceCapacity is the span-ring size NewStreamTracer applies
+// when none is given.
+const DefaultTraceCapacity = obs.DefaultTraceCapacity
 
 // Figure is a reproduced paper figure; see internal/harness.
 type Figure = harness.Figure

@@ -341,3 +341,74 @@ func TestFacadeReproduce(t *testing.T) {
 		t.Fatal("unknown figure accepted")
 	}
 }
+
+// TestFacadeObservability drives a traced, metered roundtrip through
+// the public facade: the registry accumulates stream_* series for both
+// directions, Expose renders them in Prometheus text format, and the
+// tracer retains per-stripe spans.
+func TestFacadeObservability(t *testing.T) {
+	codec, err := NewCodec(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewMetricsRegistry()
+	tr := NewStreamTracer(0) // DefaultTraceCapacity
+	opts := StreamOptions{Codec: codec, StripeSize: 64 << 10, Workers: 2, Metrics: reg, Trace: tr}
+	payload := make([]byte, 1<<20+123)
+	rand.New(rand.NewSource(5)).Read(payload)
+
+	bufs := make([]bytes.Buffer, 6)
+	writers := make([]io.Writer, 6)
+	for i := range bufs {
+		writers[i] = &bufs[i]
+	}
+	if _, err := StreamEncode(context.Background(), opts, bytes.NewReader(payload), writers); err != nil {
+		t.Fatal(err)
+	}
+	readers := make([]io.Reader, 6)
+	for i := range bufs {
+		readers[i] = bytes.NewReader(bufs[i].Bytes())
+	}
+	readers[1] = nil // force reconstruction so decode-side series move
+	var out bytes.Buffer
+	if _, err := StreamDecode(context.Background(), opts, readers, &out, int64(len(payload))); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), payload) {
+		t.Fatal("observed roundtrip corrupted the payload")
+	}
+
+	var text bytes.Buffer
+	if err := reg.Expose(&text); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`stream_stripes_total{pipeline="decode"}`,
+		`stream_stripes_total{pipeline="encode"}`,
+		`stream_reconstructed_total{pipeline="decode"}`,
+		`stream_stripe_latency_us_bucket`,
+		`shardio_deadline_us`,
+	} {
+		if !bytes.Contains(text.Bytes(), []byte(want)) {
+			t.Fatalf("exposition missing %s:\n%s", want, text.String())
+		}
+	}
+	if tr.Total() == 0 {
+		t.Fatal("tracer recorded no spans")
+	}
+	spans := tr.Snapshot()
+	if len(spans) == 0 {
+		t.Fatal("tracer snapshot empty")
+	}
+	seen := map[string]bool{}
+	for _, sp := range spans {
+		for _, ev := range sp.Events {
+			seen[ev.Name] = true
+		}
+	}
+	for _, want := range []string{"read", "emit"} {
+		if !seen[want] {
+			t.Fatalf("no %q span event recorded (saw %v)", want, seen)
+		}
+	}
+}

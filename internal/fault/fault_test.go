@@ -7,6 +7,8 @@ import (
 	"io"
 	"testing"
 	"time"
+
+	"dialga/internal/obs"
 )
 
 func payload(n int) []byte {
@@ -369,5 +371,83 @@ func TestWriterStallCancelled(t *testing.T) {
 		}
 	case <-time.After(2 * time.Second):
 		t.Fatal("cancelled stalled write did not return")
+	}
+}
+
+// TestInjectMetrics checks WithMetrics accounting: every fault a
+// Reader or Writer actually delivers shows up once in
+// fault_injected_total{kind=...}.
+func TestInjectMetrics(t *testing.T) {
+	kindCount := func(reg *obs.Registry, k Kind) uint64 {
+		return reg.Counter("fault_injected_total", "", obs.Label{Key: "kind", Value: k.String()}).Value()
+	}
+
+	reg := obs.NewRegistry()
+	src := payload(16)
+	r := NewReader(bytes.NewReader(src), Plan{Ops: []Op{
+		{Kind: BitFlip, Off: 2, Bit: 0},
+		{Kind: ErrOnce, Off: 4},
+		{Kind: Truncate, Off: 8},
+	}}).WithMetrics(reg)
+	if _, err := io.ReadAll(onlyTransient{r}); err != nil {
+		t.Fatal(err)
+	}
+	if got := kindCount(reg, BitFlip); got != 1 {
+		t.Fatalf("flip count = %d, want 1", got)
+	}
+	if got := kindCount(reg, ErrOnce); got != 1 {
+		t.Fatalf("err count = %d, want 1", got)
+	}
+	// Drive one read past the truncation point so the EOF injection is
+	// observed and counted exactly once despite repeated reads.
+	for i := 0; i < 3; i++ {
+		if _, err := r.Read(make([]byte, 4)); err != io.EOF {
+			t.Fatalf("post-truncate read error = %v, want EOF", err)
+		}
+	}
+	if got := kindCount(reg, Truncate); got != 1 {
+		t.Fatalf("trunc count = %d, want 1", got)
+	}
+
+	wreg := obs.NewRegistry()
+	var sink bytes.Buffer
+	w := NewWriter(&sink, Plan{Ops: []Op{
+		{Kind: ZeroFill, Off: 1, Len: 2},
+		{Kind: Stall, Off: 3, Len: 1},
+		{Kind: ShortWrite, Off: 6},
+	}}).WithMetrics(wreg)
+	data := payload(8)
+	n, err := w.Write(data)
+	if err == nil {
+		t.Fatal("short write did not surface a fault")
+	}
+	if _, err := w.Write(data[n:]); err != nil {
+		t.Fatal(err)
+	}
+	if got := kindCount(wreg, ZeroFill); got != 1 {
+		t.Fatalf("zero count = %d, want 1", got)
+	}
+	if got := kindCount(wreg, Stall); got != 1 {
+		t.Fatalf("stall count = %d, want 1", got)
+	}
+	if got := kindCount(wreg, ShortWrite); got != 1 {
+		t.Fatalf("short count = %d, want 1", got)
+	}
+}
+
+// onlyTransient retries transient injected errors so ReadAll can run a
+// faulty stream to EOF.
+type onlyTransient struct{ r io.Reader }
+
+func (o onlyTransient) Read(p []byte) (int, error) {
+	for {
+		n, err := o.r.Read(p)
+		if err != nil && errors.Is(err, ErrInjected) {
+			if n == 0 {
+				continue
+			}
+			return n, nil
+		}
+		return n, err
 	}
 }

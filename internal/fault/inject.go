@@ -4,7 +4,37 @@ import (
 	"context"
 	"io"
 	"time"
+
+	"dialga/internal/obs"
 )
+
+// injectMetrics counts applied fault injections per kind in a
+// registry as fault_injected_total{kind=...}. Nil (the default) is a
+// no-op, so the injectors stay dependency-free unless a registry is
+// attached with WithMetrics.
+type injectMetrics struct {
+	c [Slow + 1]*obs.Counter // indexed by Kind
+}
+
+func newInjectMetrics(reg *obs.Registry) *injectMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &injectMetrics{}
+	for k := range m.c {
+		m.c[k] = reg.Counter("fault_injected_total",
+			"Fault injections applied to wrapped streams, by kind.",
+			obs.Label{Key: "kind", Value: Kind(k).String()})
+	}
+	return m
+}
+
+func (m *injectMetrics) inc(k Kind, n uint64) {
+	if m == nil || n == 0 {
+		return
+	}
+	m.c[k].Add(n)
+}
 
 // sleep pauses for d unless ctx is cancelled first, in which case it
 // returns the context's error. A nil ctx sleeps unconditionally.
@@ -64,8 +94,9 @@ type Reader struct {
 	ctx   context.Context
 	pos   int64
 	ops   []Op
-	fired []bool  // ErrOnce ops that already triggered
+	fired []bool  // ErrOnce (and first-Truncate) ops that already triggered
 	count []int64 // Slow ops: reads delayed so far (the delay-draw index)
+	m     *injectMetrics
 }
 
 // NewReader wraps r with the plan's read-side faults. Write-side ops
@@ -83,6 +114,15 @@ func (f *Reader) WithContext(ctx context.Context) *Reader {
 	return f
 }
 
+// WithMetrics counts every applied injection in reg as
+// fault_injected_total{kind=...}, so chaos runs can cross-check the
+// faults actually delivered against the pipeline's healing counters.
+// It returns f for chaining.
+func (f *Reader) WithMetrics(reg *obs.Registry) *Reader {
+	f.m = newInjectMetrics(reg)
+	return f
+}
+
 func (f *Reader) Read(p []byte) (int, error) {
 	if len(p) == 0 {
 		return f.r.Read(p)
@@ -92,6 +132,10 @@ func (f *Reader) Read(p []byte) (int, error) {
 		switch op.Kind {
 		case Truncate:
 			if op.Off <= f.pos {
+				if !f.fired[i] {
+					f.fired[i] = true
+					f.m.inc(Truncate, 1)
+				}
 				return 0, io.EOF
 			}
 			if d := op.Off - f.pos; d < limit {
@@ -103,6 +147,7 @@ func (f *Reader) Read(p []byte) (int, error) {
 			}
 			if op.Off <= f.pos {
 				f.fired[i] = true
+				f.m.inc(ErrOnce, 1)
 				return 0, &Err{Off: f.pos}
 			}
 			// Stop this read just short of the trigger byte so the
@@ -119,6 +164,7 @@ func (f *Reader) Read(p []byte) (int, error) {
 		}
 		j := f.count[i]
 		f.count[i]++
+		f.m.inc(Slow, 1)
 		if err := sleep(f.ctx, slowDelay(op, j)); err != nil {
 			return 0, err
 		}
@@ -133,16 +179,22 @@ func (f *Reader) Read(p []byte) (int, error) {
 
 // corrupt applies the data-mutation ops overlapping [pos, pos+len(b)).
 func (f *Reader) corrupt(b []byte, pos int64) {
-	applyDataOps(f.ops, b, pos)
+	flips, zeros := applyDataOps(f.ops, b, pos)
+	f.m.inc(BitFlip, flips)
+	f.m.inc(ZeroFill, zeros)
 }
 
-func applyDataOps(ops []Op, b []byte, pos int64) {
+// applyDataOps mutates b in place and reports how many BitFlip and
+// ZeroFill ops actually touched this window, so callers can meter the
+// corruption they delivered.
+func applyDataOps(ops []Op, b []byte, pos int64) (flips, zeros uint64) {
 	end := pos + int64(len(b))
 	for _, op := range ops {
 		switch op.Kind {
 		case BitFlip:
 			if op.Off >= pos && op.Off < end {
 				b[op.Off-pos] ^= 1 << (op.Bit & 7)
+				flips++
 			}
 		case ZeroFill:
 			lo, hi := op.Off, op.Off+op.Len
@@ -154,9 +206,11 @@ func applyDataOps(ops []Op, b []byte, pos int64) {
 			}
 			if lo < hi {
 				clear(b[lo-pos : hi-pos])
+				zeros++
 			}
 		}
 	}
+	return flips, zeros
 }
 
 // Writer applies a Plan to the bytes flowing into an underlying
@@ -171,8 +225,9 @@ type Writer struct {
 	ctx   context.Context
 	pos   int64
 	ops   []Op
-	fired []bool // ErrOnce/ShortWrite/Stall ops that already triggered
+	fired []bool // ErrOnce/ShortWrite/Stall/Truncate ops that already triggered
 	buf   []byte // scratch for corrupted copies
+	m     *injectMetrics
 }
 
 // NewWriter wraps w with the plan's write-side faults.
@@ -189,6 +244,13 @@ func (f *Writer) WithContext(ctx context.Context) *Writer {
 	return f
 }
 
+// WithMetrics counts every applied injection in reg as
+// fault_injected_total{kind=...}. It returns f for chaining.
+func (f *Writer) WithMetrics(reg *obs.Registry) *Writer {
+	f.m = newInjectMetrics(reg)
+	return f
+}
+
 func (f *Writer) Write(p []byte) (int, error) {
 	if len(p) == 0 {
 		return f.w.Write(p)
@@ -202,6 +264,7 @@ func (f *Writer) Write(p []byte) (int, error) {
 		case ErrOnce:
 			if op.Off <= f.pos {
 				f.fired[i] = true
+				f.m.inc(ErrOnce, 1)
 				return 0, &Err{Off: f.pos}
 			}
 			if d := op.Off - f.pos; d < limit {
@@ -216,6 +279,7 @@ func (f *Writer) Write(p []byte) (int, error) {
 		case Stall:
 			if op.Off >= f.pos && op.Off < f.pos+limit {
 				f.fired[i] = true
+				f.m.inc(Stall, 1)
 				if err := sleep(f.ctx, time.Duration(op.Len)*time.Microsecond); err != nil {
 					return 0, err
 				}
@@ -235,6 +299,7 @@ func (f *Writer) Write(p []byte) (int, error) {
 		for i, op := range f.ops {
 			if (op.Kind == ShortWrite || op.Kind == ErrOnce) && !f.fired[i] && op.Off == f.pos {
 				f.fired[i] = true
+				f.m.inc(op.Kind, 1)
 			}
 		}
 		return n, &Err{Off: f.pos}
@@ -246,7 +311,7 @@ func (f *Writer) Write(p []byte) (int, error) {
 // data-corruption ops (mutate a copy, never the caller's buffer).
 func (f *Writer) write(b []byte) (int, error) {
 	keep := int64(len(b))
-	for _, op := range f.ops {
+	for i, op := range f.ops {
 		if op.Kind != Truncate {
 			continue
 		}
@@ -255,11 +320,17 @@ func (f *Writer) write(b []byte) (int, error) {
 		} else if d := op.Off - f.pos; d < keep {
 			keep = d
 		}
+		if keep < int64(len(b)) && !f.fired[i] {
+			f.fired[i] = true
+			f.m.inc(Truncate, 1)
+		}
 	}
 	out := b[:keep]
 	if f.needsCorrupt(f.pos, f.pos+keep) {
 		f.buf = append(f.buf[:0], out...)
-		applyDataOps(f.ops, f.buf, f.pos)
+		flips, zeros := applyDataOps(f.ops, f.buf, f.pos)
+		f.m.inc(BitFlip, flips)
+		f.m.inc(ZeroFill, zeros)
 		out = f.buf
 	}
 	if len(out) > 0 {

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrent hammers registration, updates, and Expose
+// from many goroutines at once. Under -race this proves the whole
+// surface is data-race free; in any mode it checks the final totals
+// are exact (no lost updates).
+func TestRegistryConcurrent(t *testing.T) {
+	iters := 2000
+	if raceEnabled {
+		iters = 400
+	}
+	r := NewRegistry()
+	const workers = 8
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				// Re-register every iteration: lookup must be safe and
+				// always return the same series.
+				r.Counter("c_total", "h").Inc()
+				r.Gauge("g", "h", Label{"w", fmt.Sprint(g)}).Set(float64(i))
+				r.Histogram("h_us", "h", []float64{1, 4, 16}).Observe(float64(i % 20))
+				if i%64 == 0 {
+					if err := r.Expose(io.Discard); err != nil {
+						t.Errorf("Expose: %v", err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.Counter("c_total", "h").Value(); got != uint64(workers*iters) {
+		t.Fatalf("counter = %d, want %d (lost updates)", got, workers*iters)
+	}
+	_, _, count := r.Histogram("h_us", "h", []float64{1, 4, 16}).Snapshot()
+	if count != uint64(workers*iters) {
+		t.Fatalf("histogram count = %d, want %d", count, workers*iters)
+	}
+}
+
+// TestTracerConcurrent runs span producers against snapshot/JSON
+// readers; span ownership transfer and ring eviction must be clean
+// under -race.
+func TestTracerConcurrent(t *testing.T) {
+	spans := 3000
+	if raceEnabled {
+		spans = 600
+	}
+	tr := NewTracer(64)
+	done := make(chan struct{})
+	var readers sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				for _, sp := range tr.Snapshot() {
+					if len(sp.Events) != 1 || sp.Events[0].Name != "emit" {
+						t.Errorf("torn span observed: %+v", sp)
+						return
+					}
+				}
+				if err := tr.WriteJSON(io.Discard); err != nil {
+					t.Errorf("WriteJSON: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	var writers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		writers.Add(1)
+		go func(g int) {
+			defer writers.Done()
+			for i := 0; i < spans; i++ {
+				sp := tr.Begin(int64(g*spans + i))
+				sp.Event("emit", "x")
+				sp.End()
+			}
+		}(g)
+	}
+	writers.Wait()
+	close(done)
+	readers.Wait()
+	if tr.Total() != uint64(4*spans) {
+		t.Fatalf("Total = %d, want %d", tr.Total(), 4*spans)
+	}
+}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Expose writes every registered family in the Prometheus text
+// exposition format (version 0.0.4): families sorted by name, series
+// sorted by label set, histograms as cumulative `_bucket{le=...}`
+// series plus `_sum` and `_count`. The output is deterministic for a
+// fixed registry state, so it can be pinned by golden-file tests. A
+// nil registry writes nothing.
+func (r *Registry) Expose(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	// Snapshot the family and series structure under the lock, then
+	// render from live atomics: registration is rare, updates are not.
+	type seriesRef struct {
+		labels string
+		metric any
+	}
+	type famRef struct {
+		*family
+		series []seriesRef
+	}
+	r.mu.Lock()
+	fams := make([]famRef, 0, len(r.fams))
+	for _, f := range r.fams {
+		fr := famRef{family: f}
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fr.series = append(fr.series, seriesRef{labels: k, metric: f.series[k]})
+		}
+		fams = append(fams, fr)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		if f.help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.name)
+			bw.WriteByte(' ')
+			bw.WriteString(f.help)
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind.String())
+		bw.WriteByte('\n')
+		for _, s := range f.series {
+			switch m := s.metric.(type) {
+			case *Counter:
+				writeSeries(bw, f.name, s.labels, strconv.FormatUint(m.Value(), 10))
+			case *Gauge:
+				writeSeries(bw, f.name, s.labels, formatFloat(m.Value()))
+			case *Histogram:
+				counts, sum, count := m.Snapshot()
+				var cum uint64
+				for i, c := range counts {
+					cum += c
+					le := "+Inf"
+					if i < len(m.bounds) {
+						le = formatFloat(m.bounds[i])
+					}
+					writeSeries(bw, f.name+"_bucket", joinLabels(s.labels, `le="`+le+`"`),
+						strconv.FormatUint(cum, 10))
+				}
+				writeSeries(bw, f.name+"_sum", s.labels, formatFloat(sum))
+				writeSeries(bw, f.name+"_count", s.labels, strconv.FormatUint(count, 10))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func writeSeries(w *bufio.Writer, name, labels, value string) {
+	w.WriteString(name)
+	if labels != "" {
+		w.WriteByte('{')
+		w.WriteString(labels)
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(value)
+	w.WriteByte('\n')
+}
+
+func joinLabels(base, extra string) string {
+	if base == "" {
+		return extra
+	}
+	return base + "," + extra
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a deterministic registry exercising every
+// family kind, label rendering, and histogram bucket accumulation.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("stream_stripes_total", "Stripes fully emitted downstream.",
+		Label{"pipeline", "decode"}).Add(42)
+	r.Counter("stream_stripes_total", "Stripes fully emitted downstream.",
+		Label{"pipeline", "encode"}).Add(7)
+	r.Counter("plain_total", "A series without labels.").Add(3)
+	r.Gauge("shardio_shard_ewma_us", "Per-shard block-read latency EWMA.",
+		Label{"shard", "0"}).Set(12.5)
+	r.Gauge("shardio_shard_ewma_us", "Per-shard block-read latency EWMA.",
+		Label{"shard", "1"}).Set(250)
+	h := r.Histogram("stream_stripe_latency_us", "Per-stripe codec latency.",
+		[]float64{1, 2, 4, 8}, Label{"pipeline", "decode"})
+	for _, v := range []float64{0.5, 2, 2, 3, 9} {
+		h.Observe(v)
+	}
+	return r
+}
+
+func TestExposeGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().Expose(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "expose.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestExposeParses is a minimal structural parse of the text format:
+// every non-comment line is `name{labels} value` with a numeric value,
+// HELP/TYPE come before their series, and histogram buckets are
+// cumulative and le-ordered — the properties a Prometheus scraper
+// relies on.
+func TestExposeParses(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().Expose(&buf); err != nil {
+		t.Fatal(err)
+	}
+	typed := map[string]string{}
+	var lastBucketCum uint64
+	var lastBucketSeries string
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			t.Fatal("blank line in exposition")
+		}
+		if strings.HasPrefix(line, "# ") {
+			parts := strings.SplitN(line, " ", 4)
+			if len(parts) < 4 || (parts[1] != "HELP" && parts[1] != "TYPE") {
+				t.Fatalf("malformed comment line %q", line)
+			}
+			if parts[1] == "TYPE" {
+				typed[parts[2]] = parts[3]
+			}
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("series line %q has no value", line)
+		}
+		series, value := line[:sp], line[sp+1:]
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			t.Fatalf("series %q value %q not numeric: %v", series, value, err)
+		}
+		name := series
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			name = series[:i]
+			if !strings.HasSuffix(series, "}") {
+				t.Fatalf("unterminated label set in %q", series)
+			}
+		}
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if _, ok := typed[name]; !ok {
+			if _, ok := typed[base]; !ok {
+				t.Fatalf("series %q appeared before its TYPE line", series)
+			}
+		}
+		if strings.HasSuffix(name, "_bucket") {
+			cum, err := strconv.ParseUint(value, 10, 64)
+			if err != nil {
+				t.Fatalf("bucket value %q not a uint: %v", value, err)
+			}
+			key := series[:strings.Index(series, "le=")]
+			if key == lastBucketSeries && cum < lastBucketCum {
+				t.Fatalf("bucket series %q not cumulative: %d after %d", series, cum, lastBucketCum)
+			}
+			lastBucketSeries, lastBucketCum = key, cum
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if typed["stream_stripes_total"] != "counter" || typed["stream_stripe_latency_us"] != "histogram" {
+		t.Fatalf("TYPE lines missing or wrong: %v", typed)
+	}
+}
+
+func TestExposeHistogramHasInf(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().Expose(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`stream_stripe_latency_us_bucket{pipeline="decode",le="+Inf"} 5`,
+		`stream_stripe_latency_us_bucket{pipeline="decode",le="2"} 3`,
+		`stream_stripe_latency_us_count{pipeline="decode"} 5`,
+		fmt.Sprintf(`stream_stripe_latency_us_sum{pipeline="decode"} %s`, formatFloat(16.5)),
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package obs
+
+// raceEnabled reports whether the race detector is active; the
+// concurrent registry/tracer hammer tests scale their workload down
+// under instrumentation (the stream package uses the same pattern).
+const raceEnabled = true

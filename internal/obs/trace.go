@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// DefaultTraceCapacity is the span ring size NewTracer(0) uses.
+const DefaultTraceCapacity = 256
+
+// SpanEvent is one step inside a span: a name (read, verify,
+// reconstruct, emit, ...), its offset from the span start, and an
+// optional free-form annotation (hedge targets, demoted counts, ...).
+type SpanEvent struct {
+	Name string `json:"name"`
+	AtUS int64  `json:"at_us"`
+	Attr string `json:"attr,omitempty"`
+}
+
+// Span is the recorded lifecycle of one unit of work (a stripe moving
+// through the decode pipeline). A span is owned by exactly one
+// goroutine at a time — the pipeline's existing happens-before edges
+// (channel handoffs) carry it producer → worker → consumer — and is
+// published to the tracer's ring only at End.
+type Span struct {
+	ID     int64       `json:"id"`
+	Start  time.Time   `json:"start"`
+	DurUS  int64       `json:"dur_us"`
+	Events []SpanEvent `json:"events"`
+
+	tr   *Tracer
+	done bool
+}
+
+// Tracer keeps the last N finished spans in a ring buffer. Begin/End
+// cost one mutex acquisition per span plus the events appended in
+// between; a nil *Tracer no-ops everywhere, so tracing defaults off.
+type Tracer struct {
+	mu    sync.Mutex
+	ring  []Span
+	n     int // filled entries
+	next  int // ring write cursor
+	total uint64
+}
+
+// NewTracer returns a tracer retaining the last capacity finished
+// spans (DefaultTraceCapacity when capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{ring: make([]Span, capacity)}
+}
+
+// Begin starts a span for unit id. On a nil tracer it returns nil,
+// and every Span method is safe on a nil receiver, so callers
+// instrument unconditionally.
+func (t *Tracer) Begin(id int64) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{ID: id, Start: time.Now(), tr: t}
+}
+
+// Event appends one named step with an optional annotation.
+func (s *Span) Event(name, attr string) {
+	if s == nil {
+		return
+	}
+	s.Events = append(s.Events, SpanEvent{
+		Name: name,
+		AtUS: int64(time.Since(s.Start) / time.Microsecond),
+		Attr: attr,
+	})
+}
+
+// End finalizes the span and publishes it to the tracer's ring,
+// evicting the oldest span once the ring is full. End is idempotent;
+// events appended after End are lost.
+func (s *Span) End() {
+	if s == nil || s.done {
+		return
+	}
+	s.done = true
+	s.DurUS = int64(time.Since(s.Start) / time.Microsecond)
+	t := s.tr
+	t.mu.Lock()
+	t.ring[t.next] = *s
+	t.next = (t.next + 1) % len(t.ring)
+	if t.n < len(t.ring) {
+		t.n++
+	}
+	t.total++
+	t.mu.Unlock()
+}
+
+// Total returns the number of spans ever finished (including ones the
+// ring has since evicted).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Snapshot returns the retained spans, newest first. The returned
+// slice is a copy; the Events slices are shared with the ring but are
+// immutable once a span has ended.
+func (t *Tracer) Snapshot() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, t.n)
+	for i := 0; i < t.n; i++ {
+		// next-1 is the newest entry; walk backwards.
+		idx := (t.next - 1 - i + len(t.ring)) % len(t.ring)
+		out = append(out, t.ring[idx])
+	}
+	return out
+}
+
+// WriteJSON writes the retained spans (newest first) as an indented
+// JSON document: {"total": N, "spans": [...]}.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	doc := struct {
+		Total uint64 `json:"total"`
+		Spans []Span `json:"spans"`
+	}{Total: t.Total(), Spans: t.Snapshot()}
+	if doc.Spans == nil {
+		doc.Spans = []Span{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+func TestTracerRingEviction(t *testing.T) {
+	tr := NewTracer(4)
+	for i := int64(0); i < 10; i++ {
+		sp := tr.Begin(i)
+		sp.Event("read", "")
+		sp.Event("emit", fmt.Sprintf("stripe %d", i))
+		sp.End()
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", tr.Total())
+	}
+	spans := tr.Snapshot()
+	if len(spans) != 4 {
+		t.Fatalf("retained %d spans, want 4", len(spans))
+	}
+	// Newest first: 9, 8, 7, 6.
+	for i, sp := range spans {
+		if sp.ID != int64(9-i) {
+			t.Fatalf("span %d has ID %d, want %d", i, sp.ID, 9-i)
+		}
+		if len(sp.Events) != 2 || sp.Events[0].Name != "read" || sp.Events[1].Name != "emit" {
+			t.Fatalf("span %d events = %+v", i, sp.Events)
+		}
+	}
+}
+
+func TestTracerEndIdempotent(t *testing.T) {
+	tr := NewTracer(8)
+	sp := tr.Begin(1)
+	sp.End()
+	sp.End()
+	if tr.Total() != 1 {
+		t.Fatalf("double End recorded %d spans, want 1", tr.Total())
+	}
+}
+
+func TestTracerDefaultCapacity(t *testing.T) {
+	tr := NewTracer(0)
+	for i := int64(0); i < DefaultTraceCapacity+5; i++ {
+		tr.Begin(i).End()
+	}
+	if got := len(tr.Snapshot()); got != DefaultTraceCapacity {
+		t.Fatalf("retained %d, want %d", got, DefaultTraceCapacity)
+	}
+}
+
+func TestTracerWriteJSON(t *testing.T) {
+	tr := NewTracer(8)
+	sp := tr.Begin(3)
+	sp.Event("read", "got=5")
+	sp.Event("reconstruct", "")
+	sp.End()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Total uint64 `json:"total"`
+		Spans []struct {
+			ID     int64 `json:"id"`
+			Events []struct {
+				Name string `json:"name"`
+				Attr string `json:"attr"`
+			} `json:"events"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace JSON does not parse: %v\n%s", err, buf.String())
+	}
+	if doc.Total != 1 || len(doc.Spans) != 1 || doc.Spans[0].ID != 3 {
+		t.Fatalf("unexpected trace doc: %+v", doc)
+	}
+	if doc.Spans[0].Events[0].Name != "read" || doc.Spans[0].Events[0].Attr != "got=5" {
+		t.Fatalf("unexpected events: %+v", doc.Spans[0].Events)
+	}
+	// Empty tracer must still serialize spans as [], not null.
+	buf.Reset()
+	if err := NewTracer(2).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"spans": []`)) {
+		t.Fatalf("empty tracer JSON: %s", buf.String())
+	}
+}

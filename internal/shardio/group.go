@@ -4,8 +4,11 @@ import (
 	"context"
 	"io"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
+
+	"dialga/internal/obs"
 )
 
 // ewmaAlpha is the weight of the newest block-read latency sample in a
@@ -33,6 +36,12 @@ type shardMeta struct {
 	trips     int // total breaker trips (sets the cooldown backoff)
 	open      bool
 	openUntil time.Time
+
+	// Registry series for this shard; nil (no-op) without
+	// Options.Metrics.
+	ewmaG  *obs.Gauge   // shardio_shard_ewma_us
+	openG  *obs.Gauge   // shardio_breaker_open: 1 while the breaker is open
+	tripsC *obs.Counter // shardio_breaker_trips_total
 }
 
 func (m *shardMeta) observe(d time.Duration) {
@@ -43,6 +52,7 @@ func (m *shardMeta) observe(d time.Duration) {
 		m.ewma = ewmaAlpha*us + (1-ewmaAlpha)*m.ewma
 	}
 	m.samples++
+	m.ewmaG.Set(m.ewma)
 }
 
 // Group schedules block reads across a stripe's shard readers. Create
@@ -62,6 +72,12 @@ type Group struct {
 
 	seq int64
 	sh  []shardMeta
+
+	// Group-wide registry series; nil (no-op) without Options.Metrics.
+	deadlineG   *obs.Gauge   // shardio_deadline_us: last adaptive deadline
+	hedgedC     *obs.Counter // shardio_hedged_stripes_total
+	lateClaimed *obs.Counter // shardio_late_blocks_claimed_total
+	lateDropped *obs.Counter // shardio_late_blocks_dropped_total
 }
 
 // NewGroup validates opts, spawns one reader goroutine per non-nil
@@ -83,7 +99,23 @@ func NewGroup(readers []io.Reader, opts Options) (*Group, error) {
 		stop:    make(chan struct{}),
 		sh:      make([]shardMeta, n),
 	}
+	reg := opts.Metrics
+	g.deadlineG = reg.Gauge("shardio_deadline_us",
+		"Adaptive per-stripe deadline derived from the fleet-median latency EWMA, microseconds.")
+	g.hedgedC = reg.Counter("shardio_hedged_stripes_total",
+		"Stripes gathered without at least one live shard that missed the deadline.")
+	g.lateClaimed = reg.Counter("shardio_late_blocks_claimed_total",
+		"Straggler blocks that arrived late but were claimed for their stripe via the hedge race.")
+	g.lateDropped = reg.Counter("shardio_late_blocks_dropped_total",
+		"Straggler blocks that arrived after their stripe had committed to reconstruction.")
 	for i, r := range readers {
+		lbl := obs.Label{Key: "shard", Value: strconv.Itoa(i)}
+		g.sh[i].ewmaG = reg.Gauge("shardio_shard_ewma_us",
+			"Per-shard block-read latency EWMA, microseconds.", lbl)
+		g.sh[i].openG = reg.Gauge("shardio_breaker_open",
+			"1 while the shard's circuit breaker is open, else 0.", lbl)
+		g.sh[i].tripsC = reg.Counter("shardio_breaker_trips_total",
+			"Circuit-breaker trips for this shard, including half-open re-trips.", lbl)
 		if r == nil {
 			g.sh[i].missing = true
 			continue
@@ -159,12 +191,47 @@ func (g *Group) deadline() (time.Duration, bool) {
 	if d > g.opts.MaxDeadline {
 		d = g.opts.MaxDeadline
 	}
+	g.deadlineG.Set(float64(d) / float64(time.Microsecond))
 	return d, true
+}
+
+// breakerCooldown returns the open period after a shard's trips-th
+// consecutive breaker trip: base doubled per prior trip, clamped to
+// ceiling. The doubling stops at the ceiling rather than shifting
+// blindly, so however many times a shard re-trips, the cooldown can
+// never overflow time.Duration into a negative (instantly expired)
+// open period.
+func breakerCooldown(base time.Duration, trips int, ceiling time.Duration) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	if ceiling < base {
+		ceiling = base
+	}
+	d := base
+	for i := 0; i < trips; i++ {
+		if d >= ceiling/2 {
+			return ceiling
+		}
+		d <<= 1
+	}
+	return d
+}
+
+// breakerCeiling is the cooldown cap: a shard should never be benched
+// longer than the worst deadline the group itself tolerates, and never
+// less than one base cooldown.
+func (g *Group) breakerCeiling() time.Duration {
+	if g.opts.MaxDeadline > g.opts.BreakerCooldown {
+		return g.opts.MaxDeadline
+	}
+	return g.opts.BreakerCooldown
 }
 
 // miss records a deadline miss against shard i's breaker, tripping it
 // open (or re-opening a half-open probe) once misses reach the
-// threshold. Cooldown doubles with every consecutive trip.
+// threshold. Cooldown doubles with every consecutive trip, capped at
+// breakerCeiling.
 func (g *Group) miss(i int, st *Stripe) {
 	m := &g.sh[i]
 	m.misses++
@@ -174,15 +241,13 @@ func (g *Group) miss(i int, st *Stripe) {
 	if !m.open && m.misses < g.opts.BreakerThreshold {
 		return
 	}
-	shift := m.trips
-	if shift > 6 {
-		shift = 6
-	}
 	m.open = true
-	m.openUntil = time.Now().Add(g.opts.BreakerCooldown << shift)
+	m.openUntil = time.Now().Add(breakerCooldown(g.opts.BreakerCooldown, m.trips, g.breakerCeiling()))
 	m.trips++
 	m.misses = 0
 	st.Trips++
+	m.openG.Set(1)
+	m.tripsC.Inc()
 }
 
 // Next gathers the blocks of the next stripe. It returns a non-nil
@@ -290,6 +355,9 @@ func (g *Group) Next(ctx context.Context) (*Stripe, error) {
 			}
 		}
 	}
+	if st.Hedged {
+		g.hedgedC.Inc()
+	}
 	return st, nil
 }
 
@@ -324,7 +392,10 @@ func (g *Group) consume(res *result, seq int64, st *Stripe, awaited []bool, wait
 			if m.late != nil && m.lateSeq == res.seq {
 				delivered = m.late.offer(res.buf)
 			}
-			if !delivered {
+			if delivered {
+				g.lateClaimed.Inc()
+			} else {
+				g.lateDropped.Inc()
 				g.pool.put(res.buf)
 			}
 			// Rejoin the stripe being gathered: the shard may have
@@ -366,6 +437,7 @@ func (g *Group) consume(res *result, seq int64, st *Stripe, awaited []bool, wait
 			// Half-open probe answered in time: breaker closes.
 			m.open = false
 			m.trips = 0
+			m.openG.Set(0)
 		}
 	}
 }

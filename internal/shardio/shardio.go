@@ -49,6 +49,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"dialga/internal/obs"
 )
 
 // Defaults applied by NewGroup for zero-valued Options fields.
@@ -109,6 +111,14 @@ type Options struct {
 	// Seed makes retry jitter reproducible. Shard i derives its RNG
 	// from Seed^i, so a fixed seed yields a fixed backoff schedule.
 	Seed uint64
+
+	// Metrics, when non-nil, is the registry the group publishes its
+	// scheduling telemetry into: per-shard EWMA and breaker gauges,
+	// breaker-trip counters, the adaptive-deadline gauge, and hedged
+	// stripe / late-block counters (shardio_* series). Nil disables
+	// registration; the group still works and Stripe counters are
+	// unaffected.
+	Metrics *obs.Registry
 }
 
 // Normalize fills defaults and validates. NewGroup applies it

@@ -5,6 +5,8 @@ import (
 	"context"
 	"io"
 	"testing"
+
+	"dialga/internal/obs"
 )
 
 // benchPayloadMB is the per-iteration payload for pipeline benchmarks.
@@ -58,4 +60,39 @@ func BenchmarkPipelineDecodeDegraded(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkStreamEncode is the instrumentation-overhead benchmark: the
+// same encode pipeline with metrics/tracing detached (each pipeline's
+// private registry, no tracer) and attached (shared registry plus span
+// tracer). CI's bench-obs job records both and checks the attached
+// variant stays within a few percent.
+func BenchmarkStreamEncode(b *testing.B) {
+	code := mustRS(b, 8, 4)
+	payload := randBytes(b, benchPayloadMB<<20, 3)
+	run := func(b *testing.B, opts Options) {
+		enc, err := NewEncoder(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		writers := make([]io.Writer, enc.Shards())
+		for i := range writers {
+			writers[i] = io.Discard
+		}
+		b.SetBytes(int64(len(payload)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := enc.Encode(context.Background(), bytes.NewReader(payload), writers); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	base := Options{Codec: code, StripeSize: 1 << 20, Workers: 4}
+	b.Run("stripe=1024KiB/obs=off", func(b *testing.B) { run(b, base) })
+	b.Run("stripe=1024KiB/obs=on", func(b *testing.B) {
+		opts := base
+		opts.Metrics = obs.NewRegistry()
+		opts.Trace = obs.NewTracer(obs.DefaultTraceCapacity)
+		run(b, opts)
+	})
 }

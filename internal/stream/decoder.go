@@ -7,10 +7,24 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"strings"
 	"time"
 
 	"dialga/internal/shardio"
 )
+
+// statesAttr renders a stripe's per-shard dispositions as a compact
+// comma-joined attribute for trace spans, e.g. "ok,ok,slow,ok,open".
+func statesAttr(states []shardio.ShardState) string {
+	var b strings.Builder
+	for i, s := range states {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(s.String())
+	}
+	return b.String()
+}
 
 // Decoder is the inverse pipeline: it reads one block per stripe from
 // each of k+m shard readers, verifies each block's checksum trailer
@@ -45,7 +59,7 @@ import (
 // ErrTooManyCorrupt rather than ever emitting unverified bytes.
 type Decoder struct {
 	g     geom
-	stats counters
+	stats *counters
 }
 
 // NewDecoder validates opts and returns a ready Decoder.
@@ -54,7 +68,7 @@ func NewDecoder(opts Options) (*Decoder, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Decoder{g: g}, nil
+	return &Decoder{g: g, stats: newCounters(g.metrics, "decode")}, nil
 }
 
 // StripeSize returns the data payload per stripe.
@@ -121,6 +135,7 @@ func (d *Decoder) Decode(ctx context.Context, shards []io.Reader, w io.Writer, s
 
 	produce := func(ctx context.Context, push func(*job) bool) error {
 		for seq := int64(0); wantStripes < 0 || seq < wantStripes; seq++ {
+			span := d.g.trace.Begin(seq)
 			st, err := grp.Next(ctx)
 			if err != nil {
 				return nil // only context cancellation; run() reports it
@@ -174,18 +189,35 @@ func (d *Decoder) Decode(ctx context.Context, shards []io.Reader, w io.Writer, s
 					// late block. Missing shards were never read.
 				}
 			}
+			if span != nil {
+				span.Event("read", fmt.Sprintf("got=%d demoted=%d states=%s", got, demoted, statesAttr(st.States)))
+				if st.Hedged {
+					span.Event("hedge", "deadline missed; reconstructing around stragglers")
+				}
+				if st.Trips > 0 {
+					span.Event("breaker", fmt.Sprintf("trips=%d", st.Trips))
+				}
+			}
 			if got == 0 && demoted == 0 {
 				st.Release()
 				if wantStripes >= 0 {
+					span.Event("error", "shards ended early")
+					span.End()
 					return fmt.Errorf("stream: shards ended at stripe %d, want %d stripes", seq, wantStripes)
 				}
 				if firstErr != nil && len(eofIdx) == 0 {
+					span.Event("error", "all shards dead")
+					span.End()
 					return firstErr
 				}
+				span.Event("eof", "")
+				span.End()
 				return nil // unanimous EOF
 			}
 			if got < k && !st.Hedged {
 				st.Release()
+				span.Event("error", "too many corrupt or missing shard blocks")
+				span.End()
 				if firstErr != nil {
 					return fmt.Errorf("stream: stripe %d: only %d of %d required shard blocks usable (%w): %v", seq, got, k, ErrTooManyCorrupt, firstErr)
 				}
@@ -198,7 +230,7 @@ func (d *Decoder) Decode(ctx context.Context, shards []io.Reader, w io.Writer, s
 				d.stats.shardFailures.Add(1)
 			}
 			d.stats.bytesIn.Add(uint64(got * blockSize))
-			j := &job{seq: seq, ready: make(chan struct{}), blocks: blocks, demoted: demoted, stripe: st}
+			j := &job{seq: seq, ready: make(chan struct{}), blocks: blocks, demoted: demoted, stripe: st, span: span}
 			if !push(j) {
 				return nil
 			}
@@ -244,6 +276,9 @@ func (d *Decoder) Decode(ctx context.Context, shards []io.Reader, w io.Writer, s
 					d.stats.shardsCorrupted.Add(1)
 				}
 			}
+			if j.span != nil {
+				j.span.Event("verify", fmt.Sprintf("corrupt=%d late_claimed=%d", demoted-j.demoted, hedgeLost))
+			}
 		}
 		// Truncate the surviving full blocks to their data payload for
 		// the codec.
@@ -278,6 +313,7 @@ func (d *Decoder) Decode(ctx context.Context, shards []io.Reader, w io.Writer, s
 			}
 			d.stats.reconstructed.Add(1)
 			d.stats.observe(time.Since(start))
+			j.span.Event("reconstruct", "")
 		}
 		if st.Hedged {
 			slow := 0
@@ -290,6 +326,7 @@ func (d *Decoder) Decode(ctx context.Context, shards []io.Reader, w io.Writer, s
 				// At least one straggler's block never made it in time:
 				// reconstruction beat the direct read.
 				d.stats.hedgeWins.Add(1)
+				j.span.Event("hedge_win", "reconstruction beat the straggler")
 			}
 		}
 		if demoted > 0 {
@@ -297,12 +334,16 @@ func (d *Decoder) Decode(ctx context.Context, shards []io.Reader, w io.Writer, s
 			// data block was rebuilt through the erasure path, or the
 			// corruption was confined to parity we did not need.
 			d.stats.stripesHealed.Add(1)
+			if j.span != nil {
+				j.span.Event("heal", fmt.Sprintf("demoted=%d", demoted))
+			}
 		}
 		return nil
 	}
 
 	remaining := size // consumer-goroutine state only; <0 means unbounded
 	deliver := func(j *job) error {
+		var wrote int64
 		for i := 0; i < k; i++ {
 			b := j.blocks[i]
 			if remaining >= 0 && int64(len(b)) > remaining {
@@ -315,11 +356,15 @@ func (d *Decoder) Decode(ctx context.Context, shards []io.Reader, w io.Writer, s
 				return fmt.Errorf("stream: write output: %w", err)
 			}
 			d.stats.bytesOut.Add(uint64(len(b)))
+			wrote += int64(len(b))
 			if remaining >= 0 {
 				remaining -= int64(len(b))
 			}
 		}
 		d.stats.stripes.Add(1)
+		if j.span != nil {
+			j.span.Event("emit", fmt.Sprintf("bytes=%d", wrote))
+		}
 		return nil
 	}
 
@@ -327,7 +372,8 @@ func (d *Decoder) Decode(ctx context.Context, shards []io.Reader, w io.Writer, s
 		if j.stripe != nil {
 			j.stripe.Release()
 		}
+		j.span.End()
 	}
 
-	return run(ctx, d.g, &d.stats, produce, work, deliver, release)
+	return run(ctx, d.g, d.stats, produce, work, deliver, release)
 }

@@ -25,7 +25,7 @@ import (
 // pipeline and the shared Stats accumulate across calls.
 type Encoder struct {
 	g      geom
-	stats  counters
+	stats  *counters
 	data   *bufPool
 	parity *bufPool
 	crc    *bufPool // nil when checksums are disabled
@@ -39,6 +39,7 @@ func NewEncoder(opts Options) (*Encoder, error) {
 	}
 	e := &Encoder{
 		g:      g,
+		stats:  newCounters(g.metrics, "encode"),
 		data:   newBufPool(g.stripeSize),
 		parity: newBufPool(g.m * g.shardSize),
 	}
@@ -83,6 +84,7 @@ func (e *Encoder) Encode(ctx context.Context, r io.Reader, shards []io.Writer) e
 
 	produce := func(ctx context.Context, push func(*job) bool) error {
 		for seq := int64(0); ; seq++ {
+			span := e.g.trace.Begin(seq)
 			buf := e.data.get()
 			n, err := io.ReadFull(r, buf)
 			if n == 0 {
@@ -101,7 +103,10 @@ func (e *Encoder) Encode(ctx context.Context, r io.Reader, shards []io.Writer) e
 				clear(buf[n:]) // pooled buffer: scrub stale bytes into the padding
 			}
 			e.stats.bytesIn.Add(uint64(n))
-			j := &job{seq: seq, ready: make(chan struct{}), data: buf, n: n}
+			if span != nil {
+				span.Event("read", fmt.Sprintf("bytes=%d", n))
+			}
+			j := &job{seq: seq, ready: make(chan struct{}), data: buf, n: n, span: span}
 			if !push(j) {
 				return nil
 			}
@@ -139,6 +144,7 @@ func (e *Encoder) Encode(ctx context.Context, r io.Reader, shards []io.Writer) e
 			}
 		}
 		e.stats.observe(time.Since(start))
+		j.span.Event("encode", "")
 		return nil
 	}
 
@@ -174,6 +180,7 @@ func (e *Encoder) Encode(ctx context.Context, r io.Reader, shards []io.Writer) e
 		}
 		e.stats.stripes.Add(1)
 		e.stats.bytesOut.Add(uint64((e.g.k + e.g.m) * e.g.blockSize))
+		j.span.Event("emit", "")
 		return nil
 	}
 
@@ -187,7 +194,8 @@ func (e *Encoder) Encode(ctx context.Context, r io.Reader, shards []io.Writer) e
 		if j.crc != nil {
 			e.crc.put(j.crc)
 		}
+		j.span.End()
 	}
 
-	return run(ctx, e.g, &e.stats, produce, work, deliver, release)
+	return run(ctx, e.g, e.stats, produce, work, deliver, release)
 }

@@ -6,6 +6,7 @@ import (
 	"runtime/debug"
 	"sync"
 
+	"dialga/internal/obs"
 	"dialga/internal/shardio"
 )
 
@@ -33,6 +34,12 @@ type job struct {
 	blocks  [][]byte        // decoder: k+m full block slices, nil for missing shards
 	demoted int             // decoder: blocks discarded as untrustworthy by the producer
 	stripe  *shardio.Stripe // decoder: gather result backing blocks; released with the job
+
+	// span is the stripe's lifecycle trace (nil when tracing is off).
+	// It rides the same producer -> worker -> consumer handoffs as the
+	// rest of the job, so event appends never race; release publishes
+	// it to the tracer's ring.
+	span *obs.Span
 }
 
 // failFirst records the first error of the run and cancels the

@@ -6,9 +6,15 @@ import "sync"
 // Buffers flow producer -> worker -> consumer and return here when a
 // job is released, so steady-state allocation is zero and peak live
 // buffers track the in-flight window, not the input size.
+//
+// Both the buffers and their boxed slice headers are pooled: Put'ing a
+// freshly taken &b would heap-allocate a 3-word header per cycle, so
+// put refills a header recycled by get instead. The GC still reclaims
+// idle buffers through sync.Pool as usual.
 type bufPool struct {
 	size int
-	p    sync.Pool
+	p    sync.Pool // *[]byte boxes holding full-size buffers
+	hdrs sync.Pool // empty *[]byte boxes awaiting reuse by put
 }
 
 func newBufPool(size int) *bufPool {
@@ -17,14 +23,28 @@ func newBufPool(size int) *bufPool {
 		b := make([]byte, size)
 		return &b
 	}
+	bp.hdrs.New = func() any { return new([]byte) }
 	return bp
 }
 
-func (bp *bufPool) get() []byte { return *bp.p.Get().(*[]byte) }
+func (bp *bufPool) get() []byte {
+	hdr := bp.p.Get().(*[]byte)
+	b := *hdr
+	*hdr = nil // don't pin the buffer from the header pool
+	bp.hdrs.Put(hdr)
+	return b
+}
 
 func (bp *bufPool) put(b []byte) {
-	if len(b) != bp.size {
+	// Accept any buffer whose backing array still fits a full stripe:
+	// callers legitimately return reslices (a short final stripe, a
+	// trimmed view), and judging by len alone leaked one allocation per
+	// such stripe. Restore the canonical length before pooling so get()
+	// always hands out exactly size bytes.
+	if cap(b) < bp.size {
 		return // foreign buffer; drop it rather than poison the pool
 	}
-	bp.p.Put(&b)
+	hdr := bp.hdrs.Get().(*[]byte)
+	*hdr = b[:bp.size]
+	bp.p.Put(hdr)
 }

@@ -1,69 +1,129 @@
 package stream
 
 import (
-	"math/bits"
-	"sync/atomic"
+	"math"
 	"time"
+
+	"dialga/internal/obs"
 )
 
-// latencyBuckets is the number of power-of-two stripe-latency buckets:
-// bucket i counts stripes whose encode/reconstruct time fell in
-// [2^(i-1), 2^i) microseconds (bucket 0 is < 1µs), so the histogram
-// spans <1µs to ~1min with no allocation on the hot path.
+// latencyBuckets is the number of stripe-latency buckets: 26 finite
+// power-of-two buckets plus one overflow bucket. Bucket 0 covers
+// [0, 1µs]; bucket i (1 <= i <= 25) covers (2^(i-1), 2^i] microseconds
+// — upper bounds inclusive, matching the Prometheus `le` convention —
+// and bucket 26 is everything above 2^25µs (~33s). An exact
+// power-of-two latency therefore lands with its peers at the top of
+// its bucket, not at the bottom of the one above (the pre-obs
+// histogram got this boundary wrong).
 const latencyBuckets = 27
 
-// counters is the internal, atomically updated statistics block of a
-// pipeline.
-type counters struct {
-	stripes         atomic.Uint64
-	bytesIn         atomic.Uint64
-	bytesOut        atomic.Uint64
-	shardFailures   atomic.Uint64
-	reconstructed   atomic.Uint64
-	shardsCorrupted atomic.Uint64
-	stripesHealed   atomic.Uint64
-	transientFaults atomic.Uint64
-	hedgedReads     atomic.Uint64
-	hedgeWins       atomic.Uint64
-	breakerTrips    atomic.Uint64
-	retries         atomic.Uint64
-	workerPanics    atomic.Uint64
-	lat             [latencyBuckets]atomic.Uint64
+// latencyBoundsUS returns the finite inclusive bucket upper bounds in
+// microseconds: 2^0 .. 2^25.
+func latencyBoundsUS() []float64 {
+	bounds := make([]float64, latencyBuckets-1)
+	for i := range bounds {
+		bounds[i] = float64(uint64(1) << i)
+	}
+	return bounds
 }
 
-func (c *counters) observe(d time.Duration) {
-	us := uint64(d / time.Microsecond)
-	i := bits.Len64(us) // 0 for <1µs, then ceil(log2(us))+ boundaries
-	if i >= latencyBuckets {
-		i = latencyBuckets - 1
+// counters is the statistics block of a pipeline, backed by series in
+// an obs.Registry: every field is a live registry metric, and Stats is
+// a snapshot view over them. Pipelines constructed without
+// Options.Metrics get a private registry, preserving the historical
+// per-pipeline counter semantics; pipelines sharing a registry share
+// (and sum into) the same series per pipeline direction.
+type counters struct {
+	reg *obs.Registry
+
+	stripes         *obs.Counter
+	bytesIn         *obs.Counter
+	bytesOut        *obs.Counter
+	shardFailures   *obs.Counter
+	reconstructed   *obs.Counter
+	shardsCorrupted *obs.Counter
+	stripesHealed   *obs.Counter
+	transientFaults *obs.Counter
+	hedgedReads     *obs.Counter
+	hedgeWins       *obs.Counter
+	breakerTrips    *obs.Counter
+	retries         *obs.Counter
+	workerPanics    *obs.Counter
+	lat             *obs.Histogram
+}
+
+// newCounters registers the pipeline counter set in reg (a private
+// registry when reg is nil) under the given pipeline label ("encode"
+// or "decode").
+func newCounters(reg *obs.Registry, pipeline string) *counters {
+	if reg == nil {
+		reg = obs.NewRegistry()
 	}
-	c.lat[i].Add(1)
+	lbl := obs.Label{Key: "pipeline", Value: pipeline}
+	return &counters{
+		reg: reg,
+		stripes: reg.Counter("stream_stripes_total",
+			"Stripes fully emitted downstream.", lbl),
+		bytesIn: reg.Counter("stream_bytes_in_total",
+			"Payload bytes consumed from the input reader(s).", lbl),
+		bytesOut: reg.Counter("stream_bytes_out_total",
+			"Bytes written to the output writer(s), including parity on encode.", lbl),
+		shardFailures: reg.Counter("stream_shard_failures_total",
+			"Shard input streams that died mid-stream (decode).", lbl),
+		reconstructed: reg.Counter("stream_reconstructed_total",
+			"Stripes that needed erasure reconstruction (decode).", lbl),
+		shardsCorrupted: reg.Counter("stream_shards_corrupted_total",
+			"Shard blocks demoted to per-stripe erasures (decode).", lbl),
+		stripesHealed: reg.Counter("stream_stripes_healed_total",
+			"Stripes decoded correctly despite corrupt shard blocks (decode).", lbl),
+		transientFaults: reg.Counter("stream_transient_faults_total",
+			"Momentary read errors absorbed without retiring the shard (decode).", lbl),
+		hedgedReads: reg.Counter("stream_hedged_reads_total",
+			"Stripes that proceeded without a live shard that missed its deadline (decode).", lbl),
+		hedgeWins: reg.Counter("stream_hedge_wins_total",
+			"Hedged stripes where reconstruction beat the straggler's block (decode).", lbl),
+		breakerTrips: reg.Counter("stream_breaker_trips_total",
+			"Per-shard circuit-breaker trips, including half-open re-trips (decode).", lbl),
+		retries: reg.Counter("stream_retries_total",
+			"Exponential-backoff retries of transient shard read errors (decode).", lbl),
+		workerPanics: reg.Counter("stream_worker_panics_total",
+			"Panics recovered from pipeline stages and shard readers.", lbl),
+		lat: reg.Histogram("stream_stripe_latency_us",
+			"Per-stripe codec latency (encode or reconstruct time, excluding I/O).",
+			latencyBoundsUS(), lbl),
+	}
+}
+
+// observe records one stripe's codec latency.
+func (c *counters) observe(d time.Duration) {
+	c.lat.Observe(float64(d) / float64(time.Microsecond))
 }
 
 func (c *counters) snapshot() Stats {
 	s := Stats{
-		Stripes:         c.stripes.Load(),
-		BytesIn:         c.bytesIn.Load(),
-		BytesOut:        c.bytesOut.Load(),
-		ShardFailures:   c.shardFailures.Load(),
-		Reconstructed:   c.reconstructed.Load(),
-		ShardsCorrupted: c.shardsCorrupted.Load(),
-		StripesHealed:   c.stripesHealed.Load(),
-		TransientFaults: c.transientFaults.Load(),
-		HedgedReads:     c.hedgedReads.Load(),
-		HedgeWins:       c.hedgeWins.Load(),
-		BreakerTrips:    c.breakerTrips.Load(),
-		Retries:         c.retries.Load(),
-		WorkerPanics:    c.workerPanics.Load(),
+		Stripes:         c.stripes.Value(),
+		BytesIn:         c.bytesIn.Value(),
+		BytesOut:        c.bytesOut.Value(),
+		ShardFailures:   c.shardFailures.Value(),
+		Reconstructed:   c.reconstructed.Value(),
+		ShardsCorrupted: c.shardsCorrupted.Value(),
+		StripesHealed:   c.stripesHealed.Value(),
+		TransientFaults: c.transientFaults.Value(),
+		HedgedReads:     c.hedgedReads.Value(),
+		HedgeWins:       c.hedgeWins.Value(),
+		BreakerTrips:    c.breakerTrips.Value(),
+		Retries:         c.retries.Value(),
+		WorkerPanics:    c.workerPanics.Value(),
 	}
-	for i := range c.lat {
-		s.Latency.Counts[i] = c.lat[i].Load()
-	}
+	counts, _, _ := c.lat.Snapshot()
+	copy(s.Latency.Counts[:], counts)
 	return s
 }
 
 // Stats is a point-in-time snapshot of a pipeline's counters, safe to
-// read while the pipeline runs.
+// read while the pipeline runs. Since the obs migration the fields are
+// views over registry series (see Options.Metrics); their meaning and
+// the snapshot semantics are unchanged.
 type Stats struct {
 	// Stripes is the number of stripes fully emitted downstream.
 	Stripes uint64
@@ -118,7 +178,8 @@ type Stats struct {
 }
 
 // LatencyHistogram is a fixed power-of-two histogram of per-stripe
-// codec latency.
+// codec latency: 26 finite buckets with inclusive upper bounds
+// 2^0..2^25 microseconds plus an overflow bucket.
 type LatencyHistogram struct {
 	Counts [latencyBuckets]uint64
 }
@@ -132,17 +193,37 @@ func (h LatencyHistogram) Total() uint64 {
 	return t
 }
 
-// Bucket returns the [lo, hi) duration range covered by bucket i.
+// Bounds returns the inclusive upper bound of every bucket: 2^i
+// microseconds for buckets 0..25, and a sentinel of the maximum
+// representable duration for the final overflow bucket. The slice is
+// freshly allocated and has latencyBuckets entries, aligned with
+// Counts.
+func (h LatencyHistogram) Bounds() []time.Duration {
+	bounds := make([]time.Duration, latencyBuckets)
+	for i := 0; i < latencyBuckets-1; i++ {
+		bounds[i] = time.Duration(1<<i) * time.Microsecond
+	}
+	bounds[latencyBuckets-1] = time.Duration(math.MaxInt64)
+	return bounds
+}
+
+// Bucket returns the (lo, hi] duration range covered by bucket i:
+// observations in bucket i satisfy lo < d <= hi (bucket 0 covers
+// [0, 1µs]). The final bucket's hi is the overflow sentinel.
 func (h LatencyHistogram) Bucket(i int) (lo, hi time.Duration) {
 	if i <= 0 {
 		return 0, time.Microsecond
+	}
+	if i >= latencyBuckets-1 {
+		return time.Duration(1<<(latencyBuckets-2)) * time.Microsecond, time.Duration(math.MaxInt64)
 	}
 	return time.Duration(1<<(i-1)) * time.Microsecond, time.Duration(1<<i) * time.Microsecond
 }
 
 // Quantile returns an upper bound on the q-quantile (0 <= q <= 1) of
-// observed stripe latency, at bucket resolution. It returns 0 when
-// nothing has been observed.
+// observed stripe latency, at bucket resolution. With inclusive upper
+// bounds the estimate is tight for observations that sit exactly on a
+// bucket boundary. It returns 0 when nothing has been observed.
 func (h LatencyHistogram) Quantile(q float64) time.Duration {
 	total := h.Total()
 	if total == 0 {

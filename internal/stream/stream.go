@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"dialga/internal/lrc"
+	"dialga/internal/obs"
 	"dialga/internal/shardio"
 )
 
@@ -192,6 +193,23 @@ type Options struct {
 	// Seed makes retry jitter (and fault-injection schedules layered
 	// underneath) reproducible.
 	Seed uint64
+
+	// Metrics, when non-nil, is the observability registry the
+	// pipeline registers its counter/gauge/histogram series in
+	// (stream_* series labelled by pipeline direction, shardio_*
+	// series for the decoder's shard scheduler); Stats() snapshots
+	// read from those live series, and `dialga-bench -serve` exposes
+	// the registry at /metrics. Nil keeps the historical behaviour: a
+	// private registry per pipeline, observable only through Stats().
+	// Pipelines sharing a registry accumulate into the same series.
+	Metrics *obs.Registry
+
+	// Trace, when non-nil, records a lifecycle span per stripe (read →
+	// verify → reconstruct → emit on decode, read → encode → emit on
+	// encode, annotated with hedge/breaker/heal decisions) into the
+	// tracer's ring buffer; `dialga-bench -serve` exposes it at
+	// /debug/trace. Nil disables tracing at zero cost.
+	Trace *obs.Tracer
 }
 
 // geom is a validated, defaulted view of Options.
@@ -206,6 +224,8 @@ type geom struct {
 	trailer    int             // trailer bytes per shard block (0 or crcSize)
 	blockSize  int             // shardSize + trailer: bytes on the wire per shard per stripe
 	straggler  shardio.Options // validated shard-I/O scheduling config (decoder)
+	metrics    *obs.Registry   // nil: each pipeline gets a private registry
+	trace      *obs.Tracer     // nil: tracing off
 }
 
 var errNoCodec = errors.New("stream: Options.Codec is required")
@@ -255,6 +275,7 @@ func (o Options) geometry() (geom, error) {
 		BreakerThreshold: o.BreakerThreshold,
 		BreakerCooldown:  o.BreakerCooldown,
 		Seed:             o.Seed,
+		Metrics:          o.Metrics,
 	}.Normalize()
 	if err != nil {
 		return geom{}, err
@@ -271,6 +292,8 @@ func (o Options) geometry() (geom, error) {
 		trailer:    trailer,
 		blockSize:  shard + trailer,
 		straggler:  straggler,
+		metrics:    o.Metrics,
+		trace:      o.Trace,
 	}, nil
 }
 

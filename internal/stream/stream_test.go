@@ -59,9 +59,9 @@ func TestOptionsValidation(t *testing.T) {
 }
 
 func TestLatencyHistogram(t *testing.T) {
-	var c counters
+	c := newCounters(nil, "test")
 	c.observe(500 * time.Nanosecond) // bucket 0
-	c.observe(3 * time.Microsecond)  // [2µs,4µs) -> bucket 2
+	c.observe(3 * time.Microsecond)  // (2µs,4µs] -> bucket 2
 	c.observe(3 * time.Microsecond)
 	c.observe(10 * time.Millisecond) // 10000µs -> bucket 14
 	h := c.snapshot().Latency
@@ -102,8 +102,38 @@ func TestBufPool(t *testing.T) {
 		t.Fatalf("got %d-byte buffer, want 64", len(b))
 	}
 	p.put(b)
-	p.put(make([]byte, 3)) // wrong size must be dropped
+	p.put(make([]byte, 3)) // undersized backing array must be dropped
 	if got := p.get(); len(got) != 64 {
 		t.Fatalf("pool returned %d-byte buffer after foreign put", len(got))
+	}
+}
+
+// TestBufPoolRecyclesShortTail is the regression test for the pool
+// leak: put() used to drop any buffer whose len differed from the pool
+// size, so a reslice — the natural shape of a short final stripe —
+// leaked its backing array and cost a fresh allocation every cycle.
+// put() must accept any buffer with sufficient capacity and restore
+// the canonical length.
+func TestBufPoolRecyclesShortTail(t *testing.T) {
+	p := newBufPool(64)
+	b := p.get()
+	p.put(b[:10]) // tail-stripe-shaped reslice
+	got := p.get()
+	if len(got) != 64 {
+		t.Fatalf("got %d-byte buffer after short put, want 64", len(got))
+	}
+	if &got[0] != &b[0] {
+		t.Fatal("short-tail buffer was dropped instead of recycled")
+	}
+	p.put(got)
+
+	// Steady state stays allocation-free even when every cycle hands
+	// back a trimmed view.
+	allocs := testing.AllocsPerRun(200, func() {
+		b := p.get()
+		p.put(b[:1])
+	})
+	if allocs != 0 {
+		t.Fatalf("short-tail pool cycle allocates %v objects per run, want 0", allocs)
 	}
 }
