@@ -1,0 +1,244 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"dialga/internal/cluster"
+	"dialga/internal/node"
+	"dialga/internal/obs"
+)
+
+// clusterConfig shapes the in-process cluster benchmark.
+type clusterConfig struct {
+	Nodes     int   `json:"nodes"`
+	K         int   `json:"k"`
+	M         int   `json:"m"`
+	Objects   int   `json:"objects"`
+	ObjectKiB int   `json:"object_kib"`
+	StripeKiB int   `json:"stripe_kib"`
+	Kill      int   `json:"kill"`
+	Seed      int64 `json:"seed"`
+}
+
+// clusterResult is the benchmark's emitted shape (BENCH_cluster.json
+// in CI).
+type clusterResult struct {
+	Config          clusterConfig `json:"config"`
+	PutMBps         float64       `json:"put_mbps"`
+	GetMBps         float64       `json:"get_mbps"`
+	DegradedGetMBps float64       `json:"degraded_get_mbps"`
+	RepairedShards  int           `json:"repaired_shards"`
+	RepairMS        float64       `json:"repair_ms"`
+	FinalScrubClean bool          `json:"final_scrub_clean"`
+}
+
+// benchNode is one in-process cluster member: a real shard server on a
+// real loopback listener, stoppable and restartable on the same
+// address to simulate node loss and replacement.
+type benchNode struct {
+	id   cluster.NodeID
+	dir  string
+	addr string
+	srv  *http.Server
+}
+
+func (n *benchNode) start(reg *obs.Registry) error {
+	store, err := node.OpenStore(n.dir, reg)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", n.addr)
+	if err != nil {
+		return err
+	}
+	if n.addr == "127.0.0.1:0" {
+		n.addr = ln.Addr().String()
+	}
+	n.srv = &http.Server{Handler: node.NewServer(store, nil, reg).Handler()}
+	go n.srv.Serve(ln)
+	return nil
+}
+
+func (n *benchNode) stop() {
+	if n.srv != nil {
+		n.srv.Close()
+		n.srv = nil
+	}
+}
+
+// runCluster stands up an in-process cluster (real HTTP over
+// loopback), pushes objects through the gateway, kills nodes, reads
+// degraded, replaces the dead nodes with empty stores, and repairs
+// back to full redundancy — the full lifecycle, timed per phase.
+func runCluster(quick, asJSON bool) error {
+	cfg := clusterConfig{
+		Nodes: 6, K: 4, M: 2,
+		Objects: 8, ObjectKiB: 2048, StripeKiB: 256,
+		Kill: 2, Seed: 42,
+	}
+	if quick {
+		cfg.Objects, cfg.ObjectKiB, cfg.StripeKiB = 3, 256, 64
+	}
+
+	root, err := os.MkdirTemp("", "dialga-cluster-bench-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(root)
+
+	reg := obs.NewRegistry()
+	nodes := make([]*benchNode, cfg.Nodes)
+	for i := range nodes {
+		nodes[i] = &benchNode{
+			id:   cluster.NodeID(fmt.Sprintf("n%d", i)),
+			dir:  filepath.Join(root, fmt.Sprintf("n%d", i)),
+			addr: "127.0.0.1:0",
+		}
+		if err := nodes[i].start(reg); err != nil {
+			return err
+		}
+		defer nodes[i].stop()
+	}
+
+	infos := make([]cluster.NodeInfo, cfg.Nodes)
+	for i, n := range nodes {
+		infos[i] = cluster.NodeInfo{
+			ID: n.id, Addr: n.addr,
+			Rack: fmt.Sprintf("r%d", i),
+			Zone: fmt.Sprintf("z%d", i%2),
+		}
+	}
+	cmap, err := cluster.New(infos)
+	if err != nil {
+		return err
+	}
+	gw, err := cluster.NewGateway(cluster.GatewayOptions{
+		Map: cmap, K: cfg.K, M: cfg.M,
+		StripeSize: cfg.StripeKiB * 1024,
+		HedgeAfter: 20 * time.Millisecond,
+		Metrics:    reg,
+		Seed:       uint64(cfg.Seed),
+	})
+	if err != nil {
+		return err
+	}
+
+	ctx := context.Background()
+	objSize := int64(cfg.ObjectKiB) * 1024
+	payload := func(i int) []byte {
+		buf := make([]byte, objSize)
+		st := uint64(cfg.Seed) + uint64(i)*0x9e3779b97f4a7c15
+		for j := range buf {
+			st = st*6364136223846793005 + 1442695040888963407
+			buf[j] = byte(st >> 56)
+		}
+		return buf
+	}
+	objName := func(i int) string { return fmt.Sprintf("bench-obj-%03d", i) }
+
+	// Phase 1: foreground puts.
+	start := time.Now()
+	for i := 0; i < cfg.Objects; i++ {
+		body := payload(i)
+		if _, err := gw.PutObject(ctx, objName(i), bytes.NewReader(body), objSize, node.ClassForeground); err != nil {
+			return fmt.Errorf("put %s: %w", objName(i), err)
+		}
+	}
+	putSecs := time.Since(start).Seconds()
+
+	getAll := func() (float64, error) {
+		start := time.Now()
+		for i := 0; i < cfg.Objects; i++ {
+			var out bytes.Buffer
+			if err := gw.GetObject(ctx, objName(i), &out, node.ClassForeground); err != nil {
+				return 0, fmt.Errorf("get %s: %w", objName(i), err)
+			}
+			if !bytes.Equal(out.Bytes(), payload(i)) {
+				return 0, fmt.Errorf("get %s: payload mismatch", objName(i))
+			}
+		}
+		return time.Since(start).Seconds(), nil
+	}
+
+	// Phase 2: healthy gets.
+	getSecs, err := getAll()
+	if err != nil {
+		return err
+	}
+
+	// Phase 3: kill nodes and read degraded. The dead nodes' shards
+	// are skipped at open; decode reconstructs from the survivors.
+	for i := 0; i < cfg.Kill; i++ {
+		nodes[i].stop()
+	}
+	degradedSecs, err := getAll()
+	if err != nil {
+		return fmt.Errorf("degraded read with %d nodes down: %w", cfg.Kill, err)
+	}
+
+	// Phase 4: replace the dead nodes with empty stores on the same
+	// addresses and let the repair queue rebuild their shards.
+	for i := 0; i < cfg.Kill; i++ {
+		nodes[i].dir = nodes[i].dir + "-replacement"
+		if err := nodes[i].start(reg); err != nil {
+			return err
+		}
+	}
+	rep := cluster.NewRepairer(gw, nil, reg)
+	start = time.Now()
+	if _, err := rep.ScanOnce(ctx); err != nil {
+		return err
+	}
+	repaired, failed := rep.DrainOnce(ctx)
+	repairSecs := time.Since(start).Seconds()
+	if failed > 0 {
+		return fmt.Errorf("%d repairs failed", failed)
+	}
+
+	// Phase 5: verify the cluster scrubs clean again.
+	enqueued, err := rep.ScanOnce(ctx)
+	if err != nil {
+		return err
+	}
+
+	mb := float64(objSize) * float64(cfg.Objects) / (1 << 20)
+	res := clusterResult{
+		Config:          cfg,
+		PutMBps:         mb / putSecs,
+		GetMBps:         mb / getSecs,
+		DegradedGetMBps: mb / degradedSecs,
+		RepairedShards:  repaired,
+		RepairMS:        repairSecs * 1000,
+		FinalScrubClean: enqueued == 0,
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			return err
+		}
+		if !res.FinalScrubClean {
+			return fmt.Errorf("cluster did not scrub clean after repair")
+		}
+		return nil
+	}
+	fmt.Printf("cluster: %d nodes, RS(%d,%d), %d objects x %d KiB\n",
+		cfg.Nodes, cfg.K, cfg.M, cfg.Objects, cfg.ObjectKiB)
+	fmt.Printf("  put               %8.1f MB/s\n", res.PutMBps)
+	fmt.Printf("  get               %8.1f MB/s\n", res.GetMBps)
+	fmt.Printf("  degraded get      %8.1f MB/s  (%d of %d nodes down)\n", res.DegradedGetMBps, cfg.Kill, cfg.Nodes)
+	fmt.Printf("  repair            %8.1f ms   (%d shards rebuilt)\n", res.RepairMS, res.RepairedShards)
+	fmt.Printf("  final scrub clean %v\n", res.FinalScrubClean)
+	if !res.FinalScrubClean {
+		return fmt.Errorf("cluster did not scrub clean after repair")
+	}
+	return nil
+}

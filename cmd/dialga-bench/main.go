@@ -7,6 +7,8 @@
 //	dialga-bench -all -quick         # fast smoke run (shapes untrusted)
 //	dialga-bench -straggler          # hedged vs plain decode under one slow shard
 //	dialga-bench -straggler -json    # same, machine-readable
+//	dialga-bench -cluster            # in-process 6-node cluster lifecycle:
+//	                                 # put/get, kill 2 nodes, degraded get, repair
 //	dialga-bench -serve :8080        # loop the straggler workload and expose
 //	                                 # /metrics, /debug/trace, /debug/pprof
 //
@@ -33,7 +35,8 @@ func main() {
 		verbose   = flag.Bool("v", false, "log each run")
 		list      = flag.Bool("list", false, "list figure ids")
 		straggler = flag.Bool("straggler", false, "benchmark hedged vs plain decode with one slow shard")
-		asJSON    = flag.Bool("json", false, "with -straggler: emit JSON instead of text")
+		clusterB  = flag.Bool("cluster", false, "benchmark an in-process 6-node cluster: put/get, kill, degraded get, repair")
+		asJSON    = flag.Bool("json", false, "with -straggler/-cluster: emit JSON instead of text")
 		serve     = flag.String("serve", "", "loop the straggler workload and serve /metrics, /debug/trace and pprof on this address (e.g. :8080)")
 	)
 	flag.Parse()
@@ -48,6 +51,14 @@ func main() {
 
 	if *straggler {
 		if err := runStraggler(*quick, *asJSON); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *clusterB {
+		if err := runCluster(*quick, *asJSON); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

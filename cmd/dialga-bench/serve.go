@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"dialga/internal/fault"
+	"dialga/internal/node"
 	"dialga/internal/obs"
 	"dialga/internal/rs"
 	"dialga/internal/stream"
@@ -26,14 +27,18 @@ import (
 // The workload is the -straggler decode (one shard with a recurring
 // seeded delay, hedging on), re-run continuously with a shared
 // registry and tracer, so counters accumulate and the trace ring stays
-// fresh until the process is interrupted.
+// fresh until the process is interrupted: SIGINT/SIGTERM stop the
+// workload loop and drain in-flight scrapes before exiting.
 func runServe(addr string, quick bool) error {
 	reg := obs.NewRegistry()
 	tracer := obs.NewTracer(obs.DefaultTraceCapacity)
 
+	ctx, stop := node.SignalContext(context.Background())
+	defer stop()
+
 	go func() {
-		for {
-			if err := serveWorkload(reg, tracer, quick); err != nil {
+		for ctx.Err() == nil {
+			if err := serveWorkload(ctx, reg, tracer, quick); err != nil && ctx.Err() == nil {
 				fmt.Fprintf(os.Stderr, "workload: %v\n", err)
 				time.Sleep(time.Second)
 			}
@@ -41,18 +46,8 @@ func runServe(addr string, quick bool) error {
 	}()
 
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		if err := reg.Expose(w); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
-	})
-	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		if err := tracer.WriteJSON(w); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
-	})
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/debug/trace", tracer.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -70,12 +65,12 @@ func runServe(addr string, quick bool) error {
 	})
 
 	fmt.Fprintf(os.Stderr, "serving metrics on %s (workload: straggler decode, hedged)\n", addr)
-	return http.ListenAndServe(addr, mux)
+	return node.Serve(ctx, &http.Server{Addr: addr, Handler: mux}, nil, node.DefaultDrainTimeout)
 }
 
 // serveWorkload runs one encode + hedged straggler decode with all
 // telemetry attached to the shared registry and tracer.
-func serveWorkload(reg *obs.Registry, tracer *obs.Tracer, quick bool) error {
+func serveWorkload(ctx context.Context, reg *obs.Registry, tracer *obs.Tracer, quick bool) error {
 	cfg := stragglerConfig{
 		K: 4, M: 2, ShardSize: 4096, Stripes: 96,
 		SlowShard: 1, SlowMicros: 3000, Seed: 42,
@@ -112,7 +107,7 @@ func serveWorkload(reg *obs.Registry, tracer *obs.Tracer, quick bool) error {
 	for i := range shardBufs {
 		writers[i] = &shardBufs[i]
 	}
-	if err := enc.Encode(context.Background(), bytes.NewReader(payload), writers); err != nil {
+	if err := enc.Encode(ctx, bytes.NewReader(payload), writers); err != nil {
 		return err
 	}
 
@@ -128,5 +123,5 @@ func serveWorkload(reg *obs.Registry, tracer *obs.Tracer, quick bool) error {
 		bytes.NewReader(shardBufs[cfg.SlowShard].Bytes()),
 		fault.Plan{Ops: []fault.Op{{Kind: fault.Slow, Off: 0, Len: cfg.SlowMicros}}},
 	).WithMetrics(reg)
-	return dec.Decode(context.Background(), readers, io.Discard, int64(len(payload)))
+	return dec.Decode(ctx, readers, io.Discard, int64(len(payload)))
 }

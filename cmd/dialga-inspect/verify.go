@@ -1,10 +1,8 @@
 package main
 
 import (
-	"errors"
 	"fmt"
 	"io"
-	"os"
 	"path/filepath"
 
 	"dialga/internal/obs"
@@ -40,97 +38,49 @@ func newScrubMetrics(reg *obs.Registry) scrubMetrics {
 	}
 }
 
-// verifyDir scrubs every shard file in dir: it parses and validates
-// each header (the v3 self-CRC catches corrupted headers) and then
-// verifies every stripe block's CRC-32C trailer. It reports one line
-// per shard slot plus a summary, and returns whether any corruption,
-// truncation, or header damage was found. Legacy v2 shards (and v3
-// shards written without checksums) are reported as unverifiable but
-// do not count as corrupt: they carry nothing to check against. A
-// non-nil reg additionally receives the scrub's inspect_* series.
+// verifyDir scrubs every shard file in dir through the shared
+// shardfile.ScrubDir walk (the same detection the cluster repair queue
+// runs) and renders one line per shard slot plus a summary. It returns
+// whether any corruption, truncation, or header damage was found;
+// legacy trailer-less shards are reported as unverifiable but do not
+// count as corrupt. A non-nil reg additionally receives the scrub's
+// inspect_* series.
 func verifyDir(dir string, w io.Writer, reg *obs.Registry) (corrupt bool, err error) {
 	sm := newScrubMetrics(reg)
-	entries, err := os.ReadDir(dir)
+	rep, err := shardfile.ScrubDir(dir)
 	if err != nil {
-		return false, err
+		return true, err
 	}
-	// Find one parseable header to learn the geometry, so missing
-	// shard slots can be reported by index.
-	var geom shardfile.Header
-	haveGeom := false
-	for _, e := range entries {
-		if e.IsDir() {
-			continue
-		}
-		var idx int
-		if _, err := fmt.Sscanf(e.Name(), "shard.%d", &idx); err != nil {
-			continue
-		}
-		f, err := os.Open(filepath.Join(dir, e.Name()))
-		if err != nil {
-			continue
-		}
-		h, perr := shardfile.Parse(f)
-		f.Close()
-		if perr == nil {
-			geom, haveGeom = h, true
-			break
-		}
-	}
-	if !haveGeom {
-		return true, fmt.Errorf("no readable shard headers in %s", dir)
-	}
-
-	var verified, unverifiable, missing, bad int
-	for i := 0; i < int(geom.K+geom.M); i++ {
-		name := filepath.Base(shardfile.Path(dir, i))
-		f, err := os.Open(shardfile.Path(dir, i))
-		if err != nil {
+	for _, s := range rep.Shards {
+		name := filepath.Base(shardfile.Path(dir, s.Index))
+		sm.stripes.Add(s.Result.Stripes)
+		sm.blocksCorrupt.Add(s.Result.Corrupt)
+		switch s.Status {
+		case shardfile.ShardMissing:
 			fmt.Fprintf(w, "%s: missing\n", name)
-			missing++
 			sm.missing.Inc()
-			continue
-		}
-		h, err := shardfile.Parse(f)
-		if err != nil {
-			fmt.Fprintf(w, "%s: BAD HEADER: %v\n", name, err)
-			bad++
+		case shardfile.ShardBadHeader:
+			fmt.Fprintf(w, "%s: BAD HEADER: %s\n", name, s.Detail)
 			sm.corrupt.Inc()
-			f.Close()
-			continue
-		}
-		if fi, err := f.Stat(); err == nil && fi.Size() != h.ExpectedFileSize() {
-			fmt.Fprintf(w, "%s: TRUNCATED: %d bytes on disk, want %d\n", name, fi.Size(), h.ExpectedFileSize())
-			bad++
+		case shardfile.ShardTruncated:
+			fmt.Fprintf(w, "%s: TRUNCATED: %s\n", name, s.Detail)
 			sm.corrupt.Inc()
-			f.Close()
-			continue
-		}
-		res, err := shardfile.Scrub(f, h)
-		f.Close()
-		sm.stripes.Add(res.Stripes)
-		sm.blocksCorrupt.Add(res.Corrupt)
-		switch {
-		case errors.Is(err, shardfile.ErrNoChecksum):
-			fmt.Fprintf(w, "%s: unverifiable (v%d, checksum=%s: no block trailers)\n", name, h.Version, h.Algo)
-			unverifiable++
+		case shardfile.ShardReadError:
+			fmt.Fprintf(w, "%s: READ ERROR: %s\n", name, s.Detail)
+			sm.corrupt.Inc()
+		case shardfile.ShardCorrupt:
+			fmt.Fprintf(w, "%s: CORRUPT: %s\n", name, s.Detail)
+			sm.corrupt.Inc()
+		case shardfile.ShardUnverifiable:
+			fmt.Fprintf(w, "%s: unverifiable (%s)\n", name, s.Detail)
 			sm.unverifiable.Inc()
-		case err != nil:
-			fmt.Fprintf(w, "%s: READ ERROR: %v\n", name, err)
-			bad++
-			sm.corrupt.Inc()
-		case res.Corrupt > 0:
-			fmt.Fprintf(w, "%s: CORRUPT: %d of %d blocks failed %s (stripes %v)\n",
-				name, res.Corrupt, res.Stripes, h.Algo, res.CorruptStripes)
-			bad++
-			sm.corrupt.Inc()
 		default:
-			fmt.Fprintf(w, "%s: ok (%d stripes, %s)\n", name, res.Stripes, h.Algo)
-			verified++
+			fmt.Fprintf(w, "%s: ok (%d stripes, %s)\n", name, s.Result.Stripes, s.Header.Algo)
 			sm.ok.Inc()
 		}
 	}
+	ok, damaged, missing, unverifiable := rep.Counts()
 	fmt.Fprintf(w, "scrub: %d ok, %d corrupt/damaged, %d missing, %d unverifiable (geometry k=%d m=%d)\n",
-		verified, bad, missing, unverifiable, geom.K, geom.M)
-	return bad > 0, nil
+		ok, damaged, missing, unverifiable, rep.Geometry.K, rep.Geometry.M)
+	return damaged > 0, nil
 }

@@ -12,6 +12,12 @@
 //     DIALGA scheduler and every baseline run — exposed here via
 //     Reproduce and the dialga-bench command.
 //
+// On top of the library sits a networked shard service: internal/node
+// (HTTP shard server speaking the on-disk shard format), internal/cluster
+// (rack/zone-aware placement, read routing, per-class admission, the
+// object gateway, and the background repair queue), and cmd/dialga-node
+// (the combined daemon). See DESIGN.md and README.md "Running a cluster".
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-vs-measured record.
 package dialga

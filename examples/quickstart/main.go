@@ -4,6 +4,7 @@ package main
 
 import (
 	"bytes"
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
@@ -12,6 +13,11 @@ import (
 )
 
 func main() {
+	// A private seeded source (never the global math/rand) keeps the
+	// run reproducible: same seed, same payload, same demo output.
+	seed := flag.Int64("seed", 42, "payload RNG seed")
+	flag.Parse()
+
 	const k, m, blockSize = 8, 4, 1024
 
 	codec, err := dialga.NewCodec(k, m)
@@ -21,7 +27,7 @@ func main() {
 
 	// k data blocks of random content.
 	data := make([][]byte, k)
-	r := rand.New(rand.NewSource(42))
+	r := rand.New(rand.NewSource(*seed))
 	for i := range data {
 		data[i] = make([]byte, blockSize)
 		r.Read(data[i])

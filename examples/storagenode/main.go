@@ -8,6 +8,7 @@ package main
 
 import (
 	"bytes"
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
@@ -95,8 +96,13 @@ func (n *node) scrub() (repairedBlocks, blocksRead int) {
 }
 
 func main() {
+	// A private seeded source (never the global math/rand) keeps the
+	// failure pattern and payloads reproducible run to run.
+	seed := flag.Int64("seed", 7, "payload and failure-pattern RNG seed")
+	flag.Parse()
+
 	n := newNode()
-	r := rand.New(rand.NewSource(7))
+	r := rand.New(rand.NewSource(*seed))
 
 	// Store 32 objects.
 	originals := map[string][]byte{}

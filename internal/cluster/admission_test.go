@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"dialga/internal/node"
+	"dialga/internal/obs"
+)
+
+// fakeClock drives a Limiter without real sleeping.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time               { return c.t }
+func (c *fakeClock) advance(d time.Duration)      { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock                    { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+func withClock(l *Limiter, c *fakeClock) *Limiter { l.now = c.now; return l }
+
+func TestLimiterBurstAndRefill(t *testing.T) {
+	clock := newFakeClock()
+	reg := obs.NewRegistry()
+	lim := withClock(NewLimiter(map[string]Rate{
+		node.ClassRepair: {PerSecond: 10, Burst: 3},
+	}, reg), clock)
+
+	// The burst drains, then the class is paced.
+	for i := 0; i < 3; i++ {
+		if !lim.TryAdmit(node.ClassRepair, 1) {
+			t.Fatalf("burst token %d denied", i)
+		}
+	}
+	if lim.TryAdmit(node.ClassRepair, 1) {
+		t.Fatal("admitted past burst")
+	}
+	// 100ms at 10/s refills exactly one token.
+	clock.advance(100 * time.Millisecond)
+	if !lim.TryAdmit(node.ClassRepair, 1) {
+		t.Fatal("refilled token denied")
+	}
+	if lim.TryAdmit(node.ClassRepair, 1) {
+		t.Fatal("second token admitted without refill")
+	}
+	// Idle refill caps at the burst.
+	clock.advance(time.Hour)
+	for i := 0; i < 3; i++ {
+		if !lim.TryAdmit(node.ClassRepair, 1) {
+			t.Fatalf("post-idle token %d denied", i)
+		}
+	}
+	if lim.TryAdmit(node.ClassRepair, 1) {
+		t.Fatal("idle refill exceeded burst")
+	}
+	if got := reg.Counter("cluster_admitted_total", "",
+		obs.Label{Key: "class", Value: node.ClassRepair}).Value(); got != 7 {
+		t.Fatalf("cluster_admitted_total = %d, want 7", got)
+	}
+}
+
+func TestLimiterClassesAreIndependent(t *testing.T) {
+	clock := newFakeClock()
+	lim := withClock(NewLimiter(map[string]Rate{
+		node.ClassForeground: {PerSecond: 100, Burst: 5},
+		node.ClassRepair:     {PerSecond: 1, Burst: 1},
+	}, obs.NewRegistry()), clock)
+
+	// Exhaust repair entirely; foreground must be untouched.
+	if !lim.TryAdmit(node.ClassRepair, 1) {
+		t.Fatal("repair burst denied")
+	}
+	if lim.TryAdmit(node.ClassRepair, 1) {
+		t.Fatal("repair over-admitted")
+	}
+	for i := 0; i < 5; i++ {
+		if !lim.TryAdmit(node.ClassForeground, 1) {
+			t.Fatalf("foreground token %d denied while repair starved", i)
+		}
+	}
+}
+
+func TestLimiterUnmeteredClass(t *testing.T) {
+	lim := NewLimiter(map[string]Rate{node.ClassRepair: {PerSecond: 1}}, nil)
+	for i := 0; i < 100; i++ {
+		if err := lim.Admit(context.Background(), "unmetered", 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAdmitBlocksUntilContextEnds(t *testing.T) {
+	lim := NewLimiter(map[string]Rate{
+		node.ClassRepair: {PerSecond: 0.001, Burst: 1},
+	}, nil)
+	if err := lim.Admit(context.Background(), node.ClassRepair, 1); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := lim.Admit(ctx, node.ClassRepair, 1)
+	if err != context.DeadlineExceeded {
+		t.Fatalf("Admit on drained bucket = %v, want DeadlineExceeded", err)
+	}
+	if time.Since(start) < 15*time.Millisecond {
+		t.Fatal("Admit returned before the context deadline")
+	}
+}
+
+func TestAdmitRejectsCostAboveBurst(t *testing.T) {
+	lim := NewLimiter(map[string]Rate{node.ClassRepair: {PerSecond: 10, Burst: 2}}, nil)
+	if err := lim.Admit(context.Background(), node.ClassRepair, 5); err == nil {
+		t.Fatal("cost above burst must fail fast, not block forever")
+	}
+}

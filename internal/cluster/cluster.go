@@ -1,0 +1,140 @@
+// Package cluster is the control plane of the dialga shard service:
+// static cluster membership with failure domains, deterministic
+// rack/zone-aware shard placement, pluggable read routing, token-bucket
+// admission control per traffic class, an object gateway that stripes
+// whole objects across a placement of nodes with the streaming
+// erasure pipeline, and a background repair queue that detects and
+// rebuilds damaged shards without starving foreground traffic.
+//
+// The fault model is the Parallel Persistent Memory Model's: a node
+// may fail at any point, but the shards it persisted survive it —
+// recovery is re-attachment plus targeted reconstruction of exactly
+// the shards that were lost, never whole-object re-replication. The
+// data plane (internal/node) stays dumb; everything about *where*
+// shards live and *who* may read or write *when* lives here.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NodeID names one node in the cluster map.
+type NodeID string
+
+// NodeInfo is one node's membership record: its address and its
+// failure-domain coordinates. A rack is the unit of correlated
+// failure (a power feed, a top-of-rack switch); a zone groups racks
+// (a room, a site). Placement never puts two shards of a stripe in
+// one rack, and spreads across zones when it has the choice.
+type NodeInfo struct {
+	ID   NodeID `json:"id"`
+	Addr string `json:"addr"`
+	Rack string `json:"rack"`
+	Zone string `json:"zone"`
+}
+
+// Domain returns the node's failure domain: its (zone, rack) pair,
+// so equal rack names in different zones stay distinct domains.
+func (n NodeInfo) Domain() string { return n.Zone + "/" + n.Rack }
+
+// Map is a static-membership cluster map: the full node set, known to
+// every node at start-up. Placement and routing are pure functions of
+// the map and the object name, so any node (or client) computes the
+// same answer without coordination. Maps are immutable after New.
+type Map struct {
+	nodes []NodeInfo // sorted by ID
+	byID  map[NodeID]NodeInfo
+}
+
+// New validates a node set into a Map: IDs and addresses must be
+// unique and non-empty; an empty rack defaults to the node's own ID
+// (every node its own failure domain), an empty zone to "default".
+func New(nodes []NodeInfo) (*Map, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: empty node set")
+	}
+	m := &Map{byID: make(map[NodeID]NodeInfo, len(nodes))}
+	addrs := make(map[string]NodeID, len(nodes))
+	for _, n := range nodes {
+		if n.ID == "" {
+			return nil, fmt.Errorf("cluster: node with empty ID (addr %q)", n.Addr)
+		}
+		if n.Addr == "" {
+			return nil, fmt.Errorf("cluster: node %s has no address", n.ID)
+		}
+		if _, dup := m.byID[n.ID]; dup {
+			return nil, fmt.Errorf("cluster: duplicate node ID %s", n.ID)
+		}
+		if prev, dup := addrs[n.Addr]; dup {
+			return nil, fmt.Errorf("cluster: nodes %s and %s share address %s", prev, n.ID, n.Addr)
+		}
+		if n.Rack == "" {
+			n.Rack = string(n.ID)
+		}
+		if n.Zone == "" {
+			n.Zone = "default"
+		}
+		m.byID[n.ID] = n
+		addrs[n.Addr] = n.ID
+		m.nodes = append(m.nodes, n)
+	}
+	sort.Slice(m.nodes, func(i, j int) bool { return m.nodes[i].ID < m.nodes[j].ID })
+	return m, nil
+}
+
+// ParseSpec builds a Map from a compact flag-friendly spec:
+// "id=addr[/rack[/zone]]" entries joined by commas, e.g.
+//
+//	n0=127.0.0.1:7070/r0/z0,n1=127.0.0.1:7071/r1/z0,n2=127.0.0.1:7072/r2/z1
+func ParseSpec(spec string) (*Map, error) {
+	var nodes []NodeInfo
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		id, rest, ok := strings.Cut(tok, "=")
+		if !ok {
+			return nil, fmt.Errorf("cluster: node spec %q wants id=addr[/rack[/zone]]", tok)
+		}
+		parts := strings.Split(rest, "/")
+		n := NodeInfo{ID: NodeID(id), Addr: parts[0]}
+		if len(parts) > 1 {
+			n.Rack = parts[1]
+		}
+		if len(parts) > 2 {
+			n.Zone = parts[2]
+		}
+		if len(parts) > 3 {
+			return nil, fmt.Errorf("cluster: node spec %q has too many /-fields", tok)
+		}
+		nodes = append(nodes, n)
+	}
+	return New(nodes)
+}
+
+// Nodes returns the membership, sorted by ID. The caller must not
+// mutate it.
+func (m *Map) Nodes() []NodeInfo { return m.nodes }
+
+// Len returns the node count.
+func (m *Map) Len() int { return len(m.nodes) }
+
+// Get looks a node up by ID.
+func (m *Map) Get(id NodeID) (NodeInfo, bool) {
+	n, ok := m.byID[id]
+	return n, ok
+}
+
+// Domains returns the number of distinct failure domains (zone/rack
+// pairs) in the map — the ceiling on how many shards of one stripe
+// can be placed strictly domain-disjoint.
+func (m *Map) Domains() int {
+	seen := make(map[string]struct{}, len(m.nodes))
+	for _, n := range m.nodes {
+		seen[n.Domain()] = struct{}{}
+	}
+	return len(seen)
+}

@@ -1,0 +1,504 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"dialga/internal/node"
+	"dialga/internal/obs"
+	"dialga/internal/rs"
+	"dialga/internal/shardfile"
+	"dialga/internal/stream"
+)
+
+// GatewayOptions configures a Gateway. Map and geometry (K, M) are
+// required; everything else defaults sensibly.
+type GatewayOptions struct {
+	// Map is the cluster membership placement draws from. Required.
+	Map *Map
+	// K and M are the erasure geometry: K data + M parity shards per
+	// stripe. Required; K+M must not exceed the map's failure domains.
+	K, M int
+	// StripeSize is the data bytes per stripe on PUT. Default
+	// stream.DefaultStripeSize.
+	StripeSize int
+	// Router orders shards for reads. Default FirstK.
+	Router Router
+	// Spares is how many shards beyond K a read opens up front: the
+	// headroom hedged degraded reads need to reconstruct around a
+	// straggler without a mid-stream reopen. Clamped to [0, M];
+	// default 1 (when M > 0).
+	Spares int
+	// HedgeAfter enables hedged degraded reads on GET (see
+	// stream.Options.HedgeAfter). Zero disables hedging.
+	HedgeAfter time.Duration
+	// HTTPClient is the transport shard requests ride — the hook for
+	// timeouts, pooling, and fault.Transport chaos. Default
+	// http.DefaultClient.
+	HTTPClient *http.Client
+	// Metrics receives cluster_* and the underlying stream_*/shardio_*
+	// series. Nil disables.
+	Metrics *obs.Registry
+	// Seed makes decoder retry jitter reproducible.
+	Seed uint64
+}
+
+// Gateway stripes whole objects across the cluster: PUT encodes an
+// object through the streaming pipeline into K+M shard uploads placed
+// rack-disjoint by Place; GET opens shards in router order and decodes
+// — degraded, hedged, and CRC-healed exactly like local reads, because
+// remote shards arrive as ordinary stream readers. Any node can host a
+// gateway (placement is deterministic), so there is no metadata
+// service to lose.
+type Gateway struct {
+	cmap    *Map
+	k, m    int
+	stripe  int
+	spares  int
+	router  Router
+	hedge   time.Duration
+	seed    uint64
+	reg     *obs.Registry
+	clients map[NodeID]*node.Client
+	codec   *rs.Code
+}
+
+// NewGateway validates opts into a Gateway.
+func NewGateway(opts GatewayOptions) (*Gateway, error) {
+	if opts.Map == nil {
+		return nil, errors.New("cluster: gateway needs a Map")
+	}
+	codec, err := rs.New(opts.K, opts.M)
+	if err != nil {
+		return nil, err
+	}
+	if d := opts.Map.Domains(); opts.K+opts.M > d {
+		return nil, fmt.Errorf("cluster: RS(%d,%d) needs %d failure domains, map has %d",
+			opts.K, opts.M, opts.K+opts.M, d)
+	}
+	stripeSize := opts.StripeSize
+	if stripeSize <= 0 {
+		stripeSize = stream.DefaultStripeSize
+	}
+	router := opts.Router
+	if router == nil {
+		router = FirstK{}
+	}
+	spares := opts.Spares
+	if spares == 0 && opts.M > 0 {
+		spares = 1
+	}
+	if spares > opts.M {
+		spares = opts.M
+	}
+	if spares < 0 {
+		spares = 0
+	}
+	hc := opts.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	g := &Gateway{
+		cmap:    opts.Map,
+		k:       opts.K,
+		m:       opts.M,
+		stripe:  stripeSize,
+		spares:  spares,
+		router:  router,
+		hedge:   opts.HedgeAfter,
+		seed:    opts.Seed,
+		reg:     opts.Metrics,
+		clients: make(map[NodeID]*node.Client, opts.Map.Len()),
+		codec:   codec,
+	}
+	for _, n := range opts.Map.Nodes() {
+		g.clients[n.ID] = node.NewClient(n.Addr).WithHTTPClient(hc)
+	}
+	return g, nil
+}
+
+// Shards returns the stripe width K+M.
+func (g *Gateway) Shards() int { return g.k + g.m }
+
+// Map returns the gateway's cluster map.
+func (g *Gateway) Map() *Map { return g.cmap }
+
+// Place returns the object's deterministic shard placement under the
+// gateway's geometry.
+func (g *Gateway) Place(object string) (Placement, error) {
+	return g.cmap.Place(object, g.k+g.m)
+}
+
+// Client returns the shard client for a node in the map.
+func (g *Gateway) Client(id NodeID) (*node.Client, bool) {
+	c, ok := g.clients[id]
+	return c, ok
+}
+
+func (g *Gateway) counter(name, help string, labels ...obs.Label) *obs.Counter {
+	return g.reg.Counter(name, help, labels...)
+}
+
+// header builds shard idx's shardfile header for an object of size
+// bytes encoded with the gateway's geometry and stripe size.
+func (g *Gateway) header(idx int, size int64, shardSize int) shardfile.Header {
+	stripeSize := uint64(shardSize * g.k)
+	stripes := (uint64(size) + stripeSize - 1) / stripeSize
+	return shardfile.Header{
+		Version: shardfile.VersionV3,
+		K:       uint32(g.k), M: uint32(g.m), Index: uint32(idx),
+		ShardSize:   uint32(shardSize),
+		StripeCount: stripes,
+		FileSize:    uint64(size),
+		Algo:        shardfile.AlgoCRC32C,
+	}
+}
+
+// streamOptions is the shared pipeline config for this gateway's
+// geometry.
+func (g *Gateway) streamOptions() stream.Options {
+	return stream.Options{
+		Codec:      g.codec,
+		StripeSize: g.stripe,
+		Checksum:   stream.ChecksumCRC32C,
+		HedgeAfter: g.hedge,
+		Seed:       g.seed,
+		Metrics:    g.reg,
+	}
+}
+
+// PutObject encodes size bytes from r into K+M shards streamed
+// concurrently to the object's placement. Every shard upload carries a
+// full shardfile (header + checksummed blocks), so each node validates
+// its shard independently and a node directory is scrubbable with
+// dialga-inspect. Returns the placement used.
+func (g *Gateway) PutObject(ctx context.Context, object string, r io.Reader, size int64, class string) (Placement, error) {
+	if size < 0 {
+		return nil, fmt.Errorf("cluster: put %q needs a known size", object)
+	}
+	placement, err := g.Place(object)
+	if err != nil {
+		return nil, err
+	}
+	enc, err := stream.NewEncoder(g.streamOptions())
+	if err != nil {
+		return nil, err
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	n := g.k + g.m
+	writers := make([]io.Writer, n)
+	pipes := make([]*io.PipeWriter, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		h := g.header(i, size, enc.ShardSize())
+		pr, pw := io.Pipe()
+		pipes[i] = pw
+		writers[i] = pw
+		cli := g.clients[placement[i].ID].WithClass(class)
+		wg.Add(1)
+		go func(i int, cli *node.Client, pr *io.PipeReader, hdr []byte) {
+			defer wg.Done()
+			body := io.MultiReader(bytes.NewReader(hdr), pr)
+			if err := cli.PutShard(ctx, object, i, body); err != nil {
+				errs[i] = fmt.Errorf("shard %d -> %s: %w", i, placement[i].ID, err)
+				// Fail the encoder's next write into this pipe so the
+				// pipeline stops instead of blocking on a dead upload.
+				pr.CloseWithError(errs[i])
+				cancel()
+				return
+			}
+			pr.Close()
+		}(i, cli, pr, h.Marshal())
+	}
+
+	// Count input bytes locally: enc.Stats() aggregates across every
+	// pipeline sharing the registry, so it cannot size-check one put.
+	cr := &countingReader{r: r}
+	encErr := enc.Encode(ctx, cr, writers)
+	for _, pw := range pipes {
+		if encErr != nil {
+			pw.CloseWithError(encErr)
+		} else {
+			pw.Close()
+		}
+	}
+	wg.Wait()
+
+	if encErr != nil {
+		g.counter("cluster_puts_total", "Object puts, by result.",
+			obs.Label{Key: "result", Value: "error"}).Inc()
+		return nil, fmt.Errorf("cluster: put %q: %w", object, encErr)
+	}
+	for _, err := range errs {
+		if err != nil {
+			g.counter("cluster_puts_total", "Object puts, by result.",
+				obs.Label{Key: "result", Value: "error"}).Inc()
+			return nil, fmt.Errorf("cluster: put %q: %w", object, err)
+		}
+	}
+	if cr.n != size {
+		g.counter("cluster_puts_total", "Object puts, by result.",
+			obs.Label{Key: "result", Value: "error"}).Inc()
+		return nil, fmt.Errorf("cluster: put %q: read %d bytes, expected %d", object, cr.n, size)
+	}
+	g.counter("cluster_puts_total", "Object puts, by result.",
+		obs.Label{Key: "result", Value: "ok"}).Inc()
+	g.counter("cluster_put_bytes_total", "Object payload bytes written.").Add(uint64(size))
+	return placement, nil
+}
+
+// openSet is the result of opening an object's shards for decode.
+type openSet struct {
+	header  shardfile.Header
+	readers []io.Reader // k+m entries, nil where unopened/failed
+	opened  int
+}
+
+// open fetches shards of object in router preference order until k +
+// spares are streaming (or candidates run out), observing per-node
+// open latency into the router. exclude skips one shard index (the
+// shard being rebuilt; -1 to open any). Callers own the readers — pass
+// them to a decoder with CloseReaders set.
+func (g *Gateway) open(ctx context.Context, object string, placement Placement, class string, spares, exclude int) (openSet, error) {
+	n := len(placement)
+	want := g.k + spares
+	if want > n {
+		want = n
+	}
+	set := openSet{readers: make([]io.Reader, n)}
+	var firstErr error
+	for _, idx := range g.router.Order(object, placement) {
+		if set.opened >= want {
+			break
+		}
+		if idx == exclude {
+			continue
+		}
+		info := placement[idx]
+		cli := g.clients[info.ID].WithClass(class)
+		start := time.Now()
+		h, body, err := cli.OpenShard(ctx, object, idx)
+		g.router.Observe(info.ID, time.Since(start), err)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("shard %d from %s: %w", idx, info.ID, err)
+			}
+			g.counter("cluster_open_failures_total",
+				"Shard opens that failed during object reads, by node.",
+				obs.Label{Key: "node", Value: string(info.ID)}).Inc()
+			continue
+		}
+		if int(h.Index) != idx || int(h.K) != g.k || int(h.M) != g.m {
+			body.Close()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("shard %d from %s: header (k=%d m=%d index=%d) does not match cluster geometry",
+					idx, info.ID, h.K, h.M, h.Index)
+			}
+			continue
+		}
+		if set.opened == 0 {
+			set.header = h
+		}
+		set.readers[idx] = body
+		set.opened++
+	}
+	if set.opened < g.k {
+		for _, r := range set.readers {
+			if c, ok := r.(io.Closer); ok {
+				c.Close()
+			}
+		}
+		if firstErr == nil {
+			firstErr = errors.New("no shards reachable")
+		}
+		return openSet{}, fmt.Errorf("cluster: get %q: only %d of %d shards available: %w",
+			object, set.opened, g.k, firstErr)
+	}
+	return set, nil
+}
+
+// GetObject streams the object's bytes into w, reconstructing from any
+// k of its shards: failed nodes are skipped at open, stragglers are
+// hedged around mid-stream, and corrupt blocks are healed by CRC-led
+// reconstruction — the full degraded-read machinery, over the network.
+func (g *Gateway) GetObject(ctx context.Context, object string, w io.Writer, class string) error {
+	placement, err := g.Place(object)
+	if err != nil {
+		return err
+	}
+	set, err := g.open(ctx, object, placement, class, g.spares, -1)
+	if err != nil {
+		g.counter("cluster_gets_total", "Object gets, by result.",
+			obs.Label{Key: "result", Value: "error"}).Inc()
+		return err
+	}
+	opts := g.streamOptions()
+	opts.StripeSize = int(set.header.ShardSize) * g.k
+	opts.Checksum = set.header.Algo.Stream()
+	opts.CloseReaders = true
+	dec, err := stream.NewDecoder(opts)
+	if err != nil {
+		return err
+	}
+	if err := dec.Decode(ctx, set.readers, w, int64(set.header.FileSize)); err != nil {
+		g.counter("cluster_gets_total", "Object gets, by result.",
+			obs.Label{Key: "result", Value: "error"}).Inc()
+		return fmt.Errorf("cluster: get %q: %w", object, err)
+	}
+	g.counter("cluster_gets_total", "Object gets, by result.",
+		obs.Label{Key: "result", Value: "ok"}).Inc()
+	g.counter("cluster_get_bytes_total", "Object payload bytes read.").Add(set.header.FileSize)
+	return nil
+}
+
+// DeleteObject drops every shard of the object from its placement.
+// Unreachable nodes make it return an error, but reachable shards are
+// deleted regardless (deletes are idempotent; re-run to finish).
+func (g *Gateway) DeleteObject(ctx context.Context, object string, class string) error {
+	placement, err := g.Place(object)
+	if err != nil {
+		return err
+	}
+	var firstErr error
+	for idx, info := range placement {
+		cli := g.clients[info.ID].WithClass(class)
+		if err := cli.DeleteShard(ctx, object, idx); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("cluster: delete %q shard %d on %s: %w", object, idx, info.ID, err)
+		}
+	}
+	return firstErr
+}
+
+// Objects lists every object any reachable node stores shards for.
+func (g *Gateway) Objects(ctx context.Context) ([]string, error) {
+	seen := make(map[string]bool)
+	var names []string
+	var firstErr error
+	reached := 0
+	for _, info := range g.cmap.Nodes() {
+		list, err := g.clients[info.ID].Objects(ctx)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		reached++
+		for _, name := range list {
+			if !seen[name] {
+				seen[name] = true
+				names = append(names, name)
+			}
+		}
+	}
+	if reached == 0 {
+		return nil, fmt.Errorf("cluster: no node reachable: %w", firstErr)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Handler returns the gateway's object API:
+//
+//	PUT    /v1/object/{object}     store an object (Content-Length required)
+//	GET    /v1/object/{object}     fetch an object
+//	DELETE /v1/object/{object}     delete an object's shards
+//	GET    /v1/objects/all         cluster-wide object listing
+//	GET    /v1/placement/{object}  the object's shard placement as JSON
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("PUT /v1/object/{object}", g.handlePut)
+	mux.HandleFunc("GET /v1/object/{object}", g.handleGet)
+	mux.HandleFunc("DELETE /v1/object/{object}", g.handleDelete)
+	mux.HandleFunc("GET /v1/objects/all", func(w http.ResponseWriter, r *http.Request) {
+		names, err := g.Objects(r.Context())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		if names == nil {
+			names = []string{}
+		}
+		writeJSON(w, names)
+	})
+	mux.HandleFunc("GET /v1/placement/{object}", func(w http.ResponseWriter, r *http.Request) {
+		p, err := g.Place(r.PathValue("object"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		writeJSON(w, p)
+	})
+	return mux
+}
+
+func (g *Gateway) handlePut(w http.ResponseWriter, r *http.Request) {
+	object := r.PathValue("object")
+	if r.ContentLength < 0 {
+		http.Error(w, "object put requires Content-Length", http.StatusLengthRequired)
+		return
+	}
+	p, err := g.PutObject(r.Context(), object, r.Body, r.ContentLength, node.Class(r))
+	if err != nil {
+		gatewayFail(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusCreated)
+	writeJSON(w, p)
+}
+
+func (g *Gateway) handleGet(w http.ResponseWriter, r *http.Request) {
+	object := r.PathValue("object")
+	w.Header().Set("Content-Type", "application/octet-stream")
+	// The body streams as it decodes; an error after the first byte can
+	// only truncate the response (the client sees the connection die).
+	if err := g.GetObject(r.Context(), object, w, node.Class(r)); err != nil {
+		gatewayFail(w, err)
+	}
+}
+
+func (g *Gateway) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if err := g.DeleteObject(r.Context(), r.PathValue("object"), node.Class(r)); err != nil {
+		gatewayFail(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func gatewayFail(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, node.ErrNotFound):
+		http.Error(w, err.Error(), http.StatusNotFound)
+	default:
+		http.Error(w, err.Error(), http.StatusBadGateway)
+	}
+}
+
+// countingReader tallies bytes as the encoder consumes them.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

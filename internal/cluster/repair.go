@@ -1,0 +1,321 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"dialga/internal/node"
+	"dialga/internal/obs"
+	"dialga/internal/stream"
+)
+
+// repairTask names one damaged shard: rebuild shard Index of Object.
+type repairTask struct {
+	Object string
+	Index  int
+}
+
+func (t repairTask) key() string { return t.Object + "/" + strconv.Itoa(t.Index) }
+
+// Repairer is the background repair queue: it scrubs every placed
+// shard of every object in the cluster (reusing the same shardfile
+// scrub that dialga-inspect -verify runs locally), queues the damaged
+// and missing ones, and rebuilds each by a degraded streaming decode
+// of the surviving shards piped straight back through the encoder —
+// only the damaged shard's output is kept, so repair moves O(object)
+// bytes but writes only the one shard.
+//
+// All repair traffic — scrub probes, source reads, the rebuilt-shard
+// write — is tagged node.ClassRepair and paced by the limiter's repair
+// bucket at both ends, so however deep the damage backlog is,
+// foreground reads keep their own token budget and their own node
+// capacity.
+type Repairer struct {
+	gw  *Gateway
+	lim *Limiter
+	reg *obs.Registry
+
+	mu     sync.Mutex
+	queue  []repairTask
+	queued map[string]bool
+}
+
+// NewRepairer wires a repair queue over the gateway's cluster view.
+// lim may be nil (unpaced); reg may be nil (unmetered).
+func NewRepairer(gw *Gateway, lim *Limiter, reg *obs.Registry) *Repairer {
+	return &Repairer{gw: gw, lim: lim, reg: reg, queued: make(map[string]bool)}
+}
+
+// Pending returns the number of queued repair tasks.
+func (r *Repairer) Pending() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.queue)
+}
+
+// Enqueue queues shard idx of object for rebuild, deduplicating
+// against tasks already queued. It reports whether the task was new.
+func (r *Repairer) Enqueue(object string, idx int) bool {
+	t := repairTask{Object: object, Index: idx}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.queued[t.key()] {
+		return false
+	}
+	r.queued[t.key()] = true
+	r.queue = append(r.queue, t)
+	r.reg.Gauge("cluster_repair_queue",
+		"Damaged shards currently queued for rebuild.").Set(float64(len(r.queue)))
+	return true
+}
+
+// pop takes the oldest task off the queue.
+func (r *Repairer) pop() (repairTask, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.queue) == 0 {
+		return repairTask{}, false
+	}
+	t := r.queue[0]
+	r.queue = r.queue[1:]
+	delete(r.queued, t.key())
+	r.reg.Gauge("cluster_repair_queue",
+		"Damaged shards currently queued for rebuild.").Set(float64(len(r.queue)))
+	return t, true
+}
+
+// admit paces one repair-class operation through the limiter.
+func (r *Repairer) admit(ctx context.Context) error {
+	if r.lim == nil {
+		return nil
+	}
+	return r.lim.Admit(ctx, node.ClassRepair, 1)
+}
+
+// objects lists every object any node stores shards for, over
+// repair-class requests.
+func (r *Repairer) objects(ctx context.Context) ([]string, error) {
+	seen := make(map[string]bool)
+	var names []string
+	var firstErr error
+	reached := 0
+	for _, info := range r.gw.Map().Nodes() {
+		cli, _ := r.gw.Client(info.ID)
+		list, err := cli.WithClass(node.ClassRepair).Objects(ctx)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		reached++
+		for _, name := range list {
+			if !seen[name] {
+				seen[name] = true
+				names = append(names, name)
+			}
+		}
+	}
+	if reached == 0 {
+		return nil, fmt.Errorf("cluster: repair scan: no node reachable: %w", firstErr)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// ScanOnce scrubs every placed shard of every object and enqueues the
+// damaged ones, returning how many new tasks it queued. A shard whose
+// node answers 404 is missing (enqueued); a shard whose node is
+// unreachable is skipped — under the persistent-memory fault model the
+// node's shards survive it, so rebuilding them elsewhere while the
+// node is down would churn data that will reappear.
+func (r *Repairer) ScanOnce(ctx context.Context) (int, error) {
+	names, err := r.objects(ctx)
+	if err != nil {
+		return 0, err
+	}
+	enqueued := 0
+	for _, object := range names {
+		placement, err := r.gw.Place(object)
+		if err != nil {
+			return enqueued, err
+		}
+		for idx, info := range placement {
+			if err := r.admit(ctx); err != nil {
+				return enqueued, err
+			}
+			cli, _ := r.gw.Client(info.ID)
+			status, err := cli.WithClass(node.ClassRepair).ScrubShard(ctx, object, idx)
+			switch {
+			case errors.Is(err, node.ErrNotFound):
+				r.reg.Counter("cluster_scrub_damaged_total",
+					"Placed shards found damaged by repair scans, by kind.",
+					obs.Label{Key: "status", Value: "missing"}).Inc()
+				if r.Enqueue(object, idx) {
+					enqueued++
+				}
+			case err != nil:
+				r.reg.Counter("cluster_scrub_unreachable_total",
+					"Placed shards the repair scan could not probe (node down).").Inc()
+			case status.Damaged:
+				r.reg.Counter("cluster_scrub_damaged_total",
+					"Placed shards found damaged by repair scans, by kind.",
+					obs.Label{Key: "status", Value: status.Status}).Inc()
+				if r.Enqueue(object, idx) {
+					enqueued++
+				}
+			default:
+				r.reg.Counter("cluster_scrub_ok_total",
+					"Placed shards that passed a repair-scan scrub.").Inc()
+			}
+		}
+	}
+	return enqueued, nil
+}
+
+// RepairOne rebuilds one damaged shard: a degraded streaming decode of
+// the surviving shards is piped straight into a re-encode whose output
+// is discarded for every shard but the damaged one, which streams to
+// its placed node as a fresh validated shardfile.
+func (r *Repairer) RepairOne(ctx context.Context, object string, idx int) error {
+	placement, err := r.gw.Place(object)
+	if err != nil {
+		return err
+	}
+	if idx < 0 || idx >= len(placement) {
+		return fmt.Errorf("cluster: repair %q shard %d out of range", object, idx)
+	}
+	if err := r.admit(ctx); err != nil {
+		return err
+	}
+	set, err := r.gw.open(ctx, object, placement, node.ClassRepair, r.gw.spares, idx)
+	if err != nil {
+		return fmt.Errorf("cluster: repair %q shard %d: %w", object, idx, err)
+	}
+
+	h := set.header
+	h.Index = uint32(idx)
+	stripeSize := int(h.ShardSize) * r.gw.k
+
+	decOpts := r.gw.streamOptions()
+	decOpts.StripeSize = stripeSize
+	decOpts.Checksum = h.Algo.Stream()
+	decOpts.CloseReaders = true
+	dec, err := stream.NewDecoder(decOpts)
+	if err != nil {
+		return err
+	}
+	encOpts := r.gw.streamOptions()
+	encOpts.StripeSize = stripeSize
+	encOpts.Checksum = h.Algo.Stream()
+	enc, err := stream.NewEncoder(encOpts)
+	if err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// decode -> object bytes -> re-encode; one rebuilt shard survives.
+	objR, objW := io.Pipe()
+	go func() {
+		objW.CloseWithError(dec.Decode(ctx, set.readers, objW, int64(h.FileSize)))
+	}()
+
+	shardR, shardW := io.Pipe()
+	writers := make([]io.Writer, r.gw.k+r.gw.m)
+	for i := range writers {
+		writers[i] = io.Discard
+	}
+	writers[idx] = shardW
+
+	cli, _ := r.gw.Client(placement[idx].ID)
+	putErr := make(chan error, 1)
+	go func() {
+		body := io.MultiReader(bytes.NewReader(h.Marshal()), shardR)
+		err := cli.WithClass(node.ClassRepair).PutShard(ctx, object, idx, body)
+		if err != nil {
+			shardR.CloseWithError(err)
+			cancel()
+		} else {
+			shardR.Close()
+		}
+		putErr <- err
+	}()
+
+	encErr := enc.Encode(ctx, objR, writers)
+	shardW.CloseWithError(encErr)
+	objR.CloseWithError(encErr) // unblock the decoder if encode quit first
+	if err := <-putErr; err != nil {
+		return fmt.Errorf("cluster: repair %q shard %d: upload: %w", object, idx, err)
+	}
+	if encErr != nil {
+		return fmt.Errorf("cluster: repair %q shard %d: %w", object, idx, encErr)
+	}
+	r.reg.Counter("cluster_repair_bytes_total",
+		"Bytes of rebuilt shard data written by the repair queue.").
+		Add(uint64(h.ExpectedFileSize()))
+	return nil
+}
+
+// DrainOnce works the queue until it is empty or ctx ends, returning
+// how many repairs succeeded and failed. A failed task is re-queued at
+// the back (its nodes may be back next pass) unless ctx ended.
+func (r *Repairer) DrainOnce(ctx context.Context) (repaired, failed int) {
+	requeue := []repairTask{}
+	for {
+		t, ok := r.pop()
+		if !ok {
+			break
+		}
+		err := r.RepairOne(ctx, t.Object, t.Index)
+		if err == nil {
+			repaired++
+			r.reg.Counter("cluster_repairs_total", "Shard rebuilds, by result.",
+				obs.Label{Key: "result", Value: "ok"}).Inc()
+			continue
+		}
+		failed++
+		r.reg.Counter("cluster_repairs_total", "Shard rebuilds, by result.",
+			obs.Label{Key: "result", Value: "error"}).Inc()
+		if ctx.Err() != nil {
+			break
+		}
+		requeue = append(requeue, t)
+	}
+	for _, t := range requeue {
+		r.Enqueue(t.Object, t.Index)
+	}
+	return repaired, failed
+}
+
+// Run scans and drains on every tick until ctx ends — the background
+// repair loop a node runs for the life of the process. Scan errors are
+// counted and retried next tick, never fatal.
+func (r *Repairer) Run(ctx context.Context, interval time.Duration) error {
+	if interval <= 0 {
+		interval = 30 * time.Second
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+			if _, err := r.ScanOnce(ctx); err != nil {
+				r.reg.Counter("cluster_scan_errors_total",
+					"Repair scans that aborted with an error.").Inc()
+				continue
+			}
+			r.DrainOnce(ctx)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package fault
+
+import (
+	"io"
+	"net/http"
+	"sync"
+
+	"dialga/internal/obs"
+)
+
+// Transport is an http.RoundTripper that applies a fault Plan to the
+// response bodies of a wrapped transport, keyed by the request's host.
+// Every response body is its own byte stream, so a plan's offsets are
+// relative to the start of each response — a `slow@0+3000` plan makes
+// every read from that host a straggler, a `flip@100.3` plan corrupts
+// byte 100 of every body. This is how the cluster chaos tests inject
+// deterministic network faults under the shard client without touching
+// the servers: the same Plan grammar, seeded Generate, and metrics
+// that the reader/writer wrappers use, applied at the transport seam.
+//
+// The zero value is unusable; build one with NewTransport. Safe for
+// concurrent use.
+type Transport struct {
+	base http.RoundTripper
+	reg  *obs.Registry
+
+	mu    sync.Mutex
+	plans map[string]Plan // request host -> plan applied to its responses
+}
+
+// NewTransport wraps base (http.DefaultTransport when nil) with an
+// empty plan table: hosts without a plan pass through untouched.
+func NewTransport(base http.RoundTripper) *Transport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &Transport{base: base, plans: make(map[string]Plan)}
+}
+
+// WithMetrics counts every applied injection in reg as
+// fault_injected_total{kind=...}. It returns t for chaining.
+func (t *Transport) WithMetrics(reg *obs.Registry) *Transport {
+	t.reg = reg
+	return t
+}
+
+// Set installs (or, with an empty plan, clears) the fault plan for
+// every future response from host ("host:port" as it appears in
+// request URLs). In-flight bodies keep the plan they started with.
+func (t *Transport) Set(host string, p Plan) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(p.Ops) == 0 {
+		delete(t.plans, host)
+		return
+	}
+	t.plans[host] = p
+}
+
+// RoundTrip performs the request on the wrapped transport and, when
+// the request's host has a plan, re-wraps the response body so the
+// plan's read-side faults fire as the caller consumes it. Injected
+// sleeps honour the request context: a cancelled request is never held
+// hostage by its own fault plan.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	resp, err := t.base.RoundTrip(req)
+	if err != nil || resp == nil || resp.Body == nil {
+		return resp, err
+	}
+	t.mu.Lock()
+	plan, ok := t.plans[req.URL.Host]
+	t.mu.Unlock()
+	if !ok {
+		return resp, nil
+	}
+	fr := NewReader(resp.Body, plan).WithContext(req.Context())
+	if t.reg != nil {
+		fr.WithMetrics(t.reg)
+	}
+	resp.Body = &faultBody{Reader: fr, closer: resp.Body}
+	return resp, nil
+}
+
+// faultBody pairs the fault-injecting reader with the original body's
+// Close so connections are still released properly.
+type faultBody struct {
+	*Reader
+	closer io.Closer
+}
+
+func (b *faultBody) Close() error { return b.closer.Close() }

@@ -1,0 +1,281 @@
+package node
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"dialga/internal/obs"
+	"dialga/internal/rs"
+	"dialga/internal/shardfile"
+	"dialga/internal/stream"
+)
+
+// encodeShards builds k+m exact shardfile byte blobs for a payload.
+func encodeShards(t *testing.T, k, m int, payload []byte) [][]byte {
+	t.Helper()
+	code, err := rs.New(k, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := stream.NewEncoder(stream.Options{
+		Codec: code, StripeSize: 4 * 1024, Checksum: stream.ChecksumCRC32C,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripes := (uint64(len(payload)) + uint64(enc.StripeSize()) - 1) / uint64(enc.StripeSize())
+	bufs := make([]bytes.Buffer, k+m)
+	writers := make([]io.Writer, k+m)
+	for i := range bufs {
+		h := shardfile.Header{
+			Version: shardfile.VersionV3,
+			K:       uint32(k), M: uint32(m), Index: uint32(i),
+			ShardSize: uint32(enc.ShardSize()), StripeCount: stripes,
+			FileSize: uint64(len(payload)), Algo: shardfile.AlgoCRC32C,
+		}
+		bufs[i].Write(h.Marshal())
+		writers[i] = &bufs[i]
+	}
+	if err := enc.Encode(context.Background(), bytes.NewReader(payload), writers); err != nil {
+		t.Fatal(err)
+	}
+	out := make([][]byte, k+m)
+	for i := range bufs {
+		out[i] = bufs[i].Bytes()
+	}
+	return out
+}
+
+func testPayload(n int) []byte {
+	buf := make([]byte, n)
+	st := uint64(7)
+	for i := range buf {
+		st = st*6364136223846793005 + 1442695040888963407
+		buf[i] = byte(st >> 56)
+	}
+	return buf
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	store, err := OpenStore(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := encodeShards(t, 2, 1, testPayload(10_000))
+	for i, b := range shards {
+		if err := store.Put("obj", i, bytes.NewReader(b)); err != nil {
+			t.Fatalf("put shard %d: %v", i, err)
+		}
+	}
+	for i, want := range shards {
+		h, body, err := store.Get("obj", i)
+		if err != nil {
+			t.Fatalf("get shard %d: %v", i, err)
+		}
+		got, err := io.ReadAll(body)
+		body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		full := append(h.Marshal(), got...)
+		if !bytes.Equal(full, want) {
+			t.Fatalf("shard %d: stored bytes differ (got %d, want %d)", i, len(full), len(want))
+		}
+		rep, err := store.Scrub("obj", i)
+		if err != nil || rep.Status != shardfile.ShardOK {
+			t.Fatalf("scrub shard %d: %v %v", i, rep.Status, err)
+		}
+	}
+	names, err := store.Objects()
+	if err != nil || len(names) != 1 || names[0] != "obj" {
+		t.Fatalf("objects = %v, %v", names, err)
+	}
+	if err := store.Delete("obj", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := store.Get("obj", 0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("get deleted shard: %v, want ErrNotFound", err)
+	}
+	// Deleting again is idempotent.
+	if err := store.Delete("obj", 0); err != nil {
+		t.Fatalf("re-delete: %v", err)
+	}
+}
+
+func TestStoreRejectsBadUploads(t *testing.T) {
+	store, err := OpenStore(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := encodeShards(t, 2, 1, testPayload(5_000))
+
+	// Index mismatch: shard 1's header uploaded to slot 0.
+	if err := store.Put("obj", 0, bytes.NewReader(shards[1])); !errors.Is(err, ErrBadShard) {
+		t.Fatalf("index-mismatch put: %v, want ErrBadShard", err)
+	}
+	// Truncated body.
+	if err := store.Put("obj", 0, bytes.NewReader(shards[0][:len(shards[0])-10])); !errors.Is(err, ErrBadShard) {
+		t.Fatalf("truncated put: %v, want ErrBadShard", err)
+	}
+	// Corrupt header (self-CRC fails).
+	bad := append([]byte(nil), shards[0]...)
+	bad[8] ^= 0xff
+	if err := store.Put("obj", 0, bytes.NewReader(bad)); !errors.Is(err, ErrBadShard) {
+		t.Fatalf("bad-header put: %v, want ErrBadShard", err)
+	}
+	// Unusable object names ("../escape" is fine — it percent-encodes
+	// to a safe directory name — but "." and "" cannot).
+	if err := store.Put(".", 0, bytes.NewReader(shards[0])); !errors.Is(err, ErrBadShard) {
+		t.Fatalf("dot put: %v, want ErrBadShard", err)
+	}
+	if err := store.Put("", 0, bytes.NewReader(shards[0])); !errors.Is(err, ErrBadShard) {
+		t.Fatalf("empty-name put: %v, want ErrBadShard", err)
+	}
+	// Nothing got persisted.
+	names, err := store.Objects()
+	if err != nil || len(names) != 0 {
+		t.Fatalf("objects after rejected puts = %v, %v", names, err)
+	}
+}
+
+// denyAll is an Admitter that rejects every request.
+type denyAll struct{}
+
+func (denyAll) Admit(context.Context, string, float64) error {
+	return errors.New("bucket empty")
+}
+
+func TestServerHTTPRoundTrip(t *testing.T) {
+	reg := obs.NewRegistry()
+	store, err := OpenStore(t.TempDir(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(store, nil, reg).Handler())
+	defer ts.Close()
+	cli := NewClient(ts.URL)
+	ctx := context.Background()
+
+	shards := encodeShards(t, 2, 1, testPayload(20_000))
+	for i, b := range shards {
+		if err := cli.PutShard(ctx, "http-obj", i, bytes.NewReader(b)); err != nil {
+			t.Fatalf("put shard %d: %v", i, err)
+		}
+	}
+	h, body, err := cli.OpenShard(ctx, "http-obj", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks, err := io.ReadAll(body)
+	body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := append(h.Marshal(), blocks...); !bytes.Equal(got, shards[1]) {
+		t.Fatalf("fetched shard differs: %d vs %d bytes", len(got), len(shards[1]))
+	}
+	st, err := cli.StatShard(ctx, "http-obj", 2)
+	if err != nil || st.Index != 2 || st.K != 2 || st.M != 1 {
+		t.Fatalf("stat = %+v, %v", st, err)
+	}
+	sc, err := cli.ScrubShard(ctx, "http-obj", 0)
+	if err != nil || sc.Damaged {
+		t.Fatalf("scrub = %+v, %v", sc, err)
+	}
+	names, err := cli.Objects(ctx)
+	if err != nil || len(names) != 1 || names[0] != "http-obj" {
+		t.Fatalf("objects = %v, %v", names, err)
+	}
+	if _, _, err := cli.OpenShard(ctx, "nope", 0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing shard: %v, want ErrNotFound", err)
+	}
+	if err := cli.DeleteShard(ctx, "http-obj", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.StatShard(ctx, "http-obj", 0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("stat deleted: %v, want ErrNotFound", err)
+	}
+}
+
+func TestServerAdmissionThrottles(t *testing.T) {
+	reg := obs.NewRegistry()
+	store, err := OpenStore(t.TempDir(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(store, denyAll{}, reg).Handler())
+	defer ts.Close()
+
+	_, err = NewClient(ts.URL).Objects(context.Background())
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusTooManyRequests {
+		t.Fatalf("throttled request: %v, want 429 StatusError", err)
+	}
+	if !se.Transient() {
+		t.Fatal("429 must be transient so shard readers retry instead of dying")
+	}
+	if got := reg.Counter("node_throttled_total", "", obs.Label{Key: "class", Value: ClassForeground}).Value(); got != 1 {
+		t.Fatalf("node_throttled_total = %d, want 1", got)
+	}
+}
+
+func TestClientNetErrorsAreTransient(t *testing.T) {
+	cli := NewClient("127.0.0.1:1") // nothing listens here
+	_, err := cli.Objects(context.Background())
+	var ne *NetError
+	if !errors.As(err, &ne) {
+		t.Fatalf("connection-refused error: %v, want NetError", err)
+	}
+	if !ne.Transient() {
+		t.Fatal("transport failures must be transient")
+	}
+}
+
+func TestServeGracefulShutdown(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+		started <- struct{}{}
+		<-release
+		fmt.Fprint(w, "done")
+	})
+
+	ts := httptest.NewUnstartedServer(nil)
+	ln := ts.Listener
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() {
+		served <- Serve(ctx, &http.Server{Handler: mux}, ln, 0)
+	}()
+
+	// Start an in-flight request, then trigger shutdown while it hangs.
+	resp := make(chan error, 1)
+	go func() {
+		r, err := http.Get("http://" + ln.Addr().String() + "/slow")
+		if err == nil {
+			b, _ := io.ReadAll(r.Body)
+			r.Body.Close()
+			if string(b) != "done" {
+				err = fmt.Errorf("body = %q", b)
+			}
+		}
+		resp <- err
+	}()
+	<-started
+	cancel()
+	close(release) // let the handler finish inside the drain window
+
+	if err := <-served; err != nil {
+		t.Fatalf("Serve returned %v, want nil on clean drain", err)
+	}
+	if err := <-resp; err != nil {
+		t.Fatalf("in-flight request failed across shutdown: %v", err)
+	}
+}

@@ -1,0 +1,281 @@
+// Package node is the data plane of the dialga shard service: a
+// disk-backed shard store, an HTTP server exposing it (put / get /
+// stat / scrub / delete per shard, plus object listing, /metrics and
+// /healthz), a client for talking to peers, and a graceful-shutdown
+// serving helper.
+//
+// A node knows nothing about placement, routing, or repair — that is
+// internal/cluster's control plane, layered on top of the client. The
+// wire format is deliberately dumb: a shard travels as the exact
+// shardfile bytes (v3 header + checksummed blocks) that dialga-encode
+// writes to disk, so the store can validate uploads with the header
+// self-CRC and byte count alone, `dialga-inspect -verify` can scrub a
+// node's data directory directly, and a shard fetched over HTTP can be
+// fed straight into the streaming decoder.
+package node
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"dialga/internal/obs"
+	"dialga/internal/shardfile"
+)
+
+// ErrNotFound reports a shard or object the store does not hold.
+var ErrNotFound = errors.New("node: shard not found")
+
+// ErrBadShard reports an upload rejected by validation: unparseable
+// header, index mismatch, or a byte count that disagrees with the
+// header.
+var ErrBadShard = errors.New("node: invalid shard upload")
+
+// Store is a node's local shard storage: one directory per object
+// (name percent-encoded), shard files laid out by shardfile.Path
+// inside it. Writes are atomic (temp file + rename), so a crashed or
+// abandoned upload never leaves a half-written shard where the scrub
+// or a reader could trip over it. Safe for concurrent use.
+type Store struct {
+	dir string
+
+	mu  sync.Mutex // serializes multi-step directory mutations (delete-last-shard cleanup)
+	tmp uint64     // temp-file sequence
+
+	puts    *obs.Counter // node_store_puts_total
+	gets    *obs.Counter // node_store_gets_total
+	deletes *obs.Counter // node_store_deletes_total
+	rejects *obs.Counter // node_store_rejected_total
+	shards  *obs.Gauge   // node_store_shards
+}
+
+// OpenStore creates (if needed) and opens a shard store rooted at dir.
+// A non-nil reg receives the store's node_store_* series.
+func OpenStore(dir string, reg *obs.Registry) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{
+		dir: dir,
+		puts: reg.Counter("node_store_puts_total",
+			"Shard files accepted and committed to the local store."),
+		gets: reg.Counter("node_store_gets_total",
+			"Shard files opened for reading from the local store."),
+		deletes: reg.Counter("node_store_deletes_total",
+			"Shard files deleted from the local store."),
+		rejects: reg.Counter("node_store_rejected_total",
+			"Shard uploads rejected by header or size validation."),
+		shards: reg.Gauge("node_store_shards",
+			"Shard files currently held by the local store."),
+	}
+	n, err := s.countShards()
+	if err != nil {
+		return nil, err
+	}
+	s.shards.Set(float64(n))
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// objectDir maps an object name to its directory, percent-encoding
+// anything that could escape the store root. Empty names and names
+// that encode to path navigation are rejected.
+func (s *Store) objectDir(object string) (string, error) {
+	if object == "" {
+		return "", fmt.Errorf("%w: empty object name", ErrBadShard)
+	}
+	enc := url.PathEscape(object)
+	if enc == "." || enc == ".." || strings.ContainsAny(enc, "/\\") {
+		return "", fmt.Errorf("%w: unusable object name %q", ErrBadShard, object)
+	}
+	return filepath.Join(s.dir, enc), nil
+}
+
+func (s *Store) countShards() (int, error) {
+	objects, err := s.Objects()
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, o := range objects {
+		dir, err := s.objectDir(o)
+		if err != nil {
+			continue
+		}
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			continue
+		}
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasPrefix(e.Name(), "shard.") {
+				n++
+			}
+		}
+	}
+	return n, nil
+}
+
+// Put validates and atomically commits one shard upload: the body must
+// be exact shardfile bytes whose header parses, whose index matches
+// idx, and whose length matches the header's expected file size.
+// Anything else is rejected with ErrBadShard and leaves no trace on
+// disk. An existing shard at the slot is replaced atomically.
+func (s *Store) Put(object string, idx int, body io.Reader) error {
+	dir, err := s.objectDir(object)
+	if err != nil {
+		s.rejects.Inc()
+		return err
+	}
+	h, err := shardfile.Parse(body)
+	if err != nil {
+		s.rejects.Inc()
+		return fmt.Errorf("%w: %v", ErrBadShard, err)
+	}
+	if int(h.Index) != idx {
+		s.rejects.Inc()
+		return fmt.Errorf("%w: header says shard %d, uploaded to slot %d", ErrBadShard, h.Index, idx)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.tmp++
+	tmp := filepath.Join(dir, fmt.Sprintf(".put-%d-%d.tmp", idx, s.tmp))
+	s.mu.Unlock()
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp) // no-op after a successful rename
+	if _, err := f.Write(h.Marshal()); err != nil {
+		f.Close()
+		return err
+	}
+	want := h.ExpectedFileSize() - int64(h.HeaderSize())
+	n, err := io.Copy(f, body)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	if n != want {
+		s.rejects.Inc()
+		os.Remove(tmp)
+		os.Remove(dir) // only removes an object dir the rejected put created empty
+		return fmt.Errorf("%w: body carried %d block bytes, header wants %d", ErrBadShard, n, want)
+	}
+	path := shardfile.Path(dir, idx)
+	existed := false
+	if _, err := os.Stat(path); err == nil {
+		existed = true
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	s.puts.Inc()
+	if !existed {
+		s.shards.Add(1)
+	}
+	return nil
+}
+
+// Get opens a shard for reading, returning its parsed header and a
+// reader positioned at the first block (the header bytes already
+// consumed). The caller must Close the reader.
+func (s *Store) Get(object string, idx int) (shardfile.Header, io.ReadCloser, error) {
+	dir, err := s.objectDir(object)
+	if err != nil {
+		return shardfile.Header{}, nil, err
+	}
+	f, err := os.Open(shardfile.Path(dir, idx))
+	if err != nil {
+		if os.IsNotExist(err) {
+			err = fmt.Errorf("%w: %s/%d", ErrNotFound, object, idx)
+		}
+		return shardfile.Header{}, nil, err
+	}
+	h, err := shardfile.Parse(f)
+	if err != nil {
+		f.Close()
+		return shardfile.Header{}, nil, fmt.Errorf("stored shard %s/%d unreadable: %w", object, idx, err)
+	}
+	s.gets.Inc()
+	return h, f, nil
+}
+
+// Stat parses and returns a stored shard's header without reading its
+// blocks.
+func (s *Store) Stat(object string, idx int) (shardfile.Header, error) {
+	h, r, err := s.Get(object, idx)
+	if err != nil {
+		return shardfile.Header{}, err
+	}
+	r.Close()
+	return h, nil
+}
+
+// Scrub runs the shared shardfile scrub over one stored shard,
+// verifying the header, size, and every block trailer.
+func (s *Store) Scrub(object string, idx int) (shardfile.ShardReport, error) {
+	dir, err := s.objectDir(object)
+	if err != nil {
+		return shardfile.ShardReport{}, err
+	}
+	rep := shardfile.ScrubFile(shardfile.Path(dir, idx))
+	rep.Index = idx
+	return rep, nil
+}
+
+// Delete removes a shard; deleting the object's last shard removes its
+// directory. Deleting a shard that is not there is not an error.
+func (s *Store) Delete(object string, idx int) error {
+	dir, err := s.objectDir(object)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err = os.Remove(shardfile.Path(dir, idx))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	s.deletes.Inc()
+	s.shards.Add(-1)
+	// Opportunistic cleanup; fails harmlessly while shards remain.
+	os.Remove(dir)
+	return nil
+}
+
+// Objects lists the object names with at least one shard stored here,
+// sorted.
+func (s *Store) Objects() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name, err := url.PathUnescape(e.Name())
+		if err != nil {
+			continue // foreign directory; not ours to report
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}

@@ -11,11 +11,6 @@ import (
 	"dialga/internal/obs"
 )
 
-// ewmaAlpha is the weight of the newest block-read latency sample in a
-// shard's moving average: heavy enough to react to a shard turning
-// slow within a few stripes, light enough to ride out one hiccup.
-const ewmaAlpha = 0.25
-
 // shardMeta is the gather loop's per-shard state. It is owned by the
 // single consumer goroutine; the shard goroutines never touch it.
 type shardMeta struct {
@@ -29,8 +24,7 @@ type shardMeta struct {
 	late           *lateSlot
 	lateSeq        int64
 
-	ewma    float64 // block-read latency EWMA, microseconds
-	samples uint64
+	ewma EWMA // block-read latency tracker
 
 	misses    int // consecutive adaptive-deadline misses (breaker input)
 	trips     int // total breaker trips (sets the cooldown backoff)
@@ -45,14 +39,8 @@ type shardMeta struct {
 }
 
 func (m *shardMeta) observe(d time.Duration) {
-	us := float64(d) / float64(time.Microsecond)
-	if m.samples == 0 {
-		m.ewma = us
-	} else {
-		m.ewma = ewmaAlpha*us + (1-ewmaAlpha)*m.ewma
-	}
-	m.samples++
-	m.ewmaG.Set(m.ewma)
+	m.ewma.Observe(d)
+	m.ewmaG.Set(m.ewma.Micros())
 }
 
 // Group schedules block reads across a stripe's shard readers. Create
@@ -175,8 +163,8 @@ func (g *Group) deadline() (time.Duration, bool) {
 	ewmas := make([]float64, 0, g.n)
 	for i := range g.sh {
 		m := &g.sh[i]
-		if m.samples > 0 && !m.missing && !m.dead && !m.eof {
-			ewmas = append(ewmas, m.ewma)
+		if m.ewma.Samples() > 0 && !m.missing && !m.dead && !m.eof {
+			ewmas = append(ewmas, m.ewma.Micros())
 		}
 	}
 	if len(ewmas) == 0 {

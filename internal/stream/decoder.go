@@ -123,6 +123,19 @@ func (d *Decoder) Decode(ctx context.Context, shards []io.Reader, w io.Writer, s
 		wantStripes = (size + int64(d.g.stripeSize) - 1) / int64(d.g.stripeSize)
 	}
 
+	if d.g.closeRead {
+		// Closed after grp.Close (LIFO defers): closing a body whose
+		// shard goroutine is still blocked in Read unblocks that Read,
+		// so abandoned straggler connections are released promptly
+		// instead of leaking until the remote end gives up.
+		defer func() {
+			for _, r := range shards {
+				if c, ok := r.(io.Closer); ok {
+					c.Close()
+				}
+			}
+		}()
+	}
 	grp, err := shardio.NewGroup(shards, d.g.straggler)
 	if err != nil {
 		return err

@@ -194,6 +194,16 @@ type Options struct {
 	// underneath) reproducible.
 	Seed uint64
 
+	// CloseReaders, on decode, closes every shard reader that
+	// implements io.Closer when Decode returns — including readers a
+	// hedged stripe abandoned mid-Read. Network sources (HTTP response
+	// bodies) need this: without it a decoder that reconstructed
+	// around a straggler would leak the straggler's connection until
+	// its read happened to finish. The readers' Close must be safe to
+	// call concurrently with a blocked Read (http.Response.Body is);
+	// that is exactly how a stuck remote read gets unblocked promptly.
+	CloseReaders bool
+
 	// Metrics, when non-nil, is the observability registry the
 	// pipeline registers its counter/gauge/histogram series in
 	// (stream_* series labelled by pipeline direction, shardio_*
@@ -224,6 +234,7 @@ type geom struct {
 	trailer    int             // trailer bytes per shard block (0 or crcSize)
 	blockSize  int             // shardSize + trailer: bytes on the wire per shard per stripe
 	straggler  shardio.Options // validated shard-I/O scheduling config (decoder)
+	closeRead  bool            // close closable shard readers when Decode returns
 	metrics    *obs.Registry   // nil: each pipeline gets a private registry
 	trace      *obs.Tracer     // nil: tracing off
 }
@@ -292,6 +303,7 @@ func (o Options) geometry() (geom, error) {
 		trailer:    trailer,
 		blockSize:  shard + trailer,
 		straggler:  straggler,
+		closeRead:  o.CloseReaders,
 		metrics:    o.Metrics,
 		trace:      o.Trace,
 	}, nil
