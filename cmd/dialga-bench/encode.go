@@ -1,0 +1,246 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"dialga/internal/rs"
+	"dialga/internal/stream"
+)
+
+// encodeConfig is the fixed geometry of the -encode sweep. Every row
+// encodes the same seeded payload through the streaming encoder with a
+// single worker, so the fused/two-pass ratio measures the codec sweep
+// itself rather than scheduling noise.
+type encodeConfig struct {
+	Ks         []int `json:"ks"`
+	M          int   `json:"m"`
+	ShardSize  int   `json:"shard_size"`
+	PayloadMiB int   `json:"payload_mib"`
+	Rounds     int   `json:"rounds"` // best-of-N wall-clock rounds per row
+	Workers    int   `json:"workers"`
+	Seed       int64 `json:"seed"`
+	Quick      bool  `json:"quick"`
+}
+
+// encodeRow is one (k, checksum, path) cell of the sweep.
+type encodeRow struct {
+	K        int     `json:"k"`
+	M        int     `json:"m"`
+	Checksum string  `json:"checksum"` // "crc32c" | "none"
+	Fused    bool    `json:"fused"`
+	MBPerSec float64 `json:"mb_per_s"`
+	MsPerOp  float64 `json:"ms_per_op"`
+}
+
+// encodeSpeedup is the headline derived metric: fused over two-pass
+// throughput at one geometry, checksum on. The CI gate compares the
+// RS(10,4) entry against the committed baseline.
+type encodeSpeedup struct {
+	K     int     `json:"k"`
+	M     int     `json:"m"`
+	Ratio float64 `json:"fused_over_twopass"`
+}
+
+type encodeReport struct {
+	Config   encodeConfig    `json:"config"`
+	Rows     []encodeRow     `json:"rows"`
+	Speedups []encodeSpeedup `json:"speedups"`
+}
+
+// seededPayload fills a deterministic pseudo-random buffer; content is
+// irrelevant to timing but keeps runs byte-for-byte comparable.
+func seededPayload(n int, seed int64) []byte {
+	p := make([]byte, n)
+	st := uint64(seed)
+	for i := range p {
+		st = st*6364136223846793005 + 1442695040888963407
+		p[i] = byte(st >> 56)
+	}
+	return p
+}
+
+// benchEncode times one encoder configuration over the payload and
+// returns the best-of-rounds throughput.
+func benchEncode(cfg encodeConfig, payload []byte, k int, sum stream.Checksum, disableFused bool) (encodeRow, error) {
+	code, err := rs.New(k, cfg.M)
+	if err != nil {
+		return encodeRow{}, err
+	}
+	opts := stream.Options{
+		Codec:        code,
+		StripeSize:   k * cfg.ShardSize,
+		Workers:      cfg.Workers,
+		Checksum:     sum,
+		DisableFused: disableFused,
+	}
+	enc, err := stream.NewEncoder(opts)
+	if err != nil {
+		return encodeRow{}, err
+	}
+	writers := make([]io.Writer, enc.Shards())
+	for i := range writers {
+		writers[i] = io.Discard
+	}
+	best := time.Duration(1<<62 - 1)
+	for r := 0; r < cfg.Rounds; r++ {
+		start := time.Now()
+		if err := enc.Encode(context.Background(), bytes.NewReader(payload), writers); err != nil {
+			return encodeRow{}, err
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	name := "crc32c"
+	if sum == stream.ChecksumNone {
+		name = "none"
+	}
+	return encodeRow{
+		K: k, M: cfg.M, Checksum: name, Fused: !disableFused && enc.Fused(),
+		MBPerSec: float64(len(payload)) / (1 << 20) / best.Seconds(),
+		MsPerOp:  float64(best) / float64(time.Millisecond),
+	}, nil
+}
+
+// runEncodeBench sweeps k in {4,10,16,24} x checksum {crc32c,none} x
+// {fused, two-pass}, emitting the BENCH_fused.json report. fusedMode
+// narrows the sweep: "on" benches only the fused path, "off" only the
+// legacy two-pass path (the escape hatch), "both" (default) benches
+// both and derives fused/two-pass speedups. gatePath, when non-empty,
+// compares the RS(10,4) checksum-on speedup against a committed
+// baseline report and fails if it regressed by more than 10%.
+func runEncodeBench(quick, asJSON bool, fusedMode, gatePath string) error {
+	// 1 MiB shards put each stripe (4-24 MiB) past the LLC, which is
+	// where eliminating the second sweep pays — with cache-resident
+	// stripes the hardware-CRC trailer pass is nearly free and fused
+	// vs two-pass measures as noise.
+	cfg := encodeConfig{
+		Ks: []int{4, 10, 16, 24}, M: 4, ShardSize: 1 << 20,
+		PayloadMiB: 64, Rounds: 3, Workers: 1, Seed: 42, Quick: quick,
+	}
+	if quick {
+		cfg.PayloadMiB, cfg.Rounds, cfg.ShardSize = 16, 2, 256<<10
+	}
+
+	var paths []bool // disableFused values to sweep
+	switch fusedMode {
+	case "both":
+		paths = []bool{true, false} // two-pass first: baseline before candidate
+	case "on":
+		paths = []bool{false}
+	case "off":
+		paths = []bool{true}
+	default:
+		return fmt.Errorf("-fused=%q: want on, off or both", fusedMode)
+	}
+
+	report := encodeReport{Config: cfg}
+	for _, k := range cfg.Ks {
+		// Same byte count per row regardless of k: whole stripes only,
+		// so no row pays a ragged-tail stripe the others don't.
+		stripe := k * cfg.ShardSize
+		n := (cfg.PayloadMiB << 20) / stripe * stripe
+		payload := seededPayload(n, cfg.Seed)
+		for _, sum := range []stream.Checksum{stream.ChecksumCRC32C, stream.ChecksumNone} {
+			for _, disable := range paths {
+				if sum == stream.ChecksumNone && !disable {
+					// No trailers: the fused sweep never engages, the
+					// row would duplicate the two-pass one.
+					continue
+				}
+				row, err := benchEncode(cfg, payload, k, sum, disable)
+				if err != nil {
+					return fmt.Errorf("encode bench k=%d: %w", k, err)
+				}
+				report.Rows = append(report.Rows, row)
+			}
+		}
+	}
+
+	if fusedMode == "both" {
+		byKey := map[string]float64{}
+		for _, r := range report.Rows {
+			if r.Checksum == "crc32c" {
+				byKey[fmt.Sprintf("%d/%v", r.K, r.Fused)] = r.MBPerSec
+			}
+		}
+		for _, k := range cfg.Ks {
+			two, fused := byKey[fmt.Sprintf("%d/false", k)], byKey[fmt.Sprintf("%d/true", k)]
+			if two > 0 && fused > 0 {
+				report.Speedups = append(report.Speedups, encodeSpeedup{K: k, M: cfg.M, Ratio: fused / two})
+			}
+		}
+	}
+
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			return err
+		}
+	} else {
+		fmt.Printf("encode sweep: m=%d shard=%dKiB payload=%dMiB workers=%d best-of-%d\n",
+			cfg.M, cfg.ShardSize>>10, cfg.PayloadMiB, cfg.Workers, cfg.Rounds)
+		fmt.Printf("  %-10s %-8s %-8s %12s %10s\n", "geometry", "checksum", "path", "MB/s", "ms/op")
+		for _, r := range report.Rows {
+			path := "two-pass"
+			if r.Fused {
+				path = "fused"
+			}
+			fmt.Printf("  RS(%d,%d)   %-8s %-8s %12.0f %10.1f\n", r.K, r.M, r.Checksum, path, r.MBPerSec, r.MsPerOp)
+		}
+		for _, s := range report.Speedups {
+			fmt.Printf("  RS(%d,%d) crc32c fused/two-pass: %.2fx\n", s.K, s.M, s.Ratio)
+		}
+	}
+
+	if gatePath != "" {
+		return gateEncode(report, gatePath)
+	}
+	return nil
+}
+
+// gateEncode fails when the RS(10,4) checksum-on fused/two-pass
+// speedup regressed more than 10% against the committed baseline
+// report. Gating on the ratio rather than absolute MB/s keeps the
+// check meaningful on shared CI runners with wildly varying hardware.
+func gateEncode(cur encodeReport, baselinePath string) error {
+	const gateK, tolerance = 10, 0.90
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("gate: read baseline: %w", err)
+	}
+	var base encodeReport
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("gate: parse baseline: %w", err)
+	}
+	find := func(r encodeReport) (float64, bool) {
+		for _, s := range r.Speedups {
+			if s.K == gateK {
+				return s.Ratio, true
+			}
+		}
+		return 0, false
+	}
+	want, ok := find(base)
+	if !ok {
+		return fmt.Errorf("gate: baseline has no RS(%d,*) speedup entry", gateK)
+	}
+	got, ok := find(cur)
+	if !ok {
+		return fmt.Errorf("gate: current run has no RS(%d,*) speedup (need -fused=both)", gateK)
+	}
+	fmt.Fprintf(os.Stderr, "gate: RS(%d,4) fused/two-pass %.2fx vs baseline %.2fx (floor %.2fx)\n",
+		gateK, got, want, want*tolerance)
+	if got < want*tolerance {
+		return fmt.Errorf("gate: fused encode speedup regressed: %.2fx < %.2fx (baseline %.2fx - 10%%)",
+			got, want*tolerance, want)
+	}
+	return nil
+}

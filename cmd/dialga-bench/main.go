@@ -7,6 +7,10 @@
 //	dialga-bench -all -quick         # fast smoke run (shapes untrusted)
 //	dialga-bench -straggler          # hedged vs plain decode under one slow shard
 //	dialga-bench -straggler -json    # same, machine-readable
+//	dialga-bench -encode             # fused vs two-pass encode sweep
+//	dialga-bench -encode -fused=off  # legacy two-pass path only (escape hatch)
+//	dialga-bench -encode -json -gate ci/bench_fused_baseline.json
+//	                                 # machine-readable + regression gate
 //	dialga-bench -cluster            # in-process 6-node cluster lifecycle:
 //	                                 # put/get, kill 2 nodes, degraded get, repair
 //	dialga-bench -serve :8080        # loop the straggler workload and expose
@@ -35,14 +39,25 @@ func main() {
 		verbose   = flag.Bool("v", false, "log each run")
 		list      = flag.Bool("list", false, "list figure ids")
 		straggler = flag.Bool("straggler", false, "benchmark hedged vs plain decode with one slow shard")
+		encodeB   = flag.Bool("encode", false, "benchmark fused vs two-pass encode across k and checksum settings")
+		fusedMode = flag.String("fused", "both", "with -encode: sweep the fused path (on), the legacy two-pass path (off), or both")
+		gate      = flag.String("gate", "", "with -encode: baseline BENCH_fused.json; fail if the RS(10,4) fused speedup regressed >10%")
 		clusterB  = flag.Bool("cluster", false, "benchmark an in-process 6-node cluster: put/get, kill, degraded get, repair")
-		asJSON    = flag.Bool("json", false, "with -straggler/-cluster: emit JSON instead of text")
+		asJSON    = flag.Bool("json", false, "with -straggler/-cluster/-encode: emit JSON instead of text")
 		serve     = flag.String("serve", "", "loop the straggler workload and serve /metrics, /debug/trace and pprof on this address (e.g. :8080)")
 	)
 	flag.Parse()
 
 	if *serve != "" {
 		if err := runServe(*serve, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *encodeB {
+		if err := runEncodeBench(*quick, *asJSON, *fusedMode, *gate); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -61,6 +61,30 @@ func (c *Codec) Encode(data, parity [][]byte) error { return c.code.Encode(data,
 // EncodeAppend allocates and returns the parity blocks for data.
 func (c *Codec) EncodeAppend(data [][]byte) ([][]byte, error) { return c.code.EncodeAppend(data) }
 
+// EncodeSum is the fused single-pass variant of Encode: it fills
+// parity and returns the CRC-32C (Castagnoli) of every block — k data
+// sums then m parity sums — folded tile-by-tile during the encode
+// sweep while each tile is still cache-resident, instead of a second
+// pass over all k+m blocks.
+func (c *Codec) EncodeSum(data, parity [][]byte) ([]uint32, error) {
+	return c.code.EncodeSum(data, parity)
+}
+
+// EncodeSumInto is EncodeSum writing the k+m checksums into
+// caller-provided sums; it allocates nothing. The streaming encoder
+// uses it automatically for its checksum trailers.
+func (c *Codec) EncodeSumInto(sums []uint32, data, parity [][]byte) error {
+	return c.code.EncodeSumInto(sums, data, parity)
+}
+
+// ReconstructSum is Reconstruct with fused checksums: rebuilt blocks
+// additionally get their CRC-32C written to the matching entries of
+// sums (len k+m); entries for blocks that were already present are
+// left untouched.
+func (c *Codec) ReconstructSum(blocks [][]byte, sums []uint32) error {
+	return c.code.ReconstructSum(blocks, sums)
+}
+
 // Reconstruct repairs a stripe in place: blocks holds k+m entries in
 // stripe order with nil for missing blocks (at most m may be nil).
 func (c *Codec) Reconstruct(blocks [][]byte) error { return c.code.Reconstruct(blocks) }

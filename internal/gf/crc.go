@@ -1,0 +1,29 @@
+package gf
+
+import "hash/crc32"
+
+// CRC-32C (Castagnoli) helpers for the fused encode+checksum path.
+//
+// The tiled encode plan in internal/rs folds the per-block CRC into the
+// same 4 KiB tile sweep that computes parity, so each stripe is read
+// once while L1-resident instead of once for GF math and once for the
+// trailer pass. These wrappers exist so every layer (rs plan sweep,
+// stream trailers, shardfile headers and scrub) shares one table and
+// one spelling of "Castagnoli"; hash/crc32 dispatches to the hardware
+// CRC32 instruction on amd64/arm64, so an incremental tile-sized Update
+// costs the same per byte as one big Checksum.
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// CRC32C returns the CRC-32C (Castagnoli) checksum of p.
+func CRC32C(p []byte) uint32 {
+	return crc32.Checksum(p, castagnoli)
+}
+
+// CRC32CUpdate folds p into a running CRC-32C: feeding consecutive
+// slices of a block through CRC32CUpdate (starting from 0) yields
+// exactly CRC32C of the concatenation, which is what lets the encode
+// plan checksum tile-by-tile.
+func CRC32CUpdate(crc uint32, p []byte) uint32 {
+	return crc32.Update(crc, castagnoli, p)
+}

@@ -150,6 +150,18 @@ func RefMulSliceAdd(c byte, dst, src []byte) {
 	}
 }
 
+// RefMulSliceXor is the scalar reference for MulSliceXor:
+// dst[i] = a[i] ^ c*b[i], one table lookup per byte.
+func RefMulSliceXor(c byte, dst, a, b []byte) {
+	if len(dst) != len(a) || len(dst) != len(b) {
+		panic("gf: RefMulSliceXor length mismatch")
+	}
+	row := &mulTable[c]
+	for i := range dst {
+		dst[i] = a[i] ^ row[b[i]]
+	}
+}
+
 // RefDotSlice is the scalar reference for DotSlice: a zeroed destination
 // accumulated with one RefMulSliceAdd pass per source.
 func RefDotSlice(coeffs []byte, dst []byte, srcs [][]byte) {

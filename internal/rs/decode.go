@@ -3,6 +3,7 @@ package rs
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // maxDecodeEntries bounds the per-Code decode-plan cache. Real stripes
@@ -35,22 +36,28 @@ func erasureKeyOf(blocks [][]byte) (erasureKey, int) {
 // survivor blocks chosen as sources, plus fused plans for the missing
 // data rows (inverted-submatrix coefficients over the survivors) and the
 // missing parity rows (generator coefficients over the repaired data).
-// Entries are immutable once built and shared across goroutines.
+// Entries are immutable once built and shared across goroutines; used is
+// the LRU stamp, refreshed on every cache hit.
 type decodeEntry struct {
 	chosen        []int // k survivor stripe indices, ascending
 	missingData   []int
 	missingParity []int
 	dataPlan      *encodePlan // nil when no data block is missing
 	parityPlan    *encodePlan // nil when no parity block is missing
+	used          atomic.Uint64
 }
 
 // decodeEntryFor returns the cached decoder for the erasure pattern,
-// building and inserting it on first use.
+// building and inserting it on first use. Every hit refreshes the
+// entry's LRU stamp, and a full cache evicts the least-recently-used
+// entry — so the steady-state pattern of a failed device is never
+// displaced by a churn of one-off patterns.
 func (c *Code) decodeEntryFor(key erasureKey) (*decodeEntry, error) {
 	c.mu.RLock()
 	e := c.decode[key]
 	c.mu.RUnlock()
 	if e != nil {
+		e.used.Store(c.useClock.Add(1))
 		return e, nil
 	}
 	e, err := c.buildDecodeEntry(key)
@@ -62,14 +69,20 @@ func (c *Code) decodeEntryFor(key erasureKey) (*decodeEntry, error) {
 		e = prev // lost a build race; keep the established entry
 	} else {
 		if len(c.decode) >= maxDecodeEntries {
-			for k := range c.decode {
-				delete(c.decode, k)
-				break
+			var coldKey erasureKey
+			coldUsed := uint64(0)
+			first := true
+			for k, cand := range c.decode {
+				if u := cand.used.Load(); first || u < coldUsed {
+					coldKey, coldUsed, first = k, u, false
+				}
 			}
+			delete(c.decode, coldKey)
 		}
 		c.decode[key] = e
 	}
 	c.mu.Unlock()
+	e.used.Store(c.useClock.Add(1))
 	return e, nil
 }
 
@@ -108,13 +121,41 @@ func (c *Code) buildDecodeEntry(key erasureKey) (*decodeEntry, error) {
 
 // reconScratch pools the small gather slices a reconstruction needs, so
 // the steady-state repair path performs no allocations beyond output
-// buffers the caller did not supply.
+// buffers the caller did not supply. sums is the dense CRC accumulator
+// the fused ReconstructSum path sweeps into before scattering to the
+// caller's stripe-indexed slice.
 type reconScratch struct {
 	srcs [][]byte
 	dsts [][]byte
+	sums []uint32
 }
 
 var reconPool = sync.Pool{New: func() any { return new(reconScratch) }}
+
+// sumViews returns a zeroed dense CRC accumulator with one slot per
+// rebuilt index, or nil when the caller asked for no sums.
+func (s *reconScratch) sumViews(sums []uint32, idxs []int) []uint32 {
+	if sums == nil {
+		return nil
+	}
+	if cap(s.sums) < len(idxs) {
+		s.sums = make([]uint32, len(idxs))
+	}
+	s.sums = s.sums[:len(idxs)]
+	clear(s.sums)
+	return s.sums
+}
+
+// scatterSums copies the dense accumulator back to the caller's
+// stripe-indexed sums.
+func (s *reconScratch) scatterSums(sums []uint32, idxs []int) {
+	if sums == nil {
+		return
+	}
+	for i, idx := range idxs {
+		sums[idx] = s.sums[i]
+	}
+}
 
 func (s *reconScratch) release() {
 	clear(s.srcs) // drop references to caller blocks

@@ -177,6 +177,71 @@ func TestDecodeCacheEviction(t *testing.T) {
 	}
 }
 
+// TestDecodeCacheLRU pins the eviction policy: a hot erasure pattern —
+// touched between every batch of one-off patterns, the way a failed
+// device's pattern recurs on every stripe — must survive arbitrary
+// churn, and its compiled entry must never be rebuilt.
+func TestDecodeCacheLRU(t *testing.T) {
+	const k, m, size = 16, 4, 64
+	c, err := New(k, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(49))
+	data, parity := makeStripe(r, k, m, size)
+	if err := c.Encode(data, parity); err != nil {
+		t.Fatal(err)
+	}
+	repair := func(a, b int) {
+		blocks := make([][]byte, k+m)
+		copy(blocks, data)
+		copy(blocks[k:], parity)
+		blocks[a] = nil
+		if b >= 0 {
+			blocks[b] = nil
+		}
+		if err := c.Reconstruct(blocks); err != nil {
+			t.Fatalf("erase {%d,%d}: %v", a, b, err)
+		}
+	}
+
+	repair(0, -1) // the hot pattern: block 0 missing
+	hotKey, _ := erasureKeyOf(append(append([][]byte{nil}, data[1:]...), parity...))
+	c.mu.RLock()
+	hotEntry := c.decode[hotKey]
+	c.mu.RUnlock()
+	if hotEntry == nil {
+		t.Fatal("hot pattern not cached after first repair")
+	}
+
+	// Churn through 190 one-off two-erasure patterns (~3x the cache
+	// cap), re-touching the hot pattern after every few, the way real
+	// repair traffic interleaves.
+	n := 0
+	for a := 0; a < k+m; a++ {
+		for b := a + 1; b < k+m; b++ {
+			repair(a, b)
+			if n++; n%5 == 0 {
+				repair(0, -1)
+			}
+		}
+	}
+
+	c.mu.RLock()
+	got := c.decode[hotKey]
+	entries := len(c.decode)
+	c.mu.RUnlock()
+	if got == nil {
+		t.Fatal("hot pattern evicted by one-off churn")
+	}
+	if got != hotEntry {
+		t.Fatal("hot pattern was evicted and rebuilt")
+	}
+	if entries > maxDecodeEntries {
+		t.Fatalf("cache grew to %d entries, cap %d", entries, maxDecodeEntries)
+	}
+}
+
 // Steady-state allocation budgets: encode, verify, and update must not
 // allocate at all; reconstruction with caller-supplied buffers must not
 // either once its decode plan is cached.

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"dialga/internal/ecmatrix"
 	"dialga/internal/gf"
@@ -44,8 +45,9 @@ type Code struct {
 	parity *ecmatrix.Matrix // m x k parity rows
 	plan   *encodePlan      // fused tiled encode plan over the parity rows
 
-	mu     sync.RWMutex
-	decode map[erasureKey]*decodeEntry
+	mu       sync.RWMutex
+	decode   map[erasureKey]*decodeEntry
+	useClock atomic.Uint64 // LRU clock for decode-plan eviction
 }
 
 // New constructs an RS code with k data and m parity blocks using a
@@ -175,6 +177,36 @@ func (c *Code) Encode(data, parity [][]byte) error {
 	return nil
 }
 
+// EncodeSum computes parity and the CRC-32C (Castagnoli) checksum of
+// every block of the stripe in a single fused pass, returning k+m sums
+// in stripe order (data 0..k-1, then parity k..k+m-1). Each 4 KiB tile
+// is checksummed while it is L1-resident for the GF sweep, so the
+// stripe is read once instead of once for parity and once for trailers.
+// The sums are bit-identical to gf.CRC32C over each whole block.
+func (c *Code) EncodeSum(data, parity [][]byte) ([]uint32, error) {
+	sums := make([]uint32, c.k+c.m)
+	if err := c.EncodeSumInto(sums, data, parity); err != nil {
+		return nil, err
+	}
+	return sums, nil
+}
+
+// EncodeSumInto is EncodeSum writing into a caller-supplied sums slice
+// of length k+m — the allocation-free form the streaming encoder's
+// workers use. sums is overwritten.
+func (c *Code) EncodeSumInto(sums []uint32, data, parity [][]byte) error {
+	size, err := c.checkEncodeArgs(data, parity)
+	if err != nil {
+		return err
+	}
+	if len(sums) != c.k+c.m {
+		return fmt.Errorf("%w: got %d sums, want k+m=%d", ErrBlockCount, len(sums), c.k+c.m)
+	}
+	clear(sums)
+	c.plan.sweep(parity, data, size, sums[:c.k], sums[c.k:])
+	return nil
+}
+
 // EncodeRef computes the same parity as Encode using the scalar
 // byte-at-a-time reference kernels, one independent dot-product pass per
 // parity row. It is the pre-fused-kernel implementation, retained as the
@@ -234,7 +266,19 @@ func (c *Code) Verify(data, parity [][]byte) (bool, error) {
 // stripes can repair without per-call allocation. At most m entries may
 // be missing.
 func (c *Code) Reconstruct(blocks [][]byte) error {
-	return c.reconstruct(blocks, true)
+	return c.reconstruct(blocks, true, nil)
+}
+
+// ReconstructSum is Reconstruct with fused checksums for the repair
+// path: sums must hold k+m entries, and for every block the call
+// rebuilds, sums[i] is set to the block's CRC-32C folded during the
+// same tile sweep that produced the bytes. Entries for blocks that were
+// already present are left untouched.
+func (c *Code) ReconstructSum(blocks [][]byte, sums []uint32) error {
+	if len(sums) != c.k+c.m {
+		return fmt.Errorf("%w: got %d sums, want k+m=%d", ErrBlockCount, len(sums), c.k+c.m)
+	}
+	return c.reconstruct(blocks, true, sums)
 }
 
 // ReconstructData repairs only the data blocks of a stripe in place,
@@ -242,10 +286,10 @@ func (c *Code) Reconstruct(blocks [][]byte) error {
 // degraded stripe. blocks follows the Reconstruct convention; on return
 // blocks[0:k] are all present.
 func (c *Code) ReconstructData(blocks [][]byte) error {
-	return c.reconstruct(blocks, false)
+	return c.reconstruct(blocks, false, nil)
 }
 
-func (c *Code) reconstruct(blocks [][]byte, withParity bool) error {
+func (c *Code) reconstruct(blocks [][]byte, withParity bool, sums []uint32) error {
 	size, err := checkBlocks(blocks, c.k+c.m)
 	if err != nil {
 		return err
@@ -276,7 +320,8 @@ func (c *Code) reconstruct(blocks [][]byte, withParity bool) error {
 			dsts = append(dsts, blocks[idx])
 		}
 		sc.srcs, sc.dsts = srcs, dsts
-		e.dataPlan.apply(dsts, srcs, size)
+		e.dataPlan.sweep(dsts, srcs, size, nil, sc.sumViews(sums, e.missingData))
+		sc.scatterSums(sums, e.missingData)
 	}
 	if withParity && len(e.missingParity) > 0 {
 		dsts := sc.dsts[:0]
@@ -286,7 +331,8 @@ func (c *Code) reconstruct(blocks [][]byte, withParity bool) error {
 		}
 		sc.dsts = dsts
 		// Data is complete now, so missing parity is plain re-encoding.
-		e.parityPlan.apply(dsts, blocks[:c.k], size)
+		e.parityPlan.sweep(dsts, blocks[:c.k], size, nil, sc.sumViews(sums, e.missingParity))
+		sc.scatterSums(sums, e.missingParity)
 	}
 	sc.release()
 	return nil

@@ -20,10 +20,10 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"path/filepath"
 
+	"dialga/internal/gf"
 	"dialga/internal/stream"
 )
 
@@ -45,8 +45,6 @@ const (
 	// bytes [0, headerCRCOff).
 	headerCRCOff = 44
 )
-
-var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // Algo identifies the per-block checksum trailer of a shard file.
 type Algo uint32
@@ -154,7 +152,7 @@ func (h Header) Marshal() []byte {
 	binary.LittleEndian.PutUint64(buf[32:], h.FileSize)
 	if version >= VersionV3 {
 		binary.LittleEndian.PutUint32(buf[40:], uint32(h.Algo))
-		binary.LittleEndian.PutUint32(buf[headerCRCOff:], crc32.Checksum(buf[:headerCRCOff], castagnoli))
+		binary.LittleEndian.PutUint32(buf[headerCRCOff:], gf.CRC32C(buf[:headerCRCOff]))
 	}
 	return buf
 }
@@ -178,7 +176,7 @@ func Parse(r io.Reader) (Header, error) {
 			return Header{}, fmt.Errorf("v3 header truncated: %w", err)
 		}
 		want := binary.LittleEndian.Uint32(buf[headerCRCOff:])
-		if got := crc32.Checksum(buf[:headerCRCOff], castagnoli); got != want {
+		if got := gf.CRC32C(buf[:headerCRCOff]); got != want {
 			return Header{}, fmt.Errorf("header self-CRC mismatch: computed %#x, stored %#x (corrupt header)", got, want)
 		}
 	default:
@@ -249,7 +247,7 @@ func Scrub(r io.Reader, h Header) (ScrubResult, error) {
 		}
 		res.Stripes++
 		want := binary.LittleEndian.Uint32(block[payload:])
-		if crc32.Checksum(block[:payload], castagnoli) != want {
+		if gf.CRC32C(block[:payload]) != want {
 			res.Corrupt++
 			if len(res.CorruptStripes) < maxCorruptListed {
 				res.CorruptStripes = append(res.CorruptStripes, s)

@@ -13,6 +13,11 @@ import (
 	"dialga/internal/stream"
 )
 
+// castagnoli is the tests' independent CRC-32C table: header and
+// trailer expectations are computed with stdlib hash/crc32 rather
+// than the gf.CRC32C the implementation uses.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
 func mustRS(t testing.TB, k, m int) *rs.Code {
 	t.Helper()
 	c, err := rs.New(k, m)

@@ -3,7 +3,7 @@ package shardio
 import (
 	"context"
 	"io"
-	"sort"
+	"slices"
 	"strconv"
 	"sync"
 	"time"
@@ -19,9 +19,9 @@ type shardMeta struct {
 	deadErr error
 	eof     bool
 
-	outstanding    bool  // a request is in flight
-	outstandingSeq int64 // its stripe
-	late           *lateSlot
+	outstanding    bool      // a request is in flight
+	outstandingSeq int64     // its stripe
+	late           *lateSlot // armed slot of the stripe that hedged past the read
 	lateSeq        int64
 
 	ewma EWMA // block-read latency tracker
@@ -61,6 +61,16 @@ type Group struct {
 	seq int64
 	sh  []shardMeta
 
+	// Steady-state reuse: gathering a stripe — hedged or not — must not
+	// allocate. Stripes cycle through a pool (Release returns them),
+	// the hedge timer is reset rather than recreated, and the gather
+	// loop's awaited flags and the deadline's EWMA gather reuse
+	// group-owned scratch (all owned by the single consumer goroutine).
+	stripes     sync.Pool
+	timer       *time.Timer
+	awaited     []bool
+	ewmaScratch []float64
+
 	// Group-wide registry series; nil (no-op) without Options.Metrics.
 	deadlineG   *obs.Gauge   // shardio_deadline_us: last adaptive deadline
 	hedgedC     *obs.Counter // shardio_hedged_stripes_total
@@ -86,6 +96,7 @@ func NewGroup(readers []io.Reader, opts Options) (*Group, error) {
 		pool:    newBlockPool(opts.BlockSize),
 		stop:    make(chan struct{}),
 		sh:      make([]shardMeta, n),
+		awaited: make([]bool, n),
 	}
 	reg := opts.Metrics
 	g.deadlineG = reg.Gauge("shardio_deadline_us",
@@ -160,7 +171,8 @@ func (g *Group) eligible(i int, now time.Time) bool {
 // median of live shards' latency EWMAs times DeadlineMult, clamped to
 // [HedgeAfter, MaxDeadline]. ok is false until any shard has a sample.
 func (g *Group) deadline() (time.Duration, bool) {
-	ewmas := make([]float64, 0, g.n)
+	ewmas := g.ewmaScratch[:0]
+	defer func() { g.ewmaScratch = ewmas[:0] }()
 	for i := range g.sh {
 		m := &g.sh[i]
 		if m.ewma.Samples() > 0 && !m.missing && !m.dead && !m.eof {
@@ -170,7 +182,7 @@ func (g *Group) deadline() (time.Duration, bool) {
 	if len(ewmas) == 0 {
 		return 0, false
 	}
-	sort.Float64s(ewmas)
+	slices.Sort(ewmas) // generic sort: no interface boxing on the hot path
 	med := ewmas[len(ewmas)/2]
 	d := time.Duration(g.opts.DeadlineMult * med * float64(time.Microsecond))
 	if d < g.opts.HedgeAfter {
@@ -238,6 +250,39 @@ func (g *Group) miss(i int, st *Stripe) {
 	m.tripsC.Inc()
 }
 
+// getStripe takes a stripe from the group's pool (allocating only when
+// the pool is empty) and resets it for sequence seq.
+func (g *Group) getStripe(seq int64) *Stripe {
+	st, _ := g.stripes.Get().(*Stripe)
+	if st == nil {
+		st = &Stripe{
+			Blocks:     make([][]byte, g.n),
+			States:     make([]ShardState, g.n),
+			Errs:       make([]error, g.n),
+			Transients: make([]uint64, g.n),
+			slots:      make([]*lateSlot, g.n),
+			slotGen:    make([]int64, g.n),
+			slotStore:  make([]lateSlot, g.n),
+		}
+		for i := range st.slotStore {
+			st.slotStore[i].gen = -1 // stripe seqs start at 0
+			st.slotStore[i].pool = g.pool
+		}
+	}
+	st.Seq = seq
+	clear(st.Blocks)
+	clear(st.States)
+	clear(st.Errs)
+	clear(st.Transients)
+	clear(st.slots)
+	clear(st.slotGen)
+	st.Retries, st.LateTransients, st.Trips, st.Panics = 0, 0, 0, 0
+	st.Hedged = false
+	st.pool = g.pool
+	st.home = &g.stripes
+	return st
+}
+
 // Next gathers the blocks of the next stripe. It returns a non-nil
 // error only when ctx is cancelled; every per-shard failure is
 // reported in the Stripe instead. The caller owns the returned stripe
@@ -245,17 +290,10 @@ func (g *Group) miss(i int, st *Stripe) {
 func (g *Group) Next(ctx context.Context) (*Stripe, error) {
 	seq := g.seq
 	g.seq++
-	st := &Stripe{
-		Seq:        seq,
-		Blocks:     make([][]byte, g.n),
-		States:     make([]ShardState, g.n),
-		Errs:       make([]error, g.n),
-		Transients: make([]uint64, g.n),
-		slots:      make([]*lateSlot, g.n),
-		pool:       g.pool,
-	}
+	st := g.getStripe(seq)
 	now := time.Now()
-	awaited := make([]bool, g.n)
+	awaited := g.awaited
+	clear(awaited)
 	wait := 0
 	for i := range g.sh {
 		m := &g.sh[i]
@@ -282,22 +320,28 @@ func (g *Group) Next(ctx context.Context) (*Stripe, error) {
 
 	hedge := g.opts.HedgeAfter > 0
 	got := 0
-	var timer *time.Timer
+	armed := false // the reusable group timer is counting for this stripe
+	fired := false
 	var timeC <-chan time.Time
 	timedOut := false
 	arm := func() {
-		if !hedge || timer != nil {
+		if !hedge || armed {
 			return
 		}
 		if d, ok := g.deadline(); ok {
-			timer = time.NewTimer(d)
-			timeC = timer.C
+			if g.timer == nil {
+				g.timer = time.NewTimer(d)
+			} else {
+				g.timer.Reset(d) // always stopped-and-drained between stripes
+			}
+			timeC = g.timer.C
+			armed = true
 		}
 	}
 	arm()
 	defer func() {
-		if timer != nil {
-			timer.Stop()
+		if armed && !fired && !g.timer.Stop() {
+			<-g.timer.C
 		}
 	}()
 
@@ -311,9 +355,11 @@ func (g *Group) Next(ctx context.Context) (*Stripe, error) {
 			}
 			awaited[i] = false
 			m := &g.sh[i]
-			slot := &lateSlot{}
+			slot := &st.slotStore[i]
+			slot.arm(m.outstandingSeq)
 			m.late, m.lateSeq = slot, m.outstandingSeq
 			st.slots[i] = slot
+			st.slotGen[i] = m.outstandingSeq
 			st.States[i] = StateSlow
 			st.Hedged = true
 			g.miss(i, st)
@@ -326,6 +372,7 @@ func (g *Group) Next(ctx context.Context) (*Stripe, error) {
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		case <-timeC:
+			fired = true
 			timeC = nil
 			if got >= g.opts.Quorum {
 				abandon()
@@ -378,7 +425,7 @@ func (g *Group) consume(res *result, seq int64, st *Stripe, awaited []bool, wait
 			m.observe(res.dur)
 			delivered := false
 			if m.late != nil && m.lateSeq == res.seq {
-				delivered = m.late.offer(res.buf)
+				delivered = m.late.offer(res.seq, res.buf)
 			}
 			if delivered {
 				g.lateClaimed.Inc()

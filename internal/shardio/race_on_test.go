@@ -1,0 +1,8 @@
+//go:build race
+
+package shardio
+
+// raceEnabled reports whether the race detector is active; the
+// allocation-budget tests skip under instrumentation, which allocates
+// on its own (same pattern as the obs and stream packages).
+const raceEnabled = true

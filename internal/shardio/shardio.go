@@ -240,50 +240,89 @@ func isTransient(err error) bool {
 	return errors.As(err, &t) && t.Transient()
 }
 
-// blockPool recycles block buffers across stripes. Dropped buffers
-// (abandoned mid-read at Close) are simply collected by the GC.
+// blockPool recycles block buffers across stripes. It is a plain
+// mutex-guarded free list rather than a sync.Pool: Put-ing a []byte
+// into a sync.Pool heap-allocates a *[]byte box on every cycle, which
+// would put a per-stripe allocation on the steady-state gather path.
+// The list is intrinsically bounded by the buffers in circulation
+// (one per in-flight read plus the stripes the consumer holds).
+// Dropped buffers (abandoned mid-read at Close) are simply collected
+// by the GC.
 type blockPool struct {
 	size int
-	p    sync.Pool
+	mu   sync.Mutex
+	free [][]byte
 }
 
 func newBlockPool(size int) *blockPool {
-	bp := &blockPool{size: size}
-	bp.p.New = func() any {
-		b := make([]byte, size)
-		return &b
-	}
-	return bp
+	return &blockPool{size: size}
 }
 
-func (bp *blockPool) get() []byte { return *bp.p.Get().(*[]byte) }
+func (bp *blockPool) get() []byte {
+	bp.mu.Lock()
+	if n := len(bp.free); n > 0 {
+		b := bp.free[n-1]
+		bp.free[n-1] = nil
+		bp.free = bp.free[:n-1]
+		bp.mu.Unlock()
+		return b
+	}
+	bp.mu.Unlock()
+	return make([]byte, bp.size)
+}
 
 func (bp *blockPool) put(b []byte) {
 	b = b[:cap(b)]
 	if len(b) != bp.size {
 		return
 	}
-	bp.p.Put(&b)
+	bp.mu.Lock()
+	bp.free = append(bp.free, b)
+	bp.mu.Unlock()
 }
 
 // lateSlot is the rendezvous for the hedge race on one abandoned
 // block read: the gather loop offers the straggler's block when it
 // finally lands, the worker takes it if reconstruction has not won
-// yet. All methods are safe for concurrent use.
+// yet. One slot per shard lives inline in every pooled stripe and is
+// armed with the abandoned read's sequence number as its generation
+// when the stripe hedges past that shard. Every method checks the
+// caller's generation, so a worker still racing on a stripe whose
+// object has been released, pooled, and re-armed for a newer stripe
+// can never touch the new read's block. All methods are safe for
+// concurrent use.
 type lateSlot struct {
-	mu       sync.Mutex
-	buf      []byte
-	taken    bool // consumer committed (with or without the block)
-	released bool // stripe recycled; arrivals after this are recycled by the caller
+	mu    sync.Mutex
+	gen   int64 // the armed read's stripe seq; -1 until first armed
+	buf   []byte
+	taken bool // consumer committed (with or without the block) or stripe released
+	pool  *blockPool
+}
+
+// arm resets the slot for a new abandoned read. A buffer left from an
+// earlier generation that was never taken is recycled here — its
+// generation can no longer reach it (Release normally does this, so
+// the path is a safety net). A taken buffer is left to the GC: the
+// previous cycle's worker may still be reading it.
+func (s *lateSlot) arm(gen int64) {
+	s.mu.Lock()
+	if s.buf != nil && !s.taken {
+		s.pool.put(s.buf)
+	}
+	s.buf = nil
+	s.taken = false
+	s.gen = gen
+	s.mu.Unlock()
 }
 
 // offer hands the late block to the slot. It reports false when the
-// consumer has already committed (or the stripe was released), in
-// which case the caller keeps ownership of buf.
-func (s *lateSlot) offer(buf []byte) bool {
+// consumer has already committed, the stripe was released, or the slot
+// has been re-armed for a newer read — in all of which the caller
+// keeps ownership of buf.
+func (s *lateSlot) offer(gen int64, buf []byte) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.taken || s.released {
+	if gen != s.gen || s.taken || s.buf != nil {
 		return false
 	}
 	s.buf = buf
@@ -294,18 +333,25 @@ func (s *lateSlot) offer(buf []byte) bool {
 // one arrived (the direct read won the hedge race) or nil (the hedge
 // reconstruction wins), and blocks later offers either way. The
 // returned slice stays valid until the stripe is released.
-func (s *lateSlot) take() []byte {
+func (s *lateSlot) take(gen int64) []byte {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if gen != s.gen {
+		return nil
+	}
 	s.taken = true
 	return s.buf
 }
 
-// reclaim detaches the buffered block, if any, for recycling.
-func (s *lateSlot) reclaim() []byte {
+// reclaim detaches the buffered block, if any, for recycling, and
+// blocks later offers for this generation.
+func (s *lateSlot) reclaim(gen int64) []byte {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.released = true
+	if gen != s.gen {
+		return nil
+	}
+	s.taken = true
 	b := s.buf
 	s.buf = nil
 	return b
@@ -344,8 +390,11 @@ type Stripe struct {
 	// the affected shards surface as StateDead with a *PanicError.
 	Panics uint64
 
-	slots []*lateSlot
-	pool  *blockPool
+	slots     []*lateSlot // armed slots (into slotStore), nil when not hedged
+	slotGen   []int64     // generation each slot was armed with
+	slotStore []lateSlot  // inline per-shard slot backing, reused across pool cycles
+	pool      *blockPool
+	home      *sync.Pool // the Group's stripe pool; Release returns st here
 }
 
 // TakeLate claims shard i's late-arriving block for a StateSlow
@@ -357,11 +406,12 @@ func (st *Stripe) TakeLate(i int) []byte {
 	if st.slots == nil || st.slots[i] == nil {
 		return nil
 	}
-	return st.slots[i].take()
+	return st.slots[i].take(st.slotGen[i])
 }
 
 // Release recycles every buffer the stripe owns, including late
-// blocks. The stripe's slices must not be used afterwards.
+// blocks, and returns the stripe to its group's pool. The stripe and
+// its slices must not be used afterwards. Release is idempotent.
 func (st *Stripe) Release() {
 	if st.pool == nil {
 		return
@@ -372,12 +422,18 @@ func (st *Stripe) Release() {
 			st.Blocks[i] = nil
 		}
 	}
-	for _, s := range st.slots {
+	for i, s := range st.slots {
 		if s == nil {
 			continue
 		}
-		if b := s.reclaim(); b != nil {
+		if b := s.reclaim(st.slotGen[i]); b != nil {
 			st.pool.put(b)
 		}
+		st.slots[i] = nil
+	}
+	home := st.home
+	st.pool, st.home = nil, nil
+	if home != nil {
+		home.Put(st)
 	}
 }

@@ -5,11 +5,11 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"strings"
 	"time"
 
+	"dialga/internal/gf"
 	"dialga/internal/shardio"
 )
 
@@ -60,6 +60,12 @@ func statesAttr(states []shardio.ShardState) string {
 type Decoder struct {
 	g     geom
 	stats *counters
+	jobs  jobPool
+	// rd/spare: codecs that rebuild data shards in place accept
+	// zero-length-with-capacity output buffers, so reconstruction can
+	// draw from a pool instead of allocating per stripe.
+	rd    dataReconstructor
+	spare *bufPool
 }
 
 // NewDecoder validates opts and returns a ready Decoder.
@@ -68,7 +74,12 @@ func NewDecoder(opts Options) (*Decoder, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Decoder{g: g, stats: newCounters(g.metrics, "decode")}, nil
+	d := &Decoder{g: g, stats: newCounters(g.metrics, "decode")}
+	if rd, ok := g.codec.(dataReconstructor); ok {
+		d.rd = rd
+		d.spare = newBufPool(g.shardSize)
+	}
+	return d, nil
 }
 
 // StripeSize returns the data payload per stripe.
@@ -105,7 +116,6 @@ func isTransient(err error) bool {
 // in full, including any zero padding the encoder added to the tail.
 func (d *Decoder) Decode(ctx context.Context, shards []io.Reader, w io.Writer, size int64) error {
 	k, m, blockSize := d.g.k, d.g.m, d.g.blockSize
-	shardSize := d.g.shardSize
 	if len(shards) != k+m {
 		return fmt.Errorf("stream: got %d shard readers, want k+m=%d", len(shards), k+m)
 	}
@@ -161,7 +171,8 @@ func (d *Decoder) Decode(ctx context.Context, shards []io.Reader, w io.Writer, s
 				d.stats.hedgedReads.Add(1)
 			}
 
-			blocks := make([][]byte, k+m)
+			j := d.jobs.get()
+			j.blocks = sliceN(j.blocks, k+m)
 			var eofIdx []int
 			got, demoted := 0, 0
 			var firstErr error
@@ -180,7 +191,7 @@ func (d *Decoder) Decode(ctx context.Context, shards []io.Reader, w io.Writer, s
 						// The checksum trailer is the arbiter: the
 						// worker verifies this block like any other.
 					}
-					blocks[i] = st.Blocks[i]
+					j.blocks[i] = st.Blocks[i]
 					got++
 				case shardio.StateEOF:
 					// Clean stripe-boundary EOF: end of stream if
@@ -213,6 +224,7 @@ func (d *Decoder) Decode(ctx context.Context, shards []io.Reader, w io.Writer, s
 			}
 			if got == 0 && demoted == 0 {
 				st.Release()
+				d.jobs.put(j)
 				if wantStripes >= 0 {
 					span.Event("error", "shards ended early")
 					span.End()
@@ -229,6 +241,7 @@ func (d *Decoder) Decode(ctx context.Context, shards []io.Reader, w io.Writer, s
 			}
 			if got < k && !st.Hedged {
 				st.Release()
+				d.jobs.put(j)
 				span.Event("error", "too many corrupt or missing shard blocks")
 				span.End()
 				if firstErr != nil {
@@ -243,7 +256,7 @@ func (d *Decoder) Decode(ctx context.Context, shards []io.Reader, w io.Writer, s
 				d.stats.shardFailures.Add(1)
 			}
 			d.stats.bytesIn.Add(uint64(got * blockSize))
-			j := &job{seq: seq, ready: make(chan struct{}), blocks: blocks, demoted: demoted, stripe: st, span: span}
+			j.seq, j.demoted, j.stripe, j.span = seq, demoted, st, span
 			if !push(j) {
 				return nil
 			}
@@ -251,108 +264,7 @@ func (d *Decoder) Decode(ctx context.Context, shards []io.Reader, w io.Writer, s
 		return nil
 	}
 
-	work := func(j *job) error {
-		st := j.stripe
-		demoted := j.demoted
-		// Resolve the hedge race for slow shards: claim the block if
-		// the direct read beat us here (TakeLate is the commit point),
-		// but only under a checksum, which can vouch for bytes that
-		// arrived out from under the gather loop. Without a trailer,
-		// reconstruction always wins.
-		hedgeLost := 0 // slow shards whose direct read won after all
-		if d.g.trailer > 0 {
-			for i, state := range st.States {
-				if state != shardio.StateSlow {
-					continue
-				}
-				if late := st.TakeLate(i); late != nil {
-					want := binary.LittleEndian.Uint32(late[shardSize:blockSize])
-					if crc32.Checksum(late[:shardSize], castagnoli) == want {
-						j.blocks[i] = late
-						hedgeLost++
-					}
-				}
-			}
-		}
-		if d.g.trailer > 0 {
-			// Verify every block that was read; a bad trailer demotes
-			// the block to an erasure for this stripe only.
-			for i, state := range st.States {
-				if j.blocks[i] == nil || state == shardio.StateSlow {
-					continue // slow claims were verified above
-				}
-				bl := j.blocks[i]
-				want := binary.LittleEndian.Uint32(bl[shardSize:blockSize])
-				if crc32.Checksum(bl[:shardSize], castagnoli) != want {
-					j.blocks[i] = nil
-					demoted++
-					d.stats.shardsCorrupted.Add(1)
-				}
-			}
-			if j.span != nil {
-				j.span.Event("verify", fmt.Sprintf("corrupt=%d late_claimed=%d", demoted-j.demoted, hedgeLost))
-			}
-		}
-		// Truncate the surviving full blocks to their data payload for
-		// the codec.
-		valid := 0
-		for i := range j.blocks {
-			if j.blocks[i] != nil {
-				j.blocks[i] = j.blocks[i][:shardSize:shardSize]
-				valid++
-			}
-		}
-		if valid < k {
-			return fmt.Errorf("stream: stripe %d: %d corrupt or missing shard blocks leave %d of %d required: %w",
-				j.seq, (k+m)-valid, valid, k, ErrTooManyCorrupt)
-		}
-		missing := false
-		for i := 0; i < k; i++ {
-			if j.blocks[i] == nil {
-				missing = true
-				break
-			}
-		}
-		if missing {
-			start := time.Now()
-			var err error
-			if rd, ok := d.g.codec.(dataReconstructor); ok {
-				err = rd.ReconstructData(j.blocks)
-			} else {
-				err = d.g.codec.Reconstruct(j.blocks)
-			}
-			if err != nil {
-				return fmt.Errorf("stream: reconstruct stripe %d: %w", j.seq, err)
-			}
-			d.stats.reconstructed.Add(1)
-			d.stats.observe(time.Since(start))
-			j.span.Event("reconstruct", "")
-		}
-		if st.Hedged {
-			slow := 0
-			for _, state := range st.States {
-				if state == shardio.StateSlow {
-					slow++
-				}
-			}
-			if slow > hedgeLost {
-				// At least one straggler's block never made it in time:
-				// reconstruction beat the direct read.
-				d.stats.hedgeWins.Add(1)
-				j.span.Event("hedge_win", "reconstruction beat the straggler")
-			}
-		}
-		if demoted > 0 {
-			// The stripe decoded despite corrupt blocks: either a
-			// data block was rebuilt through the erasure path, or the
-			// corruption was confined to parity we did not need.
-			d.stats.stripesHealed.Add(1)
-			if j.span != nil {
-				j.span.Event("heal", fmt.Sprintf("demoted=%d", demoted))
-			}
-		}
-		return nil
-	}
+	work := d.processStripe
 
 	remaining := size // consumer-goroutine state only; <0 means unbounded
 	deliver := func(j *job) error {
@@ -382,11 +294,136 @@ func (d *Decoder) Decode(ctx context.Context, shards []io.Reader, w io.Writer, s
 	}
 
 	release := func(j *job) {
+		if d.spare != nil {
+			for _, i := range j.eras {
+				d.spare.put(j.blocks[i])
+			}
+		}
 		if j.stripe != nil {
 			j.stripe.Release()
 		}
 		j.span.End()
+		d.jobs.put(j)
 	}
 
 	return run(ctx, d.g, d.stats, produce, work, deliver, release)
+}
+
+// processStripe is the worker body for one gathered stripe: resolve
+// the hedge race for slow shards, verify checksum trailers, and
+// reconstruct missing data shards. With a data-reconstructing codec it
+// runs allocation-free against warmed pools — erasure outputs come
+// from the decoder's spare-buffer pool as zero-length-with-capacity
+// slices the codec fills in place.
+func (d *Decoder) processStripe(j *job) error {
+	k, m := d.g.k, d.g.m
+	shardSize, blockSize := d.g.shardSize, d.g.blockSize
+	st := j.stripe
+	demoted := j.demoted
+	// Resolve the hedge race for slow shards: claim the block if
+	// the direct read beat us here (TakeLate is the commit point),
+	// but only under a checksum, which can vouch for bytes that
+	// arrived out from under the gather loop. Without a trailer,
+	// reconstruction always wins.
+	hedgeLost := 0 // slow shards whose direct read won after all
+	if d.g.trailer > 0 {
+		for i, state := range st.States {
+			if state != shardio.StateSlow {
+				continue
+			}
+			if late := st.TakeLate(i); late != nil {
+				want := binary.LittleEndian.Uint32(late[shardSize:blockSize])
+				if gf.CRC32C(late[:shardSize]) == want {
+					j.blocks[i] = late
+					hedgeLost++
+				}
+			}
+		}
+	}
+	if d.g.trailer > 0 {
+		// Verify every block that was read; a bad trailer demotes
+		// the block to an erasure for this stripe only.
+		for i, state := range st.States {
+			if j.blocks[i] == nil || state == shardio.StateSlow {
+				continue // slow claims were verified above
+			}
+			bl := j.blocks[i]
+			want := binary.LittleEndian.Uint32(bl[shardSize:blockSize])
+			if gf.CRC32C(bl[:shardSize]) != want {
+				j.blocks[i] = nil
+				demoted++
+				d.stats.shardsCorrupted.Add(1)
+			}
+		}
+		if j.span != nil {
+			j.span.Event("verify", fmt.Sprintf("corrupt=%d late_claimed=%d", demoted-j.demoted, hedgeLost))
+		}
+	}
+	// Truncate the surviving full blocks to their data payload for
+	// the codec.
+	valid := 0
+	for i := range j.blocks {
+		if j.blocks[i] != nil {
+			j.blocks[i] = j.blocks[i][:shardSize:shardSize]
+			valid++
+		}
+	}
+	if valid < k {
+		return fmt.Errorf("stream: stripe %d: %d corrupt or missing shard blocks leave %d of %d required: %w",
+			j.seq, (k+m)-valid, valid, k, ErrTooManyCorrupt)
+	}
+	missing := false
+	for i := 0; i < k; i++ {
+		if j.blocks[i] == nil {
+			missing = true
+			break
+		}
+	}
+	if missing {
+		start := time.Now()
+		var err error
+		if d.rd != nil {
+			// Hand every absent data entry a pooled spare as its
+			// output buffer; release returns them after delivery.
+			for i := 0; i < k; i++ {
+				if j.blocks[i] == nil {
+					j.blocks[i] = d.spare.get()[:0]
+					j.eras = append(j.eras, i)
+				}
+			}
+			err = d.rd.ReconstructData(j.blocks)
+		} else {
+			err = d.g.codec.Reconstruct(j.blocks)
+		}
+		if err != nil {
+			return fmt.Errorf("stream: reconstruct stripe %d: %w", j.seq, err)
+		}
+		d.stats.reconstructed.Add(1)
+		d.stats.observe(time.Since(start))
+		j.span.Event("reconstruct", "")
+	}
+	if st.Hedged {
+		slow := 0
+		for _, state := range st.States {
+			if state == shardio.StateSlow {
+				slow++
+			}
+		}
+		if slow > hedgeLost {
+			// At least one straggler's block never made it in time:
+			// reconstruction beat the direct read.
+			d.stats.hedgeWins.Add(1)
+			j.span.Event("hedge_win", "reconstruction beat the straggler")
+		}
+	}
+	if demoted > 0 {
+		// The stripe decoded despite corrupt blocks: either a
+		// data block was rebuilt through the erasure path, or the
+		// corruption was confined to parity we did not need.
+		d.stats.stripesHealed.Add(1)
+		if j.span != nil {
+			j.span.Event("heal", fmt.Sprintf("demoted=%d", demoted))
+		}
+	}
+	return nil
 }

@@ -4,11 +4,10 @@ import (
 	"context"
 	"encoding/binary"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"time"
 
-	"dialga/internal/rs"
+	"dialga/internal/gf"
 )
 
 // Encoder is a streaming erasure encoder: it chunks a reader into
@@ -29,6 +28,7 @@ type Encoder struct {
 	data   *bufPool
 	parity *bufPool
 	crc    *bufPool // nil when checksums are disabled
+	jobs   jobPool
 }
 
 // NewEncoder validates opts and returns a ready Encoder.
@@ -66,6 +66,59 @@ func (e *Encoder) Shards() int { return e.g.k + e.g.m }
 
 // Stats returns a snapshot of the pipeline counters.
 func (e *Encoder) Stats() Stats { return e.stats.snapshot() }
+
+// Fused reports whether this encoder uses the codec's single-pass
+// fused encode+CRC sweep for its checksum trailers (false when the
+// codec does not offer it, checksums are off, or Options.DisableFused
+// forced the two-pass path).
+func (e *Encoder) Fused() bool { return e.g.fused != nil }
+
+// encodeStripe is the worker body: encode one stripe's parity and,
+// under ChecksumCRC32C, its k+m block trailers. With a fused codec the
+// parity and every CRC come out of one cache-tiled sweep — each 4 KiB
+// tile is checksummed while still L1-resident — instead of a second
+// full pass over k+m blocks. Both paths produce byte-identical
+// trailers. Runs allocation-free against warmed pools.
+func (e *Encoder) encodeStripe(j *job) error {
+	start := time.Now()
+	// Full-length stripes split into pure aliases of the pooled
+	// buffer (see the pinned rs.Split aliasing contract) — the
+	// zero-copy path the pipeline is built around. Callers that
+	// need ownership use rs.SplitCopy instead.
+	j.dviews = shardViewsInto(j.dviews, j.data, e.g.k, e.g.shardSize)
+	j.parity = e.parity.get()
+	j.pviews = shardViewsInto(j.pviews, j.parity, e.g.m, e.g.shardSize)
+	if e.g.fused != nil {
+		j.sums = sliceN(j.sums, e.g.k+e.g.m)
+		if err := e.g.fused.EncodeSumInto(j.sums, j.dviews, j.pviews); err != nil {
+			return fmt.Errorf("stream: encode stripe %d: %w", j.seq, err)
+		}
+		j.crc = e.crc.get()
+		for i, sum := range j.sums {
+			binary.LittleEndian.PutUint32(j.crc[i*crcSize:], sum)
+		}
+	} else {
+		if err := e.g.codec.Encode(j.dviews, j.pviews); err != nil {
+			return fmt.Errorf("stream: encode stripe %d: %w", j.seq, err)
+		}
+		if e.crc != nil {
+			// Two-pass trailers: CRC-32C of each block after the fact,
+			// hardware-accelerated, off the serial deliver path.
+			j.crc = e.crc.get()
+			for i := 0; i < e.g.k; i++ {
+				sum := gf.CRC32C(j.data[i*e.g.shardSize : (i+1)*e.g.shardSize])
+				binary.LittleEndian.PutUint32(j.crc[i*crcSize:], sum)
+			}
+			for i := 0; i < e.g.m; i++ {
+				sum := gf.CRC32C(j.parity[i*e.g.shardSize : (i+1)*e.g.shardSize])
+				binary.LittleEndian.PutUint32(j.crc[(e.g.k+i)*crcSize:], sum)
+			}
+		}
+	}
+	e.stats.observe(time.Since(start))
+	j.span.Event("encode", "")
+	return nil
+}
 
 // Encode reads r to EOF and writes shard i of every stripe to
 // shards[i] (k data writers then m parity writers). It returns the
@@ -106,7 +159,8 @@ func (e *Encoder) Encode(ctx context.Context, r io.Reader, shards []io.Writer) e
 			if span != nil {
 				span.Event("read", fmt.Sprintf("bytes=%d", n))
 			}
-			j := &job{seq: seq, ready: make(chan struct{}), data: buf, n: n, span: span}
+			j := e.jobs.get()
+			j.seq, j.data, j.n, j.span = seq, buf, n, span
 			if !push(j) {
 				return nil
 			}
@@ -116,37 +170,7 @@ func (e *Encoder) Encode(ctx context.Context, r io.Reader, shards []io.Writer) e
 		}
 	}
 
-	work := func(j *job) error {
-		start := time.Now()
-		// Full-length stripes split into pure aliases of the pooled
-		// buffer (see the pinned rs.Split aliasing contract) — the
-		// zero-copy path the pipeline is built around. Callers that
-		// need ownership use rs.SplitCopy instead.
-		data, err := rs.Split(j.data, e.g.k)
-		if err != nil {
-			return err
-		}
-		j.parity = e.parity.get()
-		if err := e.g.codec.Encode(data, shardViews(j.parity, e.g.m, e.g.shardSize)); err != nil {
-			return fmt.Errorf("stream: encode stripe %d: %w", j.seq, err)
-		}
-		if e.crc != nil {
-			// Trailers ride the worker too: CRC-32C of each block,
-			// hardware-accelerated, off the serial deliver path.
-			j.crc = e.crc.get()
-			for i := 0; i < e.g.k; i++ {
-				sum := crc32.Checksum(j.data[i*e.g.shardSize:(i+1)*e.g.shardSize], castagnoli)
-				binary.LittleEndian.PutUint32(j.crc[i*crcSize:], sum)
-			}
-			for i := 0; i < e.g.m; i++ {
-				sum := crc32.Checksum(j.parity[i*e.g.shardSize:(i+1)*e.g.shardSize], castagnoli)
-				binary.LittleEndian.PutUint32(j.crc[(e.g.k+i)*crcSize:], sum)
-			}
-		}
-		e.stats.observe(time.Since(start))
-		j.span.Event("encode", "")
-		return nil
-	}
+	work := e.encodeStripe
 
 	writeBlock := func(w io.Writer, idx int, block []byte, crc []byte) error {
 		if _, err := w.Write(block); err != nil {
@@ -195,6 +219,7 @@ func (e *Encoder) Encode(ctx context.Context, r io.Reader, shards []io.Writer) e
 			e.crc.put(j.crc)
 		}
 		j.span.End()
+		e.jobs.put(j)
 	}
 
 	return run(ctx, e.g, e.stats, produce, work, deliver, release)

@@ -17,14 +17,19 @@ import (
 type PanicError = shardio.PanicError
 
 // job is one stripe moving through the pipeline. The producer fills
-// seq/data/blocks/n, a worker fills parity/err and closes ready, and
+// seq/data/blocks/n, a worker fills parity/err and signals ready, and
 // the consumer waits on ready before emitting — so every field is
 // written before the channel operation that publishes it and no field
 // needs a lock.
+//
+// Jobs are pooled: ready is a persistent capacity-1 channel signalled
+// exactly once per cycle (the consumer's receive drains it before the
+// job returns to the pool), and the scratch slices below keep their
+// capacity so the steady-state per-stripe path never allocates.
 type job struct {
 	seq   int64
-	ready chan struct{} // closed once the worker (or an abort) is done with the job
-	err   error         // sticky per-job failure, set before ready closes
+	ready chan struct{} // receives one value once the worker (or an abort) is done
+	err   error         // sticky per-job failure, set before ready is signalled
 
 	data    []byte          // encoder: pooled stripe buffer (k*shardSize)
 	n       int             // encoder: valid payload bytes in data (tail stripe may be short)
@@ -35,11 +40,40 @@ type job struct {
 	demoted int             // decoder: blocks discarded as untrustworthy by the producer
 	stripe  *shardio.Stripe // decoder: gather result backing blocks; released with the job
 
+	// Reusable per-job scratch, capacity preserved across pool cycles.
+	dviews [][]byte // encoder: k data shard views into data
+	pviews [][]byte // encoder: m parity shard views into parity
+	sums   []uint32 // encoder: k+m fused CRC sums
+	eras   []int    // decoder: indices handed pooled spare output buffers
+
 	// span is the stripe's lifecycle trace (nil when tracing is off).
 	// It rides the same producer -> worker -> consumer handoffs as the
 	// rest of the job, so event appends never race; release publishes
 	// it to the tracer's ring.
 	span *obs.Span
+}
+
+// jobPool recycles jobs across stripes. get returns a job whose ready
+// channel is empty and whose transient fields are zeroed; scratch
+// slices keep their capacity.
+type jobPool struct{ p sync.Pool }
+
+func (jp *jobPool) get() *job {
+	j, _ := jp.p.Get().(*job)
+	if j == nil {
+		j = &job{ready: make(chan struct{}, 1)}
+	}
+	return j
+}
+
+func (jp *jobPool) put(j *job) {
+	j.seq, j.err, j.n, j.demoted = 0, nil, 0, 0
+	j.data, j.parity, j.crc, j.buf = nil, nil, nil, nil
+	j.blocks = j.blocks[:0]
+	j.dviews, j.pviews = j.dviews[:0], j.pviews[:0]
+	j.eras = j.eras[:0]
+	j.stripe, j.span = nil, nil
+	jp.p.Put(j)
 }
 
 // failFirst records the first error of the run and cancels the
@@ -121,7 +155,7 @@ func run(parent context.Context, g geom, stats *counters,
 					j.err = err
 					fail.set(err)
 				}
-				close(j.ready)
+				j.ready <- struct{}{}
 			}
 		}()
 	}
@@ -143,7 +177,7 @@ func run(parent context.Context, g geom, stats *counters,
 				// In orderCh but no worker will touch it; unblock
 				// the consumer, which releases it.
 				j.err = ctx.Err()
-				close(j.ready)
+				j.ready <- struct{}{}
 				return false
 			}
 			return true
@@ -167,9 +201,10 @@ func run(parent context.Context, g geom, stats *counters,
 	}()
 
 	for j := range orderCh {
-		// ready always closes: an unbuffered workCh send means a
-		// worker holds the job (and closes it), and aborted pushes
-		// close it themselves.
+		// ready is always signalled exactly once: an unbuffered workCh
+		// send means a worker holds the job (and signals it), and
+		// aborted pushes signal it themselves. The receive drains the
+		// capacity-1 channel, so the job can return to its pool.
 		<-j.ready
 		if j.err == nil && ctx.Err() == nil {
 			if err := deliver(j); err != nil {

@@ -26,7 +26,6 @@ package stream
 import (
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"runtime"
 	"time"
 
@@ -41,13 +40,10 @@ import (
 const DefaultStripeSize = 1 << 20
 
 // crcSize is the per-block checksum trailer width: one little-endian
-// CRC-32C word.
+// CRC-32C word. Checksums come from internal/gf (gf.CRC32C), the same
+// primitive the fused encode+CRC sweep folds per tile, so trailers are
+// identical whichever path produced them.
 const crcSize = 4
-
-// castagnoli is the CRC-32C table; hash/crc32 dispatches to the SSE4.2
-// / ARMv8 CRC instructions for this polynomial, so trailer computation
-// rides the hardware path.
-var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // Checksum selects the per-block integrity trailer the pipeline
 // appends on encode and verifies on decode.
@@ -104,8 +100,21 @@ type Codec interface {
 
 // dataReconstructor is the optional fast path for decoding: rebuild
 // only the data shards, skipping parity. *rs.Code implements it.
+// Implementations must honour the spare-buffer contract — a zero-length
+// entry with capacity is "missing, rebuild in place" — which lets the
+// decoder hand out pooled output buffers instead of allocating per
+// stripe.
 type dataReconstructor interface {
 	ReconstructData(blocks [][]byte) error
+}
+
+// sumEncoder is the optional fused encode+CRC fast path: a single
+// cache-tiled sweep produces the parity blocks and the CRC-32C of all
+// k+m blocks, folded per 4 KiB tile while the data is L1-resident.
+// *rs.Code and the public dialga.Codec implement it. The sums must be
+// byte-for-byte what gf.CRC32C would return over each full block.
+type sumEncoder interface {
+	EncodeSumInto(sums []uint32, data, parity [][]byte) error
 }
 
 // WrapLRC adapts an LRC(k, m, l) code to the pipeline Codec: the
@@ -151,6 +160,13 @@ type Options struct {
 	// value is ChecksumCRC32C; pass ChecksumNone to read or write the
 	// legacy trailer-less framing.
 	Checksum Checksum
+
+	// DisableFused forces the encoder onto the two-pass path (encode,
+	// then a separate CRC sweep per block) even when the codec offers
+	// the fused single-pass encode+CRC. The output is byte-identical
+	// either way; this is an escape hatch for benchmarking and for
+	// bisecting a suspected fused-path miscompute in production.
+	DisableFused bool
 
 	// HedgeAfter enables hedged degraded reads on decode when
 	// positive: a shard that misses the stripe's adaptive deadline
@@ -233,6 +249,7 @@ type geom struct {
 	checksum   Checksum
 	trailer    int             // trailer bytes per shard block (0 or crcSize)
 	blockSize  int             // shardSize + trailer: bytes on the wire per shard per stripe
+	fused      sumEncoder      // non-nil: encoder uses the single-pass encode+CRC sweep
 	straggler  shardio.Options // validated shard-I/O scheduling config (decoder)
 	closeRead  bool            // close closable shard readers when Decode returns
 	metrics    *obs.Registry   // nil: each pipeline gets a private registry
@@ -275,6 +292,12 @@ func (o Options) geometry() (geom, error) {
 		return geom{}, fmt.Errorf("stream: unknown Checksum %d", o.Checksum)
 	}
 	trailer := o.Checksum.trailerSize()
+	var fused sumEncoder
+	if se, ok := o.Codec.(sumEncoder); ok && trailer > 0 && !o.DisableFused {
+		// Fusion only pays when trailers are wanted: without checksums
+		// the plain Encode sweep already does all the work there is.
+		fused = se
+	}
 	straggler, err := shardio.Options{
 		BlockSize:        shard + trailer,
 		Quorum:           k,
@@ -302,6 +325,7 @@ func (o Options) geometry() (geom, error) {
 		checksum:   o.Checksum,
 		trailer:    trailer,
 		blockSize:  shard + trailer,
+		fused:      fused,
 		straggler:  straggler,
 		closeRead:  o.CloseReaders,
 		metrics:    o.Metrics,
@@ -314,9 +338,27 @@ func (o Options) geometry() (geom, error) {
 // rs.Split performs on full-length inputs); the pipeline owns its
 // pooled buffers, so the aliasing never escapes to callers.
 func shardViews(buf []byte, n, shardSize int) [][]byte {
-	views := make([][]byte, n)
-	for i := range views {
-		views[i] = buf[i*shardSize : (i+1)*shardSize : (i+1)*shardSize]
+	return shardViewsInto(make([][]byte, 0, n), buf, n, shardSize)
+}
+
+// shardViewsInto is shardViews writing into caller scratch: jobs keep
+// their view slices across pool cycles so the per-stripe hot path
+// re-slices instead of allocating.
+func shardViewsInto(views [][]byte, buf []byte, n, shardSize int) [][]byte {
+	views = views[:0]
+	for i := 0; i < n; i++ {
+		views = append(views, buf[i*shardSize:(i+1)*shardSize:(i+1)*shardSize])
 	}
 	return views
+}
+
+// sliceN returns s resized to n zeroed elements, reallocating only
+// when the capacity is short — pooled-job scratch management.
+func sliceN[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
 }

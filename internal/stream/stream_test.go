@@ -115,6 +115,11 @@ func TestBufPool(t *testing.T) {
 // put() must accept any buffer with sufficient capacity and restore
 // the canonical length.
 func TestBufPoolRecyclesShortTail(t *testing.T) {
+	if raceEnabled {
+		// Race instrumentation makes sync.Pool.Put randomly drop items,
+		// so the buffer-identity and alloc assertions below are flaky.
+		t.Skip("sync.Pool drops randomly under the race detector")
+	}
 	p := newBufPool(64)
 	b := p.get()
 	p.put(b[:10]) // tail-stripe-shaped reslice
