@@ -1,0 +1,233 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"dialga/internal/adapt"
+	"dialga/internal/fault"
+	"dialga/internal/obs"
+	"dialga/internal/rs"
+	"dialga/internal/stream"
+)
+
+// adaptiveConfig is the seeded geometry of the -adaptive benchmark: a
+// fleet where every shard pays a device-like per-block delay and one
+// shard periodically bursts an order of magnitude slower, decoded
+// twice — static knobs, then with the adapt controller closing the
+// paper's feedback loop at stripe boundaries.
+type adaptiveConfig struct {
+	K           int   `json:"k"`
+	M           int   `json:"m"`
+	ShardSize   int   `json:"shard_size"`
+	Stripes     int   `json:"stripes"`
+	SlowShard   int   `json:"slow_shard"`
+	BaseMicros  int64 `json:"base_micros"`  // per-block delay mean, shard 0; +5% per shard
+	SlowMicros  int64 `json:"slow_micros"`  // straggler extra delay mean during a burst
+	BurstBlocks int   `json:"burst_blocks"` // slow blocks per burst
+	BurstEvery  int   `json:"burst_every"`  // stripes between burst starts
+	Seed        int64 `json:"seed"`
+}
+
+// adaptiveRun is one decode pass over the same shard set.
+type adaptiveRun struct {
+	Adaptive    bool    `json:"adaptive"`
+	TotalMS     float64 `json:"total_ms"`
+	P50StripeUS float64 `json:"p50_stripe_us"`
+	P99StripeUS float64 `json:"p99_stripe_us"`
+	HedgedReads uint64  `json:"hedged_reads"`
+	HedgeWins   uint64  `json:"hedge_wins"`
+	RaHits      uint64  `json:"readahead_hits"`
+	Adjustments uint64  `json:"adjustments"`
+	FinalKnobs  string  `json:"final_knobs,omitempty"`
+}
+
+type adaptiveReport struct {
+	Config  adaptiveConfig `json:"config"`
+	Runs    []adaptiveRun  `json:"runs"`
+	History []string       `json:"history"` // adaptive run's adjusting ticks
+}
+
+// runAdaptive encodes a seeded payload once, then decodes it twice —
+// static knobs, then adaptive — against a paced fleet with a bursty
+// straggler, reporting wall time, stripe-latency percentiles, and the
+// controller's decisions.
+func runAdaptive(quick, asJSON bool) error {
+	cfg := adaptiveConfig{
+		K: 6, M: 2, ShardSize: 1024, Stripes: 160,
+		SlowShard: 3, BaseMicros: 2000, SlowMicros: 12000,
+		BurstBlocks: 4, BurstEvery: 32, Seed: 42,
+	}
+	if quick {
+		cfg.Stripes, cfg.BaseMicros, cfg.SlowMicros = 64, 1000, 8000
+		cfg.BurstEvery = 16
+	}
+
+	code, err := rs.New(cfg.K, cfg.M)
+	if err != nil {
+		return err
+	}
+	opts := stream.Options{
+		Codec:      code,
+		StripeSize: cfg.K * cfg.ShardSize,
+		Workers:    2,
+		Window:     4,
+		HedgeAfter: time.Millisecond,
+		Seed:       uint64(cfg.Seed),
+		// The A/B isolates the readahead/deadline knobs; the breaker
+		// would sideline the straggler for both runs and wash them out.
+		BreakerThreshold: -1,
+	}
+	payload := make([]byte, cfg.Stripes*cfg.K*cfg.ShardSize)
+	st := uint64(cfg.Seed)
+	for i := range payload {
+		st = st*6364136223846793005 + 1442695040888963407
+		payload[i] = byte(st >> 56)
+	}
+	enc, err := stream.NewEncoder(opts)
+	if err != nil {
+		return err
+	}
+	shardBufs := make([]bytes.Buffer, cfg.K+cfg.M)
+	writers := make([]io.Writer, cfg.K+cfg.M)
+	for i := range shardBufs {
+		writers[i] = &shardBufs[i]
+	}
+	if err := enc.Encode(context.Background(), bytes.NewReader(payload), writers); err != nil {
+		return err
+	}
+
+	// The decoder's framed block length converts stripe indices to
+	// shard-stream byte offsets for the Span-bounded burst ops.
+	probe, err := stream.NewDecoder(opts)
+	if err != nil {
+		return err
+	}
+	blockSize := probe.BlockSize()
+
+	readersFor := func() []io.Reader {
+		readers := make([]io.Reader, cfg.K+cfg.M)
+		for i := range shardBufs {
+			// Baseline device pacing; distinct per-shard means keep the
+			// eight seeded delay sequences distinct.
+			plan := fault.Plan{Ops: []fault.Op{{
+				Kind: fault.Slow, Len: cfg.BaseMicros + cfg.BaseMicros/20*int64(i),
+			}}}
+			if i == cfg.SlowShard {
+				for s := cfg.BurstEvery; s+cfg.BurstBlocks <= cfg.Stripes; s += cfg.BurstEvery {
+					plan.Ops = append(plan.Ops, fault.Op{
+						Kind: fault.Slow,
+						Off:  int64(s * blockSize),
+						Len:  cfg.SlowMicros,
+						Span: int64(cfg.BurstBlocks * blockSize),
+					})
+				}
+			}
+			readers[i] = fault.NewReader(bytes.NewReader(shardBufs[i].Bytes()), plan)
+		}
+		return readers
+	}
+
+	var history []string
+	decode := func(adaptive bool) (adaptiveRun, error) {
+		reg := obs.NewRegistry()
+		tr := obs.NewTracer(64)
+		o := opts
+		o.Metrics = reg
+		o.Trace = tr
+		var ctrl *adapt.Controller
+		if adaptive {
+			ctrl, err = adapt.New(adapt.Options{
+				Source: adapt.NewRegistrySource(reg, tr, cfg.K+cfg.M),
+				Policy: adapt.Config{UselessFloor: 0.5, MinSpeculative: 8},
+				Initial: adapt.Knobs{
+					HedgeAfter:   o.HedgeAfter,
+					DeadlineMult: 3.0,
+					Readahead:    0,
+					Workers:      o.Workers,
+					Window:       o.Window,
+				},
+				EveryPulls: 32,
+				Metrics:    reg,
+				Trace:      tr,
+			})
+			if err != nil {
+				return adaptiveRun{}, err
+			}
+			o.Tuner = ctrl
+		}
+		dec, err := stream.NewDecoder(o)
+		if err != nil {
+			return adaptiveRun{}, err
+		}
+		timer := &stripeTimer{w: io.Discard, stripeSize: cfg.K * cfg.ShardSize}
+		start := time.Now()
+		if err := dec.Decode(context.Background(), readersFor(), timer, int64(len(payload))); err != nil {
+			return adaptiveRun{}, err
+		}
+		total := time.Since(start)
+		s := dec.Stats()
+		run := adaptiveRun{
+			Adaptive:    adaptive,
+			TotalMS:     float64(total) / float64(time.Millisecond),
+			P50StripeUS: float64(percentile(timer.intervals, 0.50)) / float64(time.Microsecond),
+			P99StripeUS: float64(percentile(timer.intervals, 0.99)) / float64(time.Microsecond),
+			HedgedReads: s.HedgedReads,
+			HedgeWins:   s.HedgeWins,
+			RaHits:      reg.Counter("shardio_readahead_hits_total", "").Value(),
+			Adjustments: reg.Counter("adapt_adjustments_total", "").Value(),
+		}
+		if ctrl != nil {
+			run.FinalKnobs = ctrl.State().Load().String()
+			for _, d := range ctrl.History() {
+				history = append(history, fmt.Sprintf("tick %d %s -> %s", d.Tick, d.Reason, d.Knobs))
+			}
+		}
+		return run, nil
+	}
+
+	report := adaptiveReport{Config: cfg, History: []string{}}
+	for _, adaptive := range []bool{false, true} {
+		run, err := decode(adaptive)
+		if err != nil {
+			return fmt.Errorf("adaptive decode (adaptive=%v): %w", adaptive, err)
+		}
+		report.Runs = append(report.Runs, run)
+	}
+	report.History = history
+
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report)
+	}
+	fmt.Printf("adaptive decode: RS(%d,%d) shard=%dB stripes=%d, base ~%dus/read, shard %d bursts ~%dus x%d every %d stripes (seed %d)\n",
+		cfg.K, cfg.M, cfg.ShardSize, cfg.Stripes, cfg.BaseMicros,
+		cfg.SlowShard, cfg.SlowMicros, cfg.BurstBlocks, cfg.BurstEvery, cfg.Seed)
+	fmt.Printf("  %-8s %12s %12s %10s %8s %6s %8s %6s\n",
+		"mode", "p50/stripe", "p99/stripe", "total", "hedged", "wins", "rahits", "adj")
+	for _, r := range report.Runs {
+		mode := "static"
+		if r.Adaptive {
+			mode = "adaptive"
+		}
+		fmt.Printf("  %-8s %10.0fus %10.0fus %8.1fms %8d %6d %8d %6d\n",
+			mode, r.P50StripeUS, r.P99StripeUS, r.TotalMS, r.HedgedReads, r.HedgeWins, r.RaHits, r.Adjustments)
+	}
+	for _, h := range history {
+		fmt.Printf("  %s\n", h)
+	}
+	if len(report.Runs) == 2 {
+		s, a := report.Runs[0], report.Runs[1]
+		if s.TotalMS > 0 {
+			fmt.Printf("  adaptive vs static: %+.1f%% total, %+.1f%% p99\n",
+				(a.TotalMS-s.TotalMS)/s.TotalMS*100, (a.P99StripeUS-s.P99StripeUS)/s.P99StripeUS*100)
+		}
+	}
+	return nil
+}

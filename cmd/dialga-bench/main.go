@@ -7,6 +7,9 @@
 //	dialga-bench -all -quick         # fast smoke run (shapes untrusted)
 //	dialga-bench -straggler          # hedged vs plain decode under one slow shard
 //	dialga-bench -straggler -json    # same, machine-readable
+//	dialga-bench -adaptive           # adaptive vs static decode, paced fleet +
+//	                                 # bursty straggler, controller history
+//	dialga-bench -adaptive -json     # same, machine-readable (BENCH_adaptive.json)
 //	dialga-bench -encode             # fused vs two-pass encode sweep
 //	dialga-bench -encode -fused=off  # legacy two-pass path only (escape hatch)
 //	dialga-bench -encode -json -gate ci/bench_fused_baseline.json
@@ -39,6 +42,7 @@ func main() {
 		verbose   = flag.Bool("v", false, "log each run")
 		list      = flag.Bool("list", false, "list figure ids")
 		straggler = flag.Bool("straggler", false, "benchmark hedged vs plain decode with one slow shard")
+		adaptiveB = flag.Bool("adaptive", false, "benchmark adaptive vs static decode under a paced fleet with a bursty straggler")
 		encodeB   = flag.Bool("encode", false, "benchmark fused vs two-pass encode across k and checksum settings")
 		fusedMode = flag.String("fused", "both", "with -encode: sweep the fused path (on), the legacy two-pass path (off), or both")
 		gate      = flag.String("gate", "", "with -encode: baseline BENCH_fused.json; fail if the RS(10,4) fused speedup regressed >10%")
@@ -66,6 +70,14 @@ func main() {
 
 	if *straggler {
 		if err := runStraggler(*quick, *asJSON); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *adaptiveB {
+		if err := runAdaptive(*quick, *asJSON); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

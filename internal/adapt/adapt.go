@@ -1,0 +1,181 @@
+// Package adapt closes the paper's adaptive-scheduling loop over the
+// live decode pipeline: a feedback controller samples the
+// observability layer (internal/obs) and moves the pipeline's
+// scheduling knobs — per-shard readahead depth, hedge interval,
+// deadline multiplier, active worker count, and the bounded in-flight
+// window — while stripes are flowing.
+//
+// The policy is the paper's relative-threshold rule mapped from
+// prefetcher scheduling onto degraded reads: raise prefetch/hedge
+// aggressiveness when the observed stripe latency exceeds 110% of its
+// trailing baseline, and back off when the useless-work ratio (hedges
+// that did not win, readahead blocks discarded unused) exceeds 150% of
+// its baseline. Both triggers are Schmitt triggers — once fired they
+// re-arm only after the signal falls back inside a hysteresis band —
+// and every knob carries an independent tick-count cooldown, so the
+// controller nudges rather than oscillates.
+//
+// The package is built deterministic-first: the policy is a pure
+// state machine over Signals values (replayable from a recorded
+// trace), the controller takes a vclock.Clock for its ticker, and the
+// knobs publish through an atomic pointer so pipeline goroutines read
+// them torn-free at stripe boundaries. With no controller attached the
+// pipeline never touches this package and behaves byte-for-byte as
+// before.
+package adapt
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"dialga/internal/stream"
+)
+
+// KnobName identifies one tunable pipeline knob in decisions,
+// cooldowns, and metrics labels.
+type KnobName string
+
+const (
+	KnobHedgeAfter   KnobName = "hedge_after"
+	KnobDeadlineMult KnobName = "deadline_mult"
+	KnobReadahead    KnobName = "readahead"
+	KnobWorkers      KnobName = "workers"
+	KnobWindow       KnobName = "window"
+)
+
+// knobNames is the fixed iteration order for cooldown bookkeeping and
+// metrics — deterministic output requires deterministic order.
+var knobNames = []KnobName{
+	KnobHedgeAfter, KnobDeadlineMult, KnobReadahead, KnobWorkers, KnobWindow,
+}
+
+// Knobs is one complete setting of the dynamic pipeline knobs. The
+// controller owns a single current Knobs value and publishes copies
+// atomically; pipeline code never mutates one.
+type Knobs struct {
+	// HedgeAfter is the hedge interval / deadline floor. Zero means
+	// the pipeline was built without hedging and the knob is pinned.
+	HedgeAfter time.Duration
+	// DeadlineMult scales the fleet-median latency EWMA into the
+	// per-stripe deadline.
+	DeadlineMult float64
+	// Readahead is the per-shard speculative read depth in blocks.
+	Readahead int
+	// Workers is the active encode/decode worker count.
+	Workers int
+	// Window is the bounded in-flight stripe window.
+	Window int
+}
+
+// Limits clamps every knob move. Min == Max pins a knob.
+type Limits struct {
+	MinHedgeAfter, MaxHedgeAfter     time.Duration
+	MinDeadlineMult, MaxDeadlineMult float64
+	MinReadahead, MaxReadahead       int
+	MinWorkers, MaxWorkers           int
+	MinWindow, MaxWindow             int
+}
+
+// DefaultLimits derives sane clamps from the pipeline's initial knob
+// values: the hedge interval may move a factor of 8 either way, the
+// deadline multiplier stays in [1.5, 16], readahead in [0, 8], and
+// workers/window may only shrink from their static ceilings (the
+// pipeline goroutines and channel buffers are sized at build time).
+func DefaultLimits(initial Knobs) Limits {
+	l := Limits{
+		MinDeadlineMult: 1.5,
+		MaxDeadlineMult: 16,
+		MinReadahead:    0,
+		MaxReadahead:    8,
+		MinWorkers:      1,
+		MaxWorkers:      initial.Workers,
+		MinWindow:       1,
+		MaxWindow:       initial.Window,
+	}
+	if initial.HedgeAfter > 0 {
+		l.MinHedgeAfter = initial.HedgeAfter / 8
+		l.MaxHedgeAfter = initial.HedgeAfter * 8
+	}
+	return l
+}
+
+// clamp returns k with every field forced inside l.
+func (l Limits) clamp(k Knobs) Knobs {
+	k.HedgeAfter = clampDur(k.HedgeAfter, l.MinHedgeAfter, l.MaxHedgeAfter)
+	k.DeadlineMult = clampF(k.DeadlineMult, l.MinDeadlineMult, l.MaxDeadlineMult)
+	k.Readahead = clampI(k.Readahead, l.MinReadahead, l.MaxReadahead)
+	k.Workers = clampI(k.Workers, l.MinWorkers, l.MaxWorkers)
+	k.Window = clampI(k.Window, l.MinWindow, l.MaxWindow)
+	return k
+}
+
+func clampDur(v, lo, hi time.Duration) time.Duration {
+	if v < lo {
+		v = lo
+	}
+	if hi > 0 && v > hi {
+		v = hi
+	}
+	return v
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		v = lo
+	}
+	if hi > 0 && v > hi {
+		v = hi
+	}
+	return v
+}
+
+func clampI(v, lo, hi int) int {
+	if v < lo {
+		v = lo
+	}
+	if hi > 0 && v > hi {
+		v = hi
+	}
+	return v
+}
+
+func (k Knobs) String() string {
+	return fmt.Sprintf("hedge=%v mult=%.2f ra=%d workers=%d window=%d",
+		k.HedgeAfter, k.DeadlineMult, k.Readahead, k.Workers, k.Window)
+}
+
+// State is the lock-free publication point between the controller
+// (single writer) and the pipeline goroutines (many readers): a whole
+// Knobs value swaps atomically, so a reader never observes a torn mix
+// of old and new settings. State implements stream.Tuner, so it plugs
+// directly into stream.Options.Tuner.
+type State struct {
+	knobs atomic.Pointer[Knobs]
+}
+
+// NewState returns a State publishing initial.
+func NewState(initial Knobs) *State {
+	s := &State{}
+	s.Store(initial)
+	return s
+}
+
+// Store publishes a new knob set; the pipeline sees it at its next
+// stripe boundary.
+func (s *State) Store(k Knobs) { s.knobs.Store(&k) }
+
+// Load returns the current knob set.
+func (s *State) Load() Knobs { return *s.knobs.Load() }
+
+// PipelineTuning implements stream.Tuner over the published knobs.
+func (s *State) PipelineTuning() stream.Tuning {
+	k := s.Load()
+	return stream.Tuning{
+		HedgeAfter:   k.HedgeAfter,
+		DeadlineMult: k.DeadlineMult,
+		Readahead:    k.Readahead,
+		Workers:      k.Workers,
+		Window:       k.Window,
+	}
+}

@@ -1,0 +1,228 @@
+package adapt
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"dialga/internal/obs"
+	"dialga/internal/stream"
+	"dialga/internal/vclock"
+)
+
+// DefaultInterval is the controller tick period when Options.Interval
+// is zero and no stripe-driven pacing is configured.
+const DefaultInterval = 100 * time.Millisecond
+
+// Options configures a Controller.
+type Options struct {
+	// Source supplies the signal samples. Required.
+	Source Source
+	// Initial is the knob set the controller starts from — normally
+	// the pipeline's static Options values.
+	Initial Knobs
+	// Policy tunes the thresholds; zero fields take the paper
+	// defaults. A zero Limits is replaced by DefaultLimits(Initial).
+	Policy Config
+	// Interval is the tick period in clock-driven mode (Run). Zero
+	// means DefaultInterval.
+	Interval time.Duration
+	// EveryPulls enables stripe-driven pacing: when > 0, every
+	// EveryPulls-th PipelineTuning call runs one synchronous policy
+	// tick before returning, instead of a background ticker. Pipeline
+	// tuning pulls happen at stripe boundaries, so ticks land at
+	// deterministic points in the stripe sequence — the mode the
+	// reproducible chaos tests and the A/B benchmark use.
+	EveryPulls int
+	// Clock drives Run's ticker; nil means the wall clock.
+	Clock vclock.Clock
+	// Metrics, when non-nil, receives the adapt_* series: knob gauges,
+	// tick and adjustment counters, and per-knob change counters.
+	Metrics *obs.Registry
+	// Trace, when non-nil, records one span per adjusting tick
+	// (negative span IDs, so they never collide with stripe spans)
+	// annotated with the reason and resulting knob set.
+	Trace *obs.Tracer
+}
+
+// Controller runs the feedback loop: sample Signals, run the policy,
+// publish the resulting knobs. It implements stream.Tuner, so the
+// controller itself is what you hand to stream.Options.Tuner.
+type Controller struct {
+	opts   Options
+	clock  vclock.Clock
+	state  *State
+	policy *Policy
+
+	mu      sync.Mutex // serializes ticks; guards history
+	history []Decision
+
+	pulls atomic64
+
+	stop    chan struct{}
+	done    chan struct{}
+	runOnce sync.Once
+
+	ticksC   *obs.Counter // adapt_ticks_total
+	adjC     *obs.Counter // adapt_adjustments_total
+	supC     *obs.Counter // adapt_suppressed_total
+	changeC  map[KnobName]*obs.Counter
+	hedgeG   *obs.Gauge
+	multG    *obs.Gauge
+	raG      *obs.Gauge
+	workersG *obs.Gauge
+	windowG  *obs.Gauge
+}
+
+// atomic64 is a tiny counter wrapper (kept separate so Controller's
+// zero-field alignment stays obvious).
+type atomic64 struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (a *atomic64) incAndGet() int {
+	a.mu.Lock()
+	a.n++
+	n := a.n
+	a.mu.Unlock()
+	return n
+}
+
+var errNoSource = errors.New("adapt: Options.Source is required")
+
+// New validates opts and returns a controller publishing
+// opts.Initial. Nothing runs until Run (clock-driven) or until the
+// pipeline starts pulling tuning (stripe-driven).
+func New(opts Options) (*Controller, error) {
+	if opts.Source == nil {
+		return nil, errNoSource
+	}
+	if opts.Interval == 0 {
+		opts.Interval = DefaultInterval
+	}
+	if (opts.Policy.Limits == Limits{}) {
+		opts.Policy.Limits = DefaultLimits(opts.Initial)
+	}
+	c := &Controller{
+		opts:   opts,
+		clock:  vclock.OrReal(opts.Clock),
+		state:  NewState(opts.Initial),
+		policy: NewPolicy(opts.Policy),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	reg := opts.Metrics
+	c.ticksC = reg.Counter("adapt_ticks_total",
+		"Controller policy ticks (samples evaluated).")
+	c.adjC = reg.Counter("adapt_adjustments_total",
+		"Controller ticks that changed at least one pipeline knob.")
+	c.supC = reg.Counter("adapt_suppressed_total",
+		"Knob moves suppressed by a cooldown or clamp while a trigger was firing.")
+	c.changeC = make(map[KnobName]*obs.Counter, len(knobNames))
+	for _, k := range knobNames {
+		c.changeC[k] = reg.Counter("adapt_knob_changes_total",
+			"Individual knob moves, by knob.", obs.Label{Key: "knob", Value: string(k)})
+	}
+	c.hedgeG = reg.Gauge("adapt_hedge_after_us", "Current hedge interval knob, microseconds.")
+	c.multG = reg.Gauge("adapt_deadline_mult", "Current deadline multiplier knob.")
+	c.raG = reg.Gauge("adapt_readahead", "Current per-shard readahead depth knob.")
+	c.workersG = reg.Gauge("adapt_workers", "Current active worker count knob.")
+	c.windowG = reg.Gauge("adapt_window", "Current in-flight window knob.")
+	c.export(opts.Initial)
+	return c, nil
+}
+
+func (c *Controller) export(k Knobs) {
+	c.hedgeG.Set(float64(k.HedgeAfter) / float64(time.Microsecond))
+	c.multG.Set(k.DeadlineMult)
+	c.raG.Set(float64(k.Readahead))
+	c.workersG.Set(float64(k.Workers))
+	c.windowG.Set(float64(k.Window))
+}
+
+// State returns the knob publication point (also a stream.Tuner, for
+// callers that want the knobs without the stripe-driven stepping).
+func (c *Controller) State() *State { return c.state }
+
+// PipelineTuning implements stream.Tuner. In stripe-driven mode every
+// EveryPulls-th call first runs a policy tick, closing the loop with
+// no background goroutine and no wall-clock dependence.
+func (c *Controller) PipelineTuning() stream.Tuning {
+	if n := c.opts.EveryPulls; n > 0 {
+		if c.pulls.incAndGet()%n == 0 {
+			c.Step()
+		}
+	}
+	return c.state.PipelineTuning()
+}
+
+// Step runs one synchronous sample → decide → publish tick and
+// returns the decision. Safe for concurrent use; ticks serialize.
+func (c *Controller) Step() Decision {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sig := c.opts.Source.Sample()
+	dec := c.policy.Decide(c.state.Load(), sig)
+	c.ticksC.Inc()
+	c.supC.Add(uint64(len(dec.Suppressed)))
+	if len(dec.Changed) > 0 {
+		c.state.Store(dec.Knobs)
+		c.export(dec.Knobs)
+		c.adjC.Inc()
+		for _, k := range dec.Changed {
+			c.changeC[k].Inc()
+		}
+		c.history = append(c.history, dec)
+		if tr := c.opts.Trace; tr != nil {
+			sp := tr.Begin(-int64(dec.Tick))
+			sp.Event("adapt", string(dec.Reason)+" "+dec.Knobs.String())
+			sp.End()
+		}
+	}
+	return dec
+}
+
+// History returns a copy of every adjusting decision so far, in tick
+// order — the audit trail the deterministic tests assert against.
+// Steady, warmup, and fully-suppressed ticks are not recorded, so
+// len(History()) always equals the adapt_adjustments_total counter.
+func (c *Controller) History() []Decision {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Decision, len(c.history))
+	copy(out, c.history)
+	return out
+}
+
+// Run starts the clock-driven loop: one Step per Interval until Stop.
+// It returns immediately; calling it again is a no-op.
+func (c *Controller) Run() {
+	c.runOnce.Do(func() {
+		go func() {
+			defer close(c.done)
+			tk := c.clock.NewTicker(c.opts.Interval)
+			defer tk.Stop()
+			for {
+				select {
+				case <-c.stop:
+					return
+				case <-tk.C():
+					c.Step()
+				}
+			}
+		}()
+	})
+}
+
+// Stop halts a running clock-driven loop and waits for it to exit.
+// Safe to call multiple times, and a no-op if Run was never called.
+func (c *Controller) Stop() {
+	select {
+	case <-c.stop:
+	default:
+		close(c.stop)
+	}
+	c.runOnce.Do(func() { close(c.done) }) // Run never started: unblock the wait
+	<-c.done
+}

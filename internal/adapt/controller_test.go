@@ -1,0 +1,179 @@
+package adapt
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"dialga/internal/obs"
+	"dialga/internal/vclock"
+)
+
+// scripted returns a Source that replays trace and then repeats its
+// last sample forever (a controller may tick more often than the
+// script is long).
+func scripted(trace []Signals) Source {
+	var mu sync.Mutex
+	i := 0
+	return SignalsFunc(func() Signals {
+		mu.Lock()
+		defer mu.Unlock()
+		s := trace[i]
+		if i < len(trace)-1 {
+			i++
+		}
+		return s
+	})
+}
+
+// stepTrace is warmup, one steady tick, then a sustained latency
+// step: exactly one adjustment however many ticks run.
+func stepTrace() []Signals {
+	return []Signals{lat(1000), lat(1000), lat(2000), lat(2000), lat(2000)}
+}
+
+// TestControllerClockDriven drives Run with a fake clock: every
+// Advance by one interval is exactly one policy tick, with no real
+// sleeping anywhere.
+func TestControllerClockDriven(t *testing.T) {
+	fc := vclock.NewFake()
+	reg := obs.NewRegistry()
+	c, err := New(Options{
+		Source:   scripted(stepTrace()),
+		Initial:  testKnobs(),
+		Policy:   Config{Limits: testLimits()},
+		Interval: 100 * time.Millisecond,
+		Clock:    fc,
+		Metrics:  reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+	fc.BlockUntil(1) // the loop's ticker is armed
+	ticks := reg.Counter("adapt_ticks_total", "")
+	for i := 1; i <= 6; i++ {
+		fc.Advance(100 * time.Millisecond)
+		waitCounter(t, ticks, uint64(i))
+	}
+	c.Stop()
+
+	if got := reg.Counter("adapt_adjustments_total", "").Value(); got != 1 {
+		t.Fatalf("adjustments = %d, want exactly 1 for a step trace", got)
+	}
+	if h := c.History(); len(h) != 1 || h[0].Reason != ReasonLatencyHigh {
+		t.Fatalf("history = %+v, want one latency-high decision", h)
+	}
+	if k := c.State().Load(); k.Readahead != 3 || k.HedgeAfter != 800*time.Microsecond {
+		t.Fatalf("published knobs = %+v, want the stepped set", k)
+	}
+	// Advancing after Stop must not tick.
+	before := ticks.Value()
+	fc.Advance(time.Second)
+	if ticks.Value() != before {
+		t.Fatal("controller ticked after Stop")
+	}
+}
+
+// waitCounter spins (bounded, no sleeps) until the counter reaches
+// want — the rendezvous between the fake-clock Advance and the
+// controller goroutine's Step.
+func waitCounter(t *testing.T, c *obs.Counter, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Value() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("counter stuck at %d, want %d", c.Value(), want)
+		}
+	}
+}
+
+// TestControllerStripeDriven: with EveryPulls set, policy ticks land
+// on exact PipelineTuning call counts — fully deterministic with no
+// clock at all.
+func TestControllerStripeDriven(t *testing.T) {
+	reg := obs.NewRegistry()
+	c, err := New(Options{
+		Source:     scripted(stepTrace()),
+		Initial:    testKnobs(),
+		Policy:     Config{Limits: testLimits()},
+		EveryPulls: 4,
+		Metrics:    reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ticks := reg.Counter("adapt_ticks_total", "")
+	for pull := 1; pull <= 24; pull++ {
+		tn := c.PipelineTuning()
+		if want := uint64(pull / 4); ticks.Value() != want {
+			t.Fatalf("after pull %d: %d ticks, want %d", pull, ticks.Value(), want)
+		}
+		// Until the step adjustment (tick 3 = pull 12), tuning is the
+		// initial knob set.
+		if pull < 12 && tn.Readahead != 2 {
+			t.Fatalf("pull %d saw readahead %d before the step", pull, tn.Readahead)
+		}
+		if pull >= 12 && tn.Readahead != 3 {
+			t.Fatalf("pull %d saw readahead %d, want the stepped 3", pull, tn.Readahead)
+		}
+	}
+	if got := reg.Counter("adapt_adjustments_total", "").Value(); got != uint64(len(c.History())) {
+		t.Fatalf("adjustments counter %d != history length %d",
+			got, len(c.History()))
+	}
+}
+
+// TestControllerMetricsAndTrace: knob gauges track the published set
+// and adjusting ticks annotate the trace ring.
+func TestControllerMetricsAndTrace(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(16)
+	c, err := New(Options{
+		Source:  scripted(stepTrace()),
+		Initial: testKnobs(),
+		Policy:  Config{Limits: testLimits()},
+		Metrics: reg,
+		Trace:   tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := reg.Gauge("adapt_readahead", "").Value(); g != 2 {
+		t.Fatalf("initial readahead gauge = %v, want 2", g)
+	}
+	for i := 0; i < 4; i++ {
+		c.Step()
+	}
+	if g := reg.Gauge("adapt_readahead", "").Value(); g != 3 {
+		t.Fatalf("post-step readahead gauge = %v, want 3", g)
+	}
+	if g := reg.Gauge("adapt_hedge_after_us", "").Value(); g != 800 {
+		t.Fatalf("hedge gauge = %v, want 800us", g)
+	}
+	if got := reg.Counter("adapt_knob_changes_total", "", obs.Label{Key: "knob", Value: "readahead"}).Value(); got != 1 {
+		t.Fatalf("readahead change counter = %d, want 1", got)
+	}
+	spans := tr.Snapshot()
+	if len(spans) != 1 || len(spans[0].Events) != 1 || spans[0].Events[0].Name != "adapt" {
+		t.Fatalf("trace ring = %+v, want one adapt annotation span", spans)
+	}
+}
+
+// TestControllerNoSource: Options without a Source are rejected.
+func TestControllerNoSource(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Fatal("New accepted an Options with no Source")
+	}
+}
+
+// TestControllerStopWithoutRun: Stop on a never-started controller
+// returns immediately.
+func TestControllerStopWithoutRun(t *testing.T) {
+	c, err := New(Options{Source: scripted(stepTrace()), Initial: testKnobs()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Stop()
+	c.Stop() // and it is idempotent
+}

@@ -1,0 +1,333 @@
+package adapt
+
+import "time"
+
+// Paper-derived policy constants. The source scheme triggers on
+// *relative* thresholds against a trailing baseline rather than
+// absolute latencies, which is what lets one policy serve devices
+// whose "normal" differs by orders of magnitude:
+//
+//   - latency above 110% of its trailing baseline => the device (or a
+//     straggling shard) is degrading; spend more speculative work to
+//     hide it (deeper readahead, earlier hedges, tighter deadlines).
+//   - useless-work ratio above 150% of its trailing baseline => the
+//     speculation is missing; back it off before it steals bandwidth
+//     from demand reads.
+const (
+	// DefaultLatencyTrigger fires the aggressive branch when observed
+	// latency exceeds this multiple of the trailing baseline.
+	DefaultLatencyTrigger = 1.10
+	// DefaultUselessTrigger fires the back-off branch when the
+	// useless-work ratio exceeds this multiple of its baseline.
+	DefaultUselessTrigger = 1.50
+	// DefaultReArm is the hysteresis band: a fired trigger re-arms
+	// only once its ratio falls below this multiple of baseline.
+	DefaultReArm = 1.05
+	// DefaultBaselineAlpha is the EWMA weight of the newest sample in
+	// the trailing baselines.
+	DefaultBaselineAlpha = 0.2
+	// DefaultCooldownTicks is how many controller ticks a knob rests
+	// after moving.
+	DefaultCooldownTicks = 3
+	// DefaultStormTrips is the per-tick breaker-trip delta treated as
+	// a regime change rather than a gradual drift.
+	DefaultStormTrips = 3
+	// DefaultUselessFloor keeps the useless-ratio trigger meaningful
+	// when its baseline is near zero: the ratio must also exceed this
+	// absolute floor to fire.
+	DefaultUselessFloor = 0.15
+	// DefaultMinSpeculative is the least speculative work (hedges +
+	// readahead serves) a tick must have issued for its useless ratio
+	// to count as a signal. One lost hedge in an otherwise quiet window
+	// is a 100% useless ratio by arithmetic and pure noise by any other
+	// standard; below this sample size the ratio reports no-signal.
+	DefaultMinSpeculative = 4
+	// DefaultBaselineDownAlpha is the EWMA weight used when the newest
+	// latency sample is *below* the trailing baseline. The baseline's
+	// job is to approximate the sustainable steady state, so it adopts
+	// improvements faster than regressions: a transient spike that
+	// happens to land in the seeding window (process startup, a cold
+	// cache) would otherwise sit in a slow symmetric EWMA for many
+	// ticks, during which a genuine regression can't clear the relative
+	// trigger because the baseline is still inflated.
+	DefaultBaselineDownAlpha = 0.6
+)
+
+// Per-fire knob step sizes. Multiplicative for the time/ratio knobs
+// (symmetric in log space), additive for the small-integer ones.
+const (
+	hedgeTighten    = 0.8  // aggressive: hedge sooner
+	hedgeRelax      = 1.25 // back off: hedge later
+	deadlineTighten = 0.9  // aggressive: demote stragglers sooner
+	deadlineRelax   = 1.15 // back off / storm: be more forgiving
+	readaheadStep   = 1
+	workersStep     = 1
+	windowStep      = 1
+)
+
+// Config parameterizes the policy. The zero value of any field means
+// its Default constant above; Limits is required (zero limits pin
+// every knob at its minimum, which is never what you want).
+type Config struct {
+	LatencyTrigger float64
+	UselessTrigger float64
+	ReArm          float64
+	BaselineAlpha  float64
+	// BaselineDownAlpha weights latency samples below the current
+	// baseline (improvements); BaselineAlpha weights samples above it.
+	BaselineDownAlpha float64
+	CooldownTicks     int
+	StormTrips        uint64
+	UselessFloor      float64
+	// MinSpeculative gates the useless trigger on sample size: zero
+	// means the default, 1 means every nonempty window counts.
+	MinSpeculative int
+	Limits         Limits
+}
+
+func (c Config) withDefaults() Config {
+	if c.LatencyTrigger == 0 {
+		c.LatencyTrigger = DefaultLatencyTrigger
+	}
+	if c.UselessTrigger == 0 {
+		c.UselessTrigger = DefaultUselessTrigger
+	}
+	if c.ReArm == 0 {
+		c.ReArm = DefaultReArm
+	}
+	if c.BaselineAlpha == 0 {
+		c.BaselineAlpha = DefaultBaselineAlpha
+	}
+	if c.BaselineDownAlpha == 0 {
+		c.BaselineDownAlpha = DefaultBaselineDownAlpha
+	}
+	if c.CooldownTicks == 0 {
+		c.CooldownTicks = DefaultCooldownTicks
+	}
+	if c.StormTrips == 0 {
+		c.StormTrips = DefaultStormTrips
+	}
+	if c.UselessFloor == 0 {
+		c.UselessFloor = DefaultUselessFloor
+	}
+	if c.MinSpeculative <= 0 {
+		c.MinSpeculative = DefaultMinSpeculative
+	}
+	return c
+}
+
+// Reason labels why a tick adjusted (or declined to adjust) knobs.
+type Reason string
+
+const (
+	ReasonWarmup      Reason = "warmup"        // first sample: baselines seeded, no decision
+	ReasonSteady      Reason = "steady"        // no trigger fired
+	ReasonLatencyHigh Reason = "latency-high"  // observed latency > trigger * baseline
+	ReasonUselessHigh Reason = "useless-high"  // useless-work ratio > trigger * baseline
+	ReasonStorm       Reason = "breaker-storm" // trip burst: regime reset + back-off
+)
+
+// Decision is the full, reproducible outcome of one policy tick.
+type Decision struct {
+	Tick   int
+	Reason Reason
+	Knobs  Knobs // knob set after this tick
+
+	// Changed lists knobs this tick actually moved; empty for steady
+	// ticks. Suppressed lists knobs the firing branch wanted to move
+	// but left alone because their cooldown had not expired (or the
+	// clamp made the move a no-op).
+	Changed    []KnobName
+	Suppressed []KnobName
+
+	// The evidence: the ratios the thresholds compared.
+	LatencyRatio float64
+	UselessRatio float64
+}
+
+// Policy is the deterministic feedback state machine: Decide consumes
+// one Signals sample and the current knob set and returns the next.
+// It is NOT safe for concurrent use — the controller serializes calls
+// — and it holds no clock, no channels, and no references into the
+// pipeline, so a scripted []Signals trace replays a run bit-for-bit.
+type Policy struct {
+	cfg Config
+
+	ticks    int
+	seeded   bool
+	prev     Signals
+	latBase  float64 // trailing latency baseline (EWMA)
+	useBase  float64 // trailing useless-ratio baseline (EWMA)
+	latArmed bool    // Schmitt trigger states
+	useArmed bool
+	cooldown map[KnobName]int
+}
+
+// NewPolicy returns a policy with cfg (zero fields defaulted).
+func NewPolicy(cfg Config) *Policy {
+	return &Policy{
+		cfg:      cfg.withDefaults(),
+		latArmed: true,
+		useArmed: true,
+		cooldown: make(map[KnobName]int),
+	}
+}
+
+// uselessRatio computes this tick's useless-work share: hedges that
+// did not win plus readahead blocks discarded, over all speculative
+// work issued. Fewer than min speculative ops this tick reports -1
+// (no signal) — a window too small to divide meaningfully.
+func uselessRatio(d Signals, min int) float64 {
+	issued := d.HedgedReads + d.ReadaheadHits + d.ReadaheadUseless
+	if issued == 0 || issued < uint64(min) {
+		return -1
+	}
+	useless := d.HedgedReads - d.HedgeWins + d.ReadaheadUseless
+	return float64(useless) / float64(issued)
+}
+
+// delta returns cur - prev field-wise for the cumulative counters.
+func delta(cur, prev Signals) Signals {
+	return Signals{
+		Stripes:          cur.Stripes - prev.Stripes,
+		HedgedReads:      cur.HedgedReads - prev.HedgedReads,
+		HedgeWins:        cur.HedgeWins - prev.HedgeWins,
+		BreakerTrips:     cur.BreakerTrips - prev.BreakerTrips,
+		ReadaheadHits:    cur.ReadaheadHits - prev.ReadaheadHits,
+		ReadaheadUseless: cur.ReadaheadUseless - prev.ReadaheadUseless,
+	}
+}
+
+// Decide runs one policy tick.
+func (p *Policy) Decide(cur Knobs, s Signals) Decision {
+	p.ticks++
+	dec := Decision{Tick: p.ticks, Knobs: cur}
+
+	// Cooldowns age once per tick, before this tick's moves re-arm
+	// them.
+	for k, n := range p.cooldown {
+		if n > 0 {
+			p.cooldown[k] = n - 1
+		}
+	}
+
+	lat := s.latencyUS()
+	if !p.seeded {
+		// First observation seeds the baselines; deciding against an
+		// empty baseline would make the very first sample look like a
+		// 100% regression.
+		p.seeded = true
+		p.prev = s
+		p.latBase = lat
+		dec.Reason = ReasonWarmup
+		return dec
+	}
+
+	d := delta(s, p.prev)
+	p.prev = s
+
+	latRatio := 0.0
+	if p.latBase > 0 && lat > 0 {
+		latRatio = lat / p.latBase
+	}
+	useRatio := uselessRatio(d, p.cfg.MinSpeculative)
+	dec.LatencyRatio = latRatio
+	dec.UselessRatio = useRatio
+
+	// Hysteresis re-arming happens on the way down, before triggers
+	// are evaluated, so a ratio that dipped and spiked again within
+	// one tick still counts as a single excursion.
+	if latRatio > 0 && latRatio < p.cfg.ReArm {
+		p.latArmed = true
+	}
+	if useRatio >= 0 && useRatio < p.cfg.ReArm*p.useBase {
+		p.useArmed = true
+	}
+
+	next := cur
+	apply := func(name KnobName, set func(*Knobs)) {
+		if p.cooldown[name] > 0 {
+			dec.Suppressed = append(dec.Suppressed, name)
+			return
+		}
+		trial := next
+		set(&trial)
+		trial = p.cfg.Limits.clamp(trial)
+		if trial == next {
+			dec.Suppressed = append(dec.Suppressed, name)
+			return
+		}
+		next = trial
+		dec.Changed = append(dec.Changed, name)
+		p.cooldown[name] = p.cfg.CooldownTicks
+	}
+
+	switch {
+	case d.BreakerTrips >= p.cfg.StormTrips:
+		// A burst of trips is a regime change (a shard died, a device
+		// collapsed), not drift: relax the demotion machinery so the
+		// survivors aren't hedged into the ground, and restart the
+		// baselines from the new normal.
+		dec.Reason = ReasonStorm
+		apply(KnobDeadlineMult, func(k *Knobs) { k.DeadlineMult *= deadlineRelax })
+		apply(KnobHedgeAfter, func(k *Knobs) {
+			k.HedgeAfter = time.Duration(float64(k.HedgeAfter) * hedgeRelax)
+		})
+		p.latBase = lat
+		p.useBase = 0
+		p.latArmed = true
+		p.useArmed = true
+
+	case p.useArmed && useRatio >= 0 &&
+		useRatio > p.cfg.UselessFloor &&
+		useRatio > p.cfg.UselessTrigger*p.useBase:
+		// Speculation is mostly missing: shallower readahead, later
+		// hedges, more forgiving deadlines.
+		dec.Reason = ReasonUselessHigh
+		apply(KnobReadahead, func(k *Knobs) { k.Readahead -= readaheadStep })
+		apply(KnobHedgeAfter, func(k *Knobs) {
+			k.HedgeAfter = time.Duration(float64(k.HedgeAfter) * hedgeRelax)
+		})
+		apply(KnobDeadlineMult, func(k *Knobs) { k.DeadlineMult *= deadlineRelax })
+		p.useArmed = false
+
+	case p.latArmed && latRatio > p.cfg.LatencyTrigger:
+		// Latency regressed against its own history: hide it with
+		// more speculative work and more pipeline slack.
+		dec.Reason = ReasonLatencyHigh
+		apply(KnobReadahead, func(k *Knobs) { k.Readahead += readaheadStep })
+		apply(KnobHedgeAfter, func(k *Knobs) {
+			k.HedgeAfter = time.Duration(float64(k.HedgeAfter) * hedgeTighten)
+		})
+		apply(KnobDeadlineMult, func(k *Knobs) { k.DeadlineMult *= deadlineTighten })
+		apply(KnobWorkers, func(k *Knobs) { k.Workers += workersStep })
+		apply(KnobWindow, func(k *Knobs) { k.Window += windowStep })
+		p.latArmed = false
+
+	default:
+		dec.Reason = ReasonSteady
+	}
+
+	// Trailing baselines absorb the new sample last, so the thresholds
+	// above compared against history only. A storm already reseeded.
+	// The latency baseline is asymmetric: improvements pull it down
+	// with the faster down-alpha, regressions lift it with the slow
+	// one — the baseline tracks the sustainable steady state, not the
+	// arithmetic mean of spikes and lulls.
+	if dec.Reason != ReasonStorm {
+		if lat > 0 {
+			a := p.cfg.BaselineAlpha
+			if lat < p.latBase {
+				a = p.cfg.BaselineDownAlpha
+			}
+			p.latBase = (1-a)*p.latBase + a*lat
+		}
+		if useRatio >= 0 {
+			a := p.cfg.BaselineAlpha
+			p.useBase = (1-a)*p.useBase + a*useRatio
+		}
+	}
+
+	dec.Knobs = next
+	return dec
+}

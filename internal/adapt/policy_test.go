@@ -1,0 +1,389 @@
+package adapt
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// testKnobs is the starting knob set for the scripted traces: enough
+// headroom on every knob that a clamp never masks a policy decision
+// unless a test wants it to.
+func testKnobs() Knobs {
+	return Knobs{
+		HedgeAfter:   time.Millisecond,
+		DeadlineMult: 3.0,
+		Readahead:    2,
+		Workers:      2,
+		Window:       4,
+	}
+}
+
+func testLimits() Limits {
+	return Limits{
+		MinHedgeAfter: 100 * time.Microsecond, MaxHedgeAfter: 8 * time.Millisecond,
+		MinDeadlineMult: 1.5, MaxDeadlineMult: 16,
+		MinReadahead: 0, MaxReadahead: 8,
+		MinWorkers: 1, MaxWorkers: 4,
+		MinWindow: 1, MaxWindow: 8,
+	}
+}
+
+// lat builds a Signals sample with only the latency signal set.
+func lat(us float64) Signals { return Signals{StripeP99US: us} }
+
+// run replays a scripted signal trace through a fresh policy and
+// returns every decision, threading the knob state exactly as the
+// controller does.
+func run(t *testing.T, p *Policy, start Knobs, trace []Signals) []Decision {
+	t.Helper()
+	out := make([]Decision, 0, len(trace))
+	k := start
+	for _, s := range trace {
+		d := p.Decide(k, s)
+		k = d.Knobs
+		out = append(out, d)
+	}
+	return out
+}
+
+// adjustments filters a decision list down to ticks that moved knobs.
+func adjustments(ds []Decision) []Decision {
+	var out []Decision
+	for _, d := range ds {
+		if len(d.Changed) > 0 {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func eq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// TestPolicyWarmup: the first sample only seeds the baseline — no
+// decision, no knob movement, whatever the values look like.
+func TestPolicyWarmup(t *testing.T) {
+	p := NewPolicy(Config{Limits: testLimits()})
+	d := p.Decide(testKnobs(), lat(50_000))
+	if d.Reason != ReasonWarmup || len(d.Changed) != 0 {
+		t.Fatalf("first tick = %+v, want pure warmup", d)
+	}
+	if d.Knobs != testKnobs() {
+		t.Fatalf("warmup moved knobs: %v", d.Knobs)
+	}
+}
+
+// TestPolicyStepChange pins the exact knob trajectory for a latency
+// step: 1000us baseline, then a sustained jump to 2000us. The 110%
+// trigger fires exactly once — the Schmitt trigger stays disarmed
+// while the trailing baseline catches up, and once it re-arms the
+// ratio is already back under the trigger — so a step costs one
+// adjustment, not one per tick.
+func TestPolicyStepChange(t *testing.T) {
+	p := NewPolicy(Config{Limits: testLimits()})
+	trace := []Signals{lat(1000), lat(1000)}
+	for i := 0; i < 20; i++ {
+		trace = append(trace, lat(2000))
+	}
+	ds := run(t, p, testKnobs(), trace)
+
+	adj := adjustments(ds)
+	if len(adj) != 1 {
+		t.Fatalf("step change produced %d adjustments, want exactly 1: %+v", len(adj), adj)
+	}
+	d := adj[0]
+	if d.Tick != 3 || d.Reason != ReasonLatencyHigh {
+		t.Fatalf("adjustment at tick %d reason %q, want tick 3 latency-high", d.Tick, d.Reason)
+	}
+	if !eq(d.LatencyRatio, 2.0) {
+		t.Fatalf("latency ratio = %v, want 2.0 (2000us against a 1000us baseline)", d.LatencyRatio)
+	}
+	// The aggressive branch moved every knob one step.
+	want := Knobs{
+		HedgeAfter:   800 * time.Microsecond, // 1ms * 0.8
+		DeadlineMult: 2.7,                    // 3.0 * 0.9
+		Readahead:    3,                      // 2 + 1
+		Workers:      3,                      // 2 + 1
+		Window:       5,                      // 4 + 1
+	}
+	if d.Knobs.HedgeAfter != want.HedgeAfter || !eq(d.Knobs.DeadlineMult, want.DeadlineMult) ||
+		d.Knobs.Readahead != want.Readahead || d.Knobs.Workers != want.Workers ||
+		d.Knobs.Window != want.Window {
+		t.Fatalf("knobs after step = %+v, want %+v", d.Knobs, want)
+	}
+	// The final steady state keeps those knobs: no later tick reverted
+	// or re-fired.
+	if final := ds[len(ds)-1].Knobs; final.HedgeAfter != want.HedgeAfter || final.Readahead != want.Readahead {
+		t.Fatalf("knobs drifted after the single adjustment: %+v", final)
+	}
+}
+
+// TestPolicyRamp: a slow continuous ramp (+5% per tick) crosses the
+// relative threshold once the trailing baseline falls far enough
+// behind, fires once, and — because the ratio never falls back inside
+// the re-arm band while the ramp continues — never fires again.
+func TestPolicyRamp(t *testing.T) {
+	p := NewPolicy(Config{Limits: testLimits()})
+	trace := []Signals{}
+	v := 1000.0
+	for i := 0; i < 30; i++ {
+		trace = append(trace, lat(v))
+		v *= 1.05
+	}
+	ds := run(t, p, testKnobs(), trace)
+	adj := adjustments(ds)
+	if len(adj) != 1 {
+		t.Fatalf("ramp produced %d adjustments, want exactly 1", len(adj))
+	}
+	// +5%/tick against an alpha=0.2 trailing EWMA crosses 110% on
+	// tick 4: base = 1028.5..., lat = 1157.6..., ratio ≈ 1.1256.
+	if adj[0].Tick != 4 {
+		t.Fatalf("ramp fired at tick %d, want 4", adj[0].Tick)
+	}
+	if r := adj[0].LatencyRatio; r < 1.10 || r > 1.13 {
+		t.Fatalf("ramp fire ratio = %v, want ≈1.1256", r)
+	}
+}
+
+// TestPolicyInflatedSeedRecovers: a transient spike in the seeding
+// window (process startup, cold caches) must not blind the trigger.
+// The baseline seeds at 15000us, the true steady state is 3000us, and
+// a genuine regression to 9000us follows two clean ticks. With the
+// asymmetric baseline the clean ticks pull the EWMA down fast
+// (15000 -> 7800 -> 4920, down-alpha 0.6) and the regression fires at
+// ratio ≈ 1.83; a symmetric alpha=0.2 EWMA would still sit at 10680
+// and report the 9000us window as *better* than baseline.
+func TestPolicyInflatedSeedRecovers(t *testing.T) {
+	p := NewPolicy(Config{Limits: testLimits()})
+	ds := run(t, p, testKnobs(), []Signals{
+		lat(15_000), lat(3000), lat(3000), lat(9000),
+	})
+	adj := adjustments(ds)
+	if len(adj) != 1 {
+		t.Fatalf("inflated seed trace produced %d adjustments, want exactly 1: %+v", len(adj), adj)
+	}
+	if adj[0].Tick != 4 || adj[0].Reason != ReasonLatencyHigh {
+		t.Fatalf("fired at tick %d reason %q, want tick 4 latency-high", adj[0].Tick, adj[0].Reason)
+	}
+	if r := adj[0].LatencyRatio; r < 1.8 || r > 1.86 {
+		t.Fatalf("fire ratio = %v, want ≈1.829 (9000 against the decayed 4920 baseline)", r)
+	}
+}
+
+// TestPolicyOscillatingStragglers pins the cooldown suppression
+// window: latency alternating 1000/3000 per tick re-arms the trigger
+// on every low tick, but the per-knob cooldown (3 ticks) blocks every
+// other excursion. Fires land at ticks 2, 6, 10 — the excursions at
+// ticks 4 and 8 trigger but are fully suppressed.
+func TestPolicyOscillatingStragglers(t *testing.T) {
+	p := NewPolicy(Config{Limits: testLimits()})
+	trace := []Signals{}
+	for i := 0; i < 11; i++ {
+		if i%2 == 1 {
+			trace = append(trace, lat(3000))
+		} else {
+			trace = append(trace, lat(1000))
+		}
+	}
+	ds := run(t, p, testKnobs(), trace)
+
+	var fired, suppressed []int
+	for _, d := range ds {
+		if d.Reason != ReasonLatencyHigh {
+			continue
+		}
+		if len(d.Changed) > 0 {
+			fired = append(fired, d.Tick)
+		} else if len(d.Suppressed) > 0 {
+			suppressed = append(suppressed, d.Tick)
+		}
+	}
+	wantFired := []int{2, 6, 10}
+	wantSuppressed := []int{4, 8}
+	if len(fired) != len(wantFired) {
+		t.Fatalf("fired at ticks %v, want %v", fired, wantFired)
+	}
+	for i := range fired {
+		if fired[i] != wantFired[i] {
+			t.Fatalf("fired at ticks %v, want %v", fired, wantFired)
+		}
+	}
+	if len(suppressed) != len(wantSuppressed) {
+		t.Fatalf("suppressed at ticks %v, want %v", suppressed, wantSuppressed)
+	}
+	for i := range suppressed {
+		if suppressed[i] != wantSuppressed[i] {
+			t.Fatalf("suppressed at ticks %v, want %v", suppressed, wantSuppressed)
+		}
+	}
+	// A suppressed excursion must name every knob it wanted to move.
+	for _, d := range ds {
+		if d.Tick == 4 {
+			if len(d.Suppressed) != 5 {
+				t.Fatalf("tick 4 suppressed %v, want all five knobs", d.Suppressed)
+			}
+		}
+	}
+}
+
+// TestPolicyUselessHigh: hedges that mostly lose fire the back-off
+// branch — shallower readahead, later hedges, looser deadlines — and
+// the ratio baseline's hysteresis keeps it to one adjustment while
+// the useless rate stays flat.
+func TestPolicyUselessHigh(t *testing.T) {
+	p := NewPolicy(Config{Limits: testLimits()})
+	mk := func(tick uint64) Signals {
+		return Signals{
+			StripeP99US: 1000,
+			HedgedReads: 10 * tick,
+			HedgeWins:   1 * tick,
+		}
+	}
+	trace := []Signals{}
+	for i := uint64(0); i < 10; i++ {
+		trace = append(trace, mk(i))
+	}
+	ds := run(t, p, testKnobs(), trace)
+	adj := adjustments(ds)
+	if len(adj) != 1 {
+		t.Fatalf("flat useless-hedge rate produced %d adjustments, want 1", len(adj))
+	}
+	d := adj[0]
+	if d.Reason != ReasonUselessHigh || d.Tick != 2 {
+		t.Fatalf("adjustment = tick %d reason %q, want tick 2 useless-high", d.Tick, d.Reason)
+	}
+	if !eq(d.UselessRatio, 0.9) {
+		t.Fatalf("useless ratio = %v, want 0.9 (9 of 10 hedges lost)", d.UselessRatio)
+	}
+	want := Knobs{
+		HedgeAfter:   1250 * time.Microsecond, // 1ms * 1.25
+		DeadlineMult: 3.45,                    // 3.0 * 1.15
+		Readahead:    1,                       // 2 - 1
+		Workers:      2,                       // untouched
+		Window:       4,                       // untouched
+	}
+	if d.Knobs.HedgeAfter != want.HedgeAfter || !eq(d.Knobs.DeadlineMult, want.DeadlineMult) ||
+		d.Knobs.Readahead != want.Readahead || d.Knobs.Workers != want.Workers ||
+		d.Knobs.Window != want.Window {
+		t.Fatalf("knobs after back-off = %+v, want %+v", d.Knobs, want)
+	}
+}
+
+// TestPolicyUselessSmallSample: a window with almost no speculative
+// work cannot fire the back-off, however bad its ratio looks — one
+// lost hedge is noise, not a trend. The same loss rate at volume
+// fires.
+func TestPolicyUselessSmallSample(t *testing.T) {
+	p := NewPolicy(Config{Limits: testLimits()})
+	trace := []Signals{
+		{StripeP99US: 1000},
+		{StripeP99US: 1000, HedgedReads: 1},  // 1 hedge, lost: ratio 1.0 on a sample of 1
+		{StripeP99US: 1000, HedgedReads: 3},  // 2 more lost hedges, still under the gate
+		{StripeP99US: 1000, HedgedReads: 13}, // 10 lost hedges in one window: signal
+	}
+	ds := run(t, p, testKnobs(), trace)
+	adj := adjustments(ds)
+	if len(adj) != 1 {
+		t.Fatalf("got %d adjustments, want 1 (small windows gated): %+v", len(adj), adj)
+	}
+	if adj[0].Tick != 4 || adj[0].Reason != ReasonUselessHigh {
+		t.Fatalf("adjustment = tick %d reason %q, want tick 4 useless-high", adj[0].Tick, adj[0].Reason)
+	}
+	// The gated windows must report no-signal, not a terrifying 1.0.
+	for _, d := range ds {
+		if (d.Tick == 2 || d.Tick == 3) && d.UselessRatio >= 0 {
+			t.Fatalf("tick %d useless ratio = %v, want -1 (below MinSpeculative)", d.Tick, d.UselessRatio)
+		}
+	}
+}
+
+// TestPolicyBreakerStorm: a burst of breaker trips is a regime change
+// — the policy relaxes the demotion knobs and reseeds its baselines
+// from the new normal instead of chasing the spike.
+func TestPolicyBreakerStorm(t *testing.T) {
+	p := NewPolicy(Config{Limits: testLimits()})
+	trace := []Signals{
+		lat(1000),
+		lat(1000),
+		{StripeP99US: 5000, BreakerTrips: 5}, // 5 trips in one tick: storm
+		{StripeP99US: 5000, BreakerTrips: 5}, // trips flat: no new storm
+		{StripeP99US: 5000, BreakerTrips: 5},
+	}
+	ds := run(t, p, testKnobs(), trace)
+	adj := adjustments(ds)
+	if len(adj) != 1 {
+		t.Fatalf("storm produced %d adjustments, want 1", len(adj))
+	}
+	d := adj[0]
+	if d.Reason != ReasonStorm || d.Tick != 3 {
+		t.Fatalf("adjustment = tick %d reason %q, want tick 3 breaker-storm", d.Tick, d.Reason)
+	}
+	if d.Knobs.HedgeAfter != 1250*time.Microsecond || !eq(d.Knobs.DeadlineMult, 3.45) {
+		t.Fatalf("storm knobs = %+v, want hedge 1.25ms mult 3.45", d.Knobs)
+	}
+	// The baseline reseeded at 5000us, so the post-storm plateau is
+	// the new normal: ratio 1.0, steady, no latency-high chasing.
+	for _, d := range ds[3:] {
+		if d.Reason != ReasonSteady {
+			t.Fatalf("post-storm tick %d reason %q, want steady (baseline reseeded)", d.Tick, d.Reason)
+		}
+		if !eq(d.LatencyRatio, 1.0) {
+			t.Fatalf("post-storm ratio = %v, want 1.0", d.LatencyRatio)
+		}
+	}
+}
+
+// TestPolicyClampsAndPins: knobs never leave their limits, and a
+// pipeline built without hedging (HedgeAfter 0) keeps it pinned at
+// zero no matter how hard the latency branch fires.
+func TestPolicyClampsAndPins(t *testing.T) {
+	lim := testLimits()
+	lim.MinHedgeAfter, lim.MaxHedgeAfter = 0, 0
+	p := NewPolicy(Config{Limits: lim, CooldownTicks: 1})
+	k := Knobs{HedgeAfter: 0, DeadlineMult: 1.5, Readahead: 8, Workers: 4, Window: 8}
+	trace := []Signals{lat(1000)}
+	for i := 0; i < 20; i++ {
+		trace = append(trace, lat(1000*math.Pow(1.3, float64(i+1)))) // relentless regression
+	}
+	ds := run(t, p, k, trace)
+	for _, d := range ds {
+		if d.Knobs.HedgeAfter != 0 {
+			t.Fatalf("tick %d enabled hedging on a hedge-less pipeline: %v", d.Tick, d.Knobs.HedgeAfter)
+		}
+		if d.Knobs.Readahead > lim.MaxReadahead || d.Knobs.Workers > lim.MaxWorkers ||
+			d.Knobs.Window > lim.MaxWindow {
+			t.Fatalf("tick %d escaped limits: %+v", d.Tick, d.Knobs)
+		}
+		if d.Knobs.DeadlineMult < lim.MinDeadlineMult-1e-9 {
+			t.Fatalf("tick %d deadline mult below floor: %v", d.Tick, d.Knobs.DeadlineMult)
+		}
+	}
+}
+
+// TestPolicyReplayIsDeterministic: the same trace through two fresh
+// policies yields identical decision sequences — the property every
+// other test in this file depends on.
+func TestPolicyReplayIsDeterministic(t *testing.T) {
+	trace := []Signals{}
+	v := 1000.0
+	for i := 0; i < 40; i++ {
+		s := lat(v)
+		s.HedgedReads = uint64(i * 3)
+		s.HedgeWins = uint64(i)
+		s.BreakerTrips = uint64(i / 7)
+		trace = append(trace, s)
+		if i%5 == 0 {
+			v *= 1.4
+		} else {
+			v *= 0.97
+		}
+	}
+	a := run(t, NewPolicy(Config{Limits: testLimits()}), testKnobs(), trace)
+	b := run(t, NewPolicy(Config{Limits: testLimits()}), testKnobs(), trace)
+	for i := range a {
+		if a[i].Reason != b[i].Reason || a[i].Knobs != b[i].Knobs ||
+			len(a[i].Changed) != len(b[i].Changed) {
+			t.Fatalf("replay diverged at tick %d: %+v vs %+v", i+1, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package adapt
+
+// raceEnabled reports whether the race detector is active; the
+// concurrent knob-hammer test scales its workload down under
+// instrumentation.
+const raceEnabled = true

@@ -1,0 +1,120 @@
+package adapt
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestStateTornReadFree hammers State.Load and PipelineTuning from
+// many reader goroutines (standing in for decode workers and the
+// shard gather loop) while a writer republishes knob sets as fast as
+// it can. Every published set encodes one generation number in every
+// field, so any torn read — a mix of two generations — is detected
+// structurally, not just by the race detector.
+func TestStateTornReadFree(t *testing.T) {
+	gens := 20_000
+	if raceEnabled {
+		gens = 2_000
+	}
+	mk := func(g int) Knobs {
+		return Knobs{
+			HedgeAfter:   time.Duration(g) * time.Microsecond,
+			DeadlineMult: float64(g),
+			Readahead:    g,
+			Workers:      g,
+			Window:       g,
+		}
+	}
+	st := NewState(mk(0))
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	readers := runtime.GOMAXPROCS(0)
+	if readers < 2 {
+		readers = 2
+	}
+	errs := make(chan string, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(viaTuning bool) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var g int
+				var ok bool
+				if viaTuning {
+					tn := st.PipelineTuning()
+					g = tn.Readahead
+					ok = tn.HedgeAfter == time.Duration(g)*time.Microsecond &&
+						tn.DeadlineMult == float64(g) &&
+						tn.Workers == g && tn.Window == g
+				} else {
+					k := st.Load()
+					g = k.Readahead
+					ok = k == mk(g)
+				}
+				if !ok {
+					select {
+					case errs <- "torn knob read: fields from mixed generations":
+					default:
+					}
+					return
+				}
+			}
+		}(r%2 == 0)
+	}
+	for g := 1; g <= gens; g++ {
+		st.Store(mk(g))
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+	if st.Load() != mk(gens) {
+		t.Fatalf("final state = %+v, want generation %d", st.Load(), gens)
+	}
+}
+
+// TestControllerConcurrentStepAndTuning: Steps racing PipelineTuning
+// pulls (the stripe-driven mode's real shape) stay serialized and the
+// history/counter invariant holds.
+func TestControllerConcurrentStepAndTuning(t *testing.T) {
+	pulls := 50_000
+	if raceEnabled {
+		pulls = 5_000
+	}
+	c, err := New(Options{
+		Source:     scripted(stepTrace()),
+		Initial:    testKnobs(),
+		Policy:     Config{Limits: testLimits()},
+		EveryPulls: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < pulls; i++ {
+				tn := c.PipelineTuning()
+				if tn.Readahead != 2 && tn.Readahead != 3 {
+					panic("impossible readahead value observed")
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if h := c.History(); len(h) != 1 {
+		t.Fatalf("history = %d adjustments, want 1 (step trace)", len(h))
+	}
+}

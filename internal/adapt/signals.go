@@ -1,0 +1,155 @@
+package adapt
+
+import (
+	"sort"
+	"strconv"
+
+	"dialga/internal/obs"
+)
+
+// Signals is one observation of the pipeline, the policy's entire
+// input. Counter fields are cumulative (monotone); the policy keeps
+// the previous sample and works on deltas, so a Source just reports
+// current totals. A recorded []Signals trace replays a controller run
+// exactly.
+type Signals struct {
+	// StripeP50US / StripeP99US are stripe end-to-end latency
+	// quantiles in microseconds over the spans finished since the
+	// previous sample (see RegistrySource); zero when no spans have
+	// finished yet.
+	StripeP50US float64
+	StripeP99US float64
+	// FleetEWMAUS is the median of the per-shard block-read latency
+	// EWMAs, microseconds — the same signal the deadline derives from.
+	// Used as the latency signal when no spans are available.
+	FleetEWMAUS float64
+
+	// Cumulative pipeline counters.
+	Stripes          uint64 // stripes completed
+	HedgedReads      uint64 // stripes that hedged past a straggler
+	HedgeWins        uint64 // hedges where reconstruction beat the straggler
+	BreakerTrips     uint64 // circuit-breaker trips
+	ReadaheadHits    uint64 // block requests served from readahead
+	ReadaheadUseless uint64 // readahead blocks discarded unused
+}
+
+// latencyUS is the latency signal the policy thresholds against:
+// stripe p99 when spans exist, else the fleet-median EWMA.
+func (s Signals) latencyUS() float64 {
+	if s.StripeP99US > 0 {
+		return s.StripeP99US
+	}
+	return s.FleetEWMAUS
+}
+
+// Source produces Signals samples. Implementations must be safe for
+// concurrent use with the pipeline they observe.
+type Source interface {
+	Sample() Signals
+}
+
+// SignalsFunc adapts a function to the Source interface — scripted
+// test traces are a closure over a slice.
+type SignalsFunc func() Signals
+
+func (f SignalsFunc) Sample() Signals { return f() }
+
+// RegistrySource samples a live pipeline through its obs.Registry and
+// obs.Tracer. It relies on the registry's identity guarantee (the same
+// name+labels always return the same series) to read the very
+// counters the pipeline increments, with no extra plumbing between
+// the layers.
+//
+// The latency quantiles are windowed per sample: each Sample call sees
+// only the stripe spans published since the previous call (the whole
+// retained ring on the first). Stripe spans carry their sequence
+// number as the span ID and are published in order by the pipeline's
+// in-order consumer, so "new since last sample" is exactly "ID above
+// the last one seen". Without the window, a recurring straggler burst
+// keeps one stall inside the span ring at all times, the ring-wide p99
+// pins at the stall value, and the policy's relative trigger — which
+// compares each window against the trailing baseline — can never see
+// the clean-regime latency again. Sample mutates the window cursor, so
+// a RegistrySource must be owned by a single controller (ticks
+// serialize under the controller's lock).
+type RegistrySource struct {
+	reg    *obs.Registry
+	tracer *obs.Tracer
+	shards int   // shard count for the per-shard EWMA sweep
+	lastID int64 // newest stripe span ID seen by the previous Sample
+	// Last non-empty window's quantiles, re-reported when a sample
+	// window contains no new spans (an idle tick in clock-driven mode)
+	// so the latency signal doesn't collapse to the block-level EWMA
+	// fallback, which is in a different regime than stripe latency.
+	lastP50, lastP99 float64
+}
+
+// NewRegistrySource returns a source reading decode-pipeline signals
+// from reg (required) and stripe spans from tracer (optional). shards
+// is the decoder's k+m shard count.
+func NewRegistrySource(reg *obs.Registry, tracer *obs.Tracer, shards int) *RegistrySource {
+	return &RegistrySource{reg: reg, tracer: tracer, shards: shards, lastID: -1}
+}
+
+func (s *RegistrySource) Sample() Signals {
+	var sig Signals
+	if s.tracer != nil {
+		durs := make([]float64, 0, 64)
+		maxID := s.lastID
+		for _, sp := range s.tracer.Snapshot() { // newest first
+			if sp.ID < 0 {
+				continue // the controller's own annotation spans
+			}
+			if sp.ID <= s.lastID {
+				break // published in ID order: the rest was sampled already
+			}
+			if sp.ID > maxID {
+				maxID = sp.ID
+			}
+			durs = append(durs, float64(sp.DurUS))
+		}
+		s.lastID = maxID
+		if len(durs) > 0 {
+			sort.Float64s(durs)
+			s.lastP50 = quantile(durs, 0.50)
+			s.lastP99 = quantile(durs, 0.99)
+		}
+		sig.StripeP50US = s.lastP50
+		sig.StripeP99US = s.lastP99
+	}
+	if s.reg == nil {
+		return sig
+	}
+	lbl := obs.Label{Key: "pipeline", Value: "decode"}
+	sig.Stripes = s.reg.Counter("stream_stripes_total", "", lbl).Value()
+	sig.HedgedReads = s.reg.Counter("stream_hedged_reads_total", "", lbl).Value()
+	sig.HedgeWins = s.reg.Counter("stream_hedge_wins_total", "", lbl).Value()
+	sig.BreakerTrips = s.reg.Counter("stream_breaker_trips_total", "", lbl).Value()
+	sig.ReadaheadHits = s.reg.Counter("shardio_readahead_hits_total", "").Value()
+	sig.ReadaheadUseless = s.reg.Counter("shardio_readahead_useless_total", "").Value()
+	ewmas := make([]float64, 0, s.shards)
+	for i := 0; i < s.shards; i++ {
+		v := s.reg.Gauge("shardio_shard_ewma_us", "",
+			obs.Label{Key: "shard", Value: strconv.Itoa(i)}).Value()
+		if v > 0 {
+			ewmas = append(ewmas, v)
+		}
+	}
+	if len(ewmas) > 0 {
+		sort.Float64s(ewmas)
+		sig.FleetEWMAUS = quantile(ewmas, 0.50)
+	}
+	return sig
+}
+
+// quantile reads q from sorted (ascending) xs by nearest-rank.
+func quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(xs)))
+	if i >= len(xs) {
+		i = len(xs) - 1
+	}
+	return xs[i]
+}

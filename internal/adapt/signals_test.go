@@ -1,0 +1,70 @@
+package adapt
+
+import (
+	"testing"
+	"time"
+
+	"dialga/internal/obs"
+)
+
+// TestRegistrySourceWindowedLatency: each Sample must quantile only
+// the stripe spans published since the previous Sample. A stall that
+// was already observed once stays in the tracer's ring for another ~60
+// stripes, but it must not pin every later window's p99 at the stall
+// value — that is exactly the failure mode that blinds the relative
+// trigger (p99 and baseline converge on the stall, ratio 1.0, no
+// fire). The stall span here gets a real ~2ms duration via a sleep;
+// the clean spans end immediately (microseconds even with scheduler
+// overshoot), so window separation is orders of magnitude.
+func TestRegistrySourceWindowedLatency(t *testing.T) {
+	tr := obs.NewTracer(64)
+	src := NewRegistrySource(obs.NewRegistry(), tr, 0)
+
+	endFast := func(id int64) {
+		tr.Begin(id).End()
+	}
+
+	// Window 1: nine fast stripes and one 2ms stall.
+	for id := int64(0); id < 9; id++ {
+		endFast(id)
+	}
+	stall := tr.Begin(9)
+	time.Sleep(2 * time.Millisecond)
+	stall.End()
+
+	first := src.Sample()
+	if first.StripeP99US < 1000 {
+		t.Fatalf("first window p99 = %vus, want >= 1000 (the stall)", first.StripeP99US)
+	}
+
+	// Window 2: ten fast stripes. The stall is still in the ring but
+	// was sampled already, so it must not dominate this window.
+	for id := int64(10); id < 20; id++ {
+		endFast(id)
+	}
+	second := src.Sample()
+	if second.StripeP99US >= first.StripeP99US/2 {
+		t.Fatalf("second window p99 = %vus, want well below the stalled first window (%vus)",
+			second.StripeP99US, first.StripeP99US)
+	}
+
+	// Window 3: no new spans. The source re-reports the last non-empty
+	// window rather than dropping to zero (which would route the
+	// latency signal to the block-level EWMA fallback mid-run).
+	third := src.Sample()
+	if third.StripeP99US != second.StripeP99US || third.StripeP50US != second.StripeP50US {
+		t.Fatalf("empty window reported p50/p99 %v/%v, want last window's %v/%v",
+			third.StripeP50US, third.StripeP99US, second.StripeP50US, second.StripeP99US)
+	}
+
+	// Controller annotation spans (negative IDs) never enter the
+	// quantiles or move the window cursor.
+	ann := tr.Begin(-3)
+	ann.Event("adapt", "latency-high")
+	ann.End()
+	endFast(20)
+	fourth := src.Sample()
+	if fourth.StripeP99US >= first.StripeP99US/2 {
+		t.Fatalf("annotation span leaked into the latency window: p99 %vus", fourth.StripeP99US)
+	}
+}

@@ -45,13 +45,16 @@ const (
 	// Stall sleeps Len microseconds before the transfer that crosses
 	// offset Off proceeds (write path).
 	Stall
-	// Slow turns the stream into a persistent straggler: every read
-	// that transfers a byte at or past offset Off first sleeps a delay
-	// drawn deterministically per read from the op itself — the j-th
-	// delayed read sleeps a value in [Len/2, 3*Len/2) microseconds
-	// derived by hashing (Off, Len, j), so a plan replays the same
-	// latency trace every run without any extra seed state (read
-	// path).
+	// Slow turns the stream into a straggler: every read that
+	// transfers a byte at or past offset Off — and, when Span is
+	// positive, before Off+Span — first sleeps a delay drawn
+	// deterministically per read from the op itself. The j-th delayed
+	// read sleeps a value in [Len/2, 3*Len/2) microseconds derived by
+	// hashing (Off, Len, j), so a plan replays the same latency trace
+	// every run without any extra seed state (read path). Span zero
+	// means the straggling persists to EOF; a bounded Span models a
+	// device that is slow for a while and then recovers, which is how
+	// chaos tests move a straggler from one shard to another mid-run.
 	Slow
 )
 
@@ -77,6 +80,7 @@ type Op struct {
 	Kind Kind
 	Off  int64 // absolute byte offset the fault anchors to
 	Len  int64 // ZeroFill: span in bytes; Stall/Slow: microseconds
+	Span int64 // Slow: bytes the op covers from Off; 0 = to EOF
 	Bit  uint8 // BitFlip: bit index 0..7
 }
 

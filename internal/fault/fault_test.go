@@ -208,6 +208,7 @@ func TestPlanStringParseRoundTrip(t *testing.T) {
 			{Kind: ShortWrite, Off: 8},
 			{Kind: Stall, Off: 64, Len: 250},
 			{Kind: Slow, Off: 0, Len: 4000},
+			{Kind: Slow, Off: 512, Len: 3000, Span: 4096},
 		}},
 	}
 	for _, p := range plans {
@@ -220,7 +221,8 @@ func TestPlanStringParseRoundTrip(t *testing.T) {
 			t.Fatalf("round trip %q -> %q", s, got.String())
 		}
 	}
-	for _, bad := range []string{"flip@", "zap@3", "flip@1.9", "zero@5", "trunc@-1", "flip@x.1"} {
+	for _, bad := range []string{"flip@", "zap@3", "flip@1.9", "zero@5", "trunc@-1", "flip@x.1",
+		"zero@5+2~9", "slow@5+2~0", "slow@5+2~-3", "slow@5+2~x"} {
 		if _, err := Parse(bad); err == nil {
 			t.Fatalf("Parse(%q) accepted a malformed plan", bad)
 		}
@@ -322,6 +324,33 @@ func TestReaderSlowRespectsOffset(t *testing.T) {
 	}
 	if d := time.Since(start); d > 20*time.Millisecond {
 		t.Fatalf("reads before the slow offset took %v", d)
+	}
+}
+
+// TestReaderSlowSpanBounded: a Slow op with a Span stops straggling
+// once the stream position passes Off+Span — the device recovered.
+func TestReaderSlowSpanBounded(t *testing.T) {
+	src := payload(200)
+	// Slow only over bytes [0, 50): heavy 20ms-mean delays, then clean.
+	r := NewReader(bytes.NewReader(src), Plan{
+		Ops: []Op{{Kind: Slow, Off: 0, Len: 20000, Span: 50}},
+	})
+	buf := make([]byte, 50)
+	start := time.Now()
+	if _, err := io.ReadFull(r, buf); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Fatalf("in-span read added only %v of latency, want >= 10ms", d)
+	}
+	start = time.Now()
+	for pos := 50; pos < 200; pos += 50 {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := time.Since(start); d > 10*time.Millisecond {
+		t.Fatalf("post-span reads took %v, want fast", d)
 	}
 }
 

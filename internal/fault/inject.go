@@ -156,11 +156,15 @@ func (f *Reader) Read(p []byte) (int, error) {
 		}
 	}
 	// Straggler latency fires after the transfer window is known: any
-	// read that would deliver a byte at or past a Slow op's offset
-	// sleeps that op's next deterministic delay first.
+	// read whose window [pos, pos+limit) overlaps a Slow op's covered
+	// range [Off, Off+Span) — unbounded when Span is zero — sleeps that
+	// op's next deterministic delay first.
 	for i, op := range f.ops {
 		if op.Kind != Slow || op.Off >= f.pos+limit {
 			continue
+		}
+		if op.Span > 0 && f.pos >= op.Off+op.Span {
+			continue // the slow period ended before this read
 		}
 		j := f.count[i]
 		f.count[i]++

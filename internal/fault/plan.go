@@ -24,7 +24,11 @@ func (p Plan) String() string {
 		case Stall:
 			fmt.Fprintf(&b, "stall@%d+%d", op.Off, op.Len)
 		case Slow:
-			fmt.Fprintf(&b, "slow@%d+%d", op.Off, op.Len)
+			if op.Span > 0 {
+				fmt.Fprintf(&b, "slow@%d+%d~%d", op.Off, op.Len, op.Span)
+			} else {
+				fmt.Fprintf(&b, "slow@%d+%d", op.Off, op.Len)
+			}
 		default:
 			fmt.Fprintf(&b, "%s@%d", op.Kind, op.Off)
 		}
@@ -77,6 +81,21 @@ func Parse(s string) (Plan, error) {
 			off, err := strconv.ParseInt(offs, 10, 64)
 			if err != nil {
 				return Plan{}, fmt.Errorf("%w: %v", errBadPlan, err)
+			}
+			// Slow accepts an optional "~span" suffix bounding the slow
+			// period: "slow@0+500~4096" straggles only bytes [0, 4096).
+			if spans, hasSpan := "", false; true {
+				lens, spans, hasSpan = strings.Cut(lens, "~")
+				if hasSpan {
+					if op.Kind != Slow {
+						return Plan{}, fmt.Errorf("%w: %s op %q: span only valid for slow", errBadPlan, name, tok)
+					}
+					sp, err := strconv.ParseInt(spans, 10, 64)
+					if err != nil || sp <= 0 {
+						return Plan{}, fmt.Errorf("%w: slow span %q invalid", errBadPlan, spans)
+					}
+					op.Span = sp
+				}
 			}
 			l, err := strconv.ParseInt(lens, 10, 64)
 			if err != nil || l < 0 {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"dialga/internal/obs"
+	"dialga/internal/vclock"
 )
 
 // TestBreakerCooldownClamped pins the cooldown schedule: doubling per
@@ -63,7 +64,11 @@ func TestBreakerManyTripsStayOpen(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	g := &Group{opts: opts, sh: make([]shardMeta, 1)}
+	// A fake clock makes the cooldown arithmetic fully deterministic:
+	// no wall-clock jitter between miss() stamping openUntil and the
+	// assertions below reading "now".
+	fc := vclock.NewFake()
+	g := &Group{opts: opts, sh: make([]shardMeta, 1), clock: fc}
 	st := &Stripe{}
 	m := &g.sh[0]
 	for i := 0; i < 300; i++ {
@@ -71,7 +76,7 @@ func TestBreakerManyTripsStayOpen(t *testing.T) {
 		if !m.open {
 			continue // still accumulating misses toward the threshold
 		}
-		after := time.Now()
+		after := fc.Now()
 		if !m.openUntil.After(after) {
 			t.Fatalf("trip %d: openUntil %v not in the future", m.trips, m.openUntil)
 		}

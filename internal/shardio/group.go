@@ -6,9 +6,11 @@ import (
 	"slices"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dialga/internal/obs"
+	"dialga/internal/vclock"
 )
 
 // shardMeta is the gather loop's per-shard state. It is owned by the
@@ -48,6 +50,7 @@ func (m *shardMeta) observe(d time.Duration) {
 // single goroutine, and Close when done.
 type Group struct {
 	opts    Options
+	clock   vclock.Clock
 	n       int
 	readers []io.Reader
 	req     []chan request
@@ -61,13 +64,22 @@ type Group struct {
 	seq int64
 	sh  []shardMeta
 
+	// Dynamic knobs. deadlineMult and hedgeAfter are owned by the
+	// single consumer goroutine and re-loaded from Options.Tuning at
+	// every stripe boundary; readahead is additionally read by the
+	// shard goroutines between block reads, so it is atomic. Without a
+	// TuningSource they stay at their static Options values forever.
+	deadlineMult float64
+	hedgeAfter   time.Duration
+	readahead    atomic.Int32
+
 	// Steady-state reuse: gathering a stripe — hedged or not — must not
 	// allocate. Stripes cycle through a pool (Release returns them),
 	// the hedge timer is reset rather than recreated, and the gather
 	// loop's awaited flags and the deadline's EWMA gather reuse
 	// group-owned scratch (all owned by the single consumer goroutine).
 	stripes     sync.Pool
-	timer       *time.Timer
+	timer       vclock.Timer
 	awaited     []bool
 	ewmaScratch []float64
 
@@ -76,6 +88,9 @@ type Group struct {
 	hedgedC     *obs.Counter // shardio_hedged_stripes_total
 	lateClaimed *obs.Counter // shardio_late_blocks_claimed_total
 	lateDropped *obs.Counter // shardio_late_blocks_dropped_total
+	raDepthG    *obs.Gauge   // shardio_readahead_depth: current depth knob
+	raHits      *obs.Counter // shardio_readahead_hits_total
+	raUseless   *obs.Counter // shardio_readahead_useless_total
 }
 
 // NewGroup validates opts, spawns one reader goroutine per non-nil
@@ -88,16 +103,20 @@ func NewGroup(readers []io.Reader, opts Options) (*Group, error) {
 	}
 	n := len(readers)
 	g := &Group{
-		opts:    opts,
-		n:       n,
-		readers: readers,
-		req:     make([]chan request, n),
-		results: make(chan result, n),
-		pool:    newBlockPool(opts.BlockSize),
-		stop:    make(chan struct{}),
-		sh:      make([]shardMeta, n),
-		awaited: make([]bool, n),
+		opts:         opts,
+		clock:        vclock.OrReal(opts.Clock),
+		n:            n,
+		readers:      readers,
+		req:          make([]chan request, n),
+		results:      make(chan result, n),
+		pool:         newBlockPool(opts.BlockSize),
+		stop:         make(chan struct{}),
+		sh:           make([]shardMeta, n),
+		awaited:      make([]bool, n),
+		deadlineMult: opts.DeadlineMult,
+		hedgeAfter:   opts.HedgeAfter,
 	}
+	g.readahead.Store(int32(opts.Readahead))
 	reg := opts.Metrics
 	g.deadlineG = reg.Gauge("shardio_deadline_us",
 		"Adaptive per-stripe deadline derived from the fleet-median latency EWMA, microseconds.")
@@ -107,6 +126,13 @@ func NewGroup(readers []io.Reader, opts Options) (*Group, error) {
 		"Straggler blocks that arrived late but were claimed for their stripe via the hedge race.")
 	g.lateDropped = reg.Counter("shardio_late_blocks_dropped_total",
 		"Straggler blocks that arrived after their stripe had committed to reconstruction.")
+	g.raDepthG = reg.Gauge("shardio_readahead_depth",
+		"Current per-shard readahead depth (blocks speculatively read past the last request).")
+	g.raDepthG.Set(float64(opts.Readahead))
+	g.raHits = reg.Counter("shardio_readahead_hits_total",
+		"Block requests served from a shard's readahead buffer.")
+	g.raUseless = reg.Counter("shardio_readahead_useless_total",
+		"Readahead blocks discarded because their stripe was skipped — useless prefetches.")
 	for i, r := range readers {
 		lbl := obs.Label{Key: "shard", Value: strconv.Itoa(i)}
 		g.sh[i].ewmaG = reg.Gauge("shardio_shard_ewma_us",
@@ -184,9 +210,9 @@ func (g *Group) deadline() (time.Duration, bool) {
 	}
 	slices.Sort(ewmas) // generic sort: no interface boxing on the hot path
 	med := ewmas[len(ewmas)/2]
-	d := time.Duration(g.opts.DeadlineMult * med * float64(time.Microsecond))
-	if d < g.opts.HedgeAfter {
-		d = g.opts.HedgeAfter
+	d := time.Duration(g.deadlineMult * med * float64(time.Microsecond))
+	if d < g.hedgeAfter {
+		d = g.hedgeAfter
 	}
 	if d > g.opts.MaxDeadline {
 		d = g.opts.MaxDeadline
@@ -242,7 +268,7 @@ func (g *Group) miss(i int, st *Stripe) {
 		return
 	}
 	m.open = true
-	m.openUntil = time.Now().Add(breakerCooldown(g.opts.BreakerCooldown, m.trips, g.breakerCeiling()))
+	m.openUntil = g.clock.Now().Add(breakerCooldown(g.opts.BreakerCooldown, m.trips, g.breakerCeiling()))
 	m.trips++
 	m.misses = 0
 	st.Trips++
@@ -283,15 +309,42 @@ func (g *Group) getStripe(seq int64) *Stripe {
 	return st
 }
 
+// retune loads the current Tuning, if any, and swaps the dynamic
+// knobs. Called once per stripe before any read is issued, so a knob
+// change never straddles a stripe.
+func (g *Group) retune() {
+	src := g.opts.Tuning
+	if src == nil {
+		return
+	}
+	t := src.ShardTuning()
+	if t.DeadlineMult >= 1 {
+		g.deadlineMult = t.DeadlineMult
+	}
+	if t.HedgeAfter > 0 && g.opts.HedgeAfter > 0 {
+		// The hedge switch itself stays static (a group built without
+		// hedging has no breaker/late-slot machinery warmed); the floor
+		// moves freely.
+		g.hedgeAfter = t.HedgeAfter
+	}
+	if t.Readahead >= 0 {
+		if old := g.readahead.Load(); int32(t.Readahead) != old {
+			g.readahead.Store(int32(t.Readahead))
+			g.raDepthG.Set(float64(t.Readahead))
+		}
+	}
+}
+
 // Next gathers the blocks of the next stripe. It returns a non-nil
 // error only when ctx is cancelled; every per-shard failure is
 // reported in the Stripe instead. The caller owns the returned stripe
 // and must Release it.
 func (g *Group) Next(ctx context.Context) (*Stripe, error) {
+	g.retune()
 	seq := g.seq
 	g.seq++
 	st := g.getStripe(seq)
-	now := time.Now()
+	now := g.clock.Now()
 	awaited := g.awaited
 	clear(awaited)
 	wait := 0
@@ -318,7 +371,7 @@ func (g *Group) Next(ctx context.Context) (*Stripe, error) {
 		}
 	}
 
-	hedge := g.opts.HedgeAfter > 0
+	hedge := g.hedgeAfter > 0
 	got := 0
 	armed := false // the reusable group timer is counting for this stripe
 	fired := false
@@ -330,18 +383,18 @@ func (g *Group) Next(ctx context.Context) (*Stripe, error) {
 		}
 		if d, ok := g.deadline(); ok {
 			if g.timer == nil {
-				g.timer = time.NewTimer(d)
+				g.timer = g.clock.NewTimer(d)
 			} else {
 				g.timer.Reset(d) // always stopped-and-drained between stripes
 			}
-			timeC = g.timer.C
+			timeC = g.timer.C()
 			armed = true
 		}
 	}
 	arm()
 	defer func() {
 		if armed && !fired && !g.timer.Stop() {
-			<-g.timer.C
+			<-g.timer.C()
 		}
 	}()
 
@@ -435,7 +488,7 @@ func (g *Group) consume(res *result, seq int64, st *Stripe, awaited []bool, wait
 			}
 			// Rejoin the stripe being gathered: the shard may have
 			// recovered and can still make this deadline.
-			if g.eligible(i, time.Now()) {
+			if g.eligible(i, g.clock.Now()) {
 				g.enqueue(i, seq)
 				awaited[i] = true
 				*wait++

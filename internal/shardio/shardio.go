@@ -51,6 +51,7 @@ import (
 	"time"
 
 	"dialga/internal/obs"
+	"dialga/internal/vclock"
 )
 
 // Defaults applied by NewGroup for zero-valued Options fields.
@@ -112,6 +113,30 @@ type Options struct {
 	// from Seed^i, so a fixed seed yields a fixed backoff schedule.
 	Seed uint64
 
+	// Readahead is the initial per-shard readahead depth: each shard
+	// goroutine may speculatively read up to this many blocks past the
+	// last requested stripe while it would otherwise sit idle, serving
+	// later requests from memory — the live-pipeline analogue of the
+	// paper's prefetch degree. Blocks read ahead of a stripe the group
+	// skips (breaker-open or sidelined-slow periods) are discarded and
+	// counted as useless prefetches. Zero disables readahead.
+	Readahead int
+
+	// Tuning, when non-nil, is consulted once per stripe (at the
+	// gather boundary, before any read of that stripe is issued) and
+	// overrides DeadlineMult, HedgeAfter, and Readahead for that stripe
+	// — the actuation seam of the adaptive controller
+	// (internal/adapt). Zero-valued fields of the returned Tuning leave
+	// the corresponding static option in force. Nil keeps every knob
+	// static.
+	Tuning TuningSource
+
+	// Clock, when non-nil, replaces the wall clock for deadlines,
+	// breaker cooldowns, latency measurement, and backoff sleeps —
+	// the determinism seam for tests (vclock.Fake). Nil means the real
+	// clock and changes nothing.
+	Clock vclock.Clock
+
 	// Metrics, when non-nil, is the registry the group publishes its
 	// scheduling telemetry into: per-shard EWMA and breaker gauges,
 	// breaker-trip counters, the adaptive-deadline gauge, and hedged
@@ -119,6 +144,30 @@ type Options struct {
 	// registration; the group still works and Stripe counters are
 	// unaffected.
 	Metrics *obs.Registry
+}
+
+// Tuning is the dynamically adjustable subset of Options: the knobs
+// the adaptive controller may swap while a decode is running. Swaps
+// take effect at stripe boundaries only — the group loads one Tuning
+// per gather, so a stripe never sees a torn mix of old and new knobs.
+type Tuning struct {
+	// DeadlineMult overrides Options.DeadlineMult when >= 1.
+	DeadlineMult float64
+	// HedgeAfter overrides Options.HedgeAfter when > 0. It cannot
+	// switch hedging on for a group constructed with HedgeAfter == 0
+	// (the decoder sizes its machinery off the static option); it
+	// raises or lowers the deadline floor of a hedging group.
+	HedgeAfter time.Duration
+	// Readahead overrides Options.Readahead when >= 0 (-1 leaves the
+	// static depth; 0 switches readahead off).
+	Readahead int
+}
+
+// TuningSource supplies the current Tuning. Implementations must be
+// safe for concurrent use and tear-free (internal/adapt publishes via
+// an atomic pointer); the group calls it once per stripe.
+type TuningSource interface {
+	ShardTuning() Tuning
 }
 
 // Normalize fills defaults and validates. NewGroup applies it
@@ -146,11 +195,14 @@ func (o Options) Normalize() (Options, error) {
 	if o.MaxDeadline < 0 {
 		return o, fmt.Errorf("shardio: MaxDeadline %v must not be negative", o.MaxDeadline)
 	}
+	// Disabled-by-negative knobs canonicalize to -1, not 0: zero means
+	// "unset, take the default", and Normalize must be idempotent (the
+	// stream layer validates early and the group normalizes again).
 	switch {
 	case o.MaxRetries == 0:
 		o.MaxRetries = DefaultMaxRetries
 	case o.MaxRetries < 0:
-		o.MaxRetries = 0
+		o.MaxRetries = -1
 	}
 	if o.Backoff == 0 {
 		o.Backoff = DefaultBackoff
@@ -162,13 +214,16 @@ func (o Options) Normalize() (Options, error) {
 	case o.BreakerThreshold == 0:
 		o.BreakerThreshold = DefaultBreakerThreshold
 	case o.BreakerThreshold < 0:
-		o.BreakerThreshold = 0 // disabled
+		o.BreakerThreshold = -1 // disabled
 	}
 	if o.BreakerCooldown == 0 {
 		o.BreakerCooldown = DefaultBreakerCooldown
 	}
 	if o.BreakerCooldown < 0 {
 		return o, fmt.Errorf("shardio: BreakerCooldown %v must not be negative", o.BreakerCooldown)
+	}
+	if o.Readahead < 0 {
+		return o, fmt.Errorf("shardio: Readahead %d must not be negative", o.Readahead)
 	}
 	return o, nil
 }

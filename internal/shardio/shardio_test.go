@@ -86,12 +86,24 @@ func TestOptionsValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.MaxRetries != 0 || got.BreakerThreshold != 0 {
-		t.Fatalf("negative MaxRetries/BreakerThreshold should disable, got %d/%d",
+	if got.MaxRetries != -1 || got.BreakerThreshold != -1 {
+		t.Fatalf("negative MaxRetries/BreakerThreshold should canonicalize to -1, got %d/%d",
 			got.MaxRetries, got.BreakerThreshold)
 	}
 	if got.DeadlineMult != DefaultDeadlineMult || got.Backoff != DefaultBackoff {
 		t.Fatal("defaults not applied")
+	}
+	// Normalize must be idempotent: the stream layer validates early and
+	// NewGroup normalizes again. In particular "disabled" must never
+	// canonicalize to 0, or the second pass would read it as "unset" and
+	// silently re-enable the default (a breaker that cannot be turned
+	// off from stream.Options).
+	again, err := got.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != got {
+		t.Fatalf("Normalize not idempotent:\n first %+v\nsecond %+v", got, again)
 	}
 }
 

@@ -32,6 +32,7 @@ import (
 	"dialga/internal/lrc"
 	"dialga/internal/obs"
 	"dialga/internal/shardio"
+	"dialga/internal/vclock"
 )
 
 // DefaultStripeSize is the data payload per stripe when
@@ -236,6 +237,79 @@ type Options struct {
 	// tracer's ring buffer; `dialga-bench -serve` exposes it at
 	// /debug/trace. Nil disables tracing at zero cost.
 	Trace *obs.Tracer
+
+	// Readahead is the initial per-shard readahead depth on decode:
+	// each shard goroutine speculatively reads up to this many blocks
+	// past its last request while idle, so a request for a buffered
+	// block completes without touching the device. Zero (the default)
+	// disables prefetching; a Tuner can raise or lower the live depth
+	// at stripe boundaries.
+	Readahead int
+
+	// Tuner, when non-nil, is consulted once per stripe at the
+	// producer's submission point (and by the decoder's shard scheduler
+	// at every gather) for dynamic knob overrides: hedge interval,
+	// deadline multiplier, readahead depth, active worker count, and
+	// in-flight window. Implementations must be safe for concurrent
+	// use. Nil keeps every knob at its static Options value — the
+	// pipeline then runs byte-for-byte identically to a build without
+	// adaptive support.
+	Tuner Tuner
+
+	// Clock, when non-nil, replaces the wall clock for every
+	// time-driven decision (hedge deadlines, breaker cooldowns, retry
+	// backoff, latency stamps) — the determinism seam tests and the
+	// adaptive controller share. Nil means time.Now.
+	Clock vclock.Clock
+}
+
+// Tuning is one snapshot of dynamic pipeline knob overrides. The zero
+// value of each field (and any out-of-range value) leaves that knob at
+// its current setting, so a Tuner only moves the knobs it means to.
+type Tuning struct {
+	// HedgeAfter overrides the hedge interval when positive. It cannot
+	// enable hedging on a pipeline built with HedgeAfter == 0 (the
+	// scheduler has no breaker or late-slot machinery to hedge with).
+	HedgeAfter time.Duration
+	// DeadlineMult overrides the deadline multiplier when >= 1.
+	DeadlineMult float64
+	// Readahead overrides the per-shard readahead depth when >= 0;
+	// 0 disables prefetching, negative leaves the depth unchanged.
+	Readahead int
+	// Workers overrides the number of active encode/decode workers
+	// when >= 1, clamped to the static Options.Workers ceiling (the
+	// goroutines exist for the pipeline's lifetime; the knob gates how
+	// many may hold a stripe).
+	Workers int
+	// Window overrides the bounded in-flight window when >= 1, clamped
+	// to the static Options.Window ceiling.
+	Window int
+}
+
+// Tuner supplies the pipeline's dynamic knobs. PipelineTuning is
+// called from the producer goroutine once per stripe and from the
+// decoder's gather loop once per stripe; it must be fast, non-blocking,
+// and safe for concurrent use.
+type Tuner interface {
+	PipelineTuning() Tuning
+}
+
+// shardTunerAdapter narrows a pipeline Tuner to the shard scheduler's
+// TuningSource: the shard-level knobs pass through, the pipeline-level
+// ones (Workers, Window) are dropped.
+type shardTunerAdapter struct{ t Tuner }
+
+func (a shardTunerAdapter) ShardTuning() shardio.Tuning {
+	pt := a.t.PipelineTuning()
+	ra := pt.Readahead
+	if ra < 0 {
+		ra = -1
+	}
+	return shardio.Tuning{
+		DeadlineMult: pt.DeadlineMult,
+		HedgeAfter:   pt.HedgeAfter,
+		Readahead:    ra,
+	}
 }
 
 // geom is a validated, defaulted view of Options.
@@ -254,6 +328,8 @@ type geom struct {
 	closeRead  bool            // close closable shard readers when Decode returns
 	metrics    *obs.Registry   // nil: each pipeline gets a private registry
 	trace      *obs.Tracer     // nil: tracing off
+	tuner      Tuner           // nil: every knob static
+	clock      vclock.Clock    // nil: wall clock
 }
 
 var errNoCodec = errors.New("stream: Options.Codec is required")
@@ -298,7 +374,10 @@ func (o Options) geometry() (geom, error) {
 		// the plain Encode sweep already does all the work there is.
 		fused = se
 	}
-	straggler, err := shardio.Options{
+	if o.Readahead < 0 {
+		return geom{}, fmt.Errorf("stream: Readahead %d must be non-negative", o.Readahead)
+	}
+	sopts := shardio.Options{
 		BlockSize:        shard + trailer,
 		Quorum:           k,
 		HedgeAfter:       o.HedgeAfter,
@@ -310,7 +389,13 @@ func (o Options) geometry() (geom, error) {
 		BreakerCooldown:  o.BreakerCooldown,
 		Seed:             o.Seed,
 		Metrics:          o.Metrics,
-	}.Normalize()
+		Readahead:        o.Readahead,
+		Clock:            o.Clock,
+	}
+	if o.Tuner != nil {
+		sopts.Tuning = shardTunerAdapter{o.Tuner}
+	}
+	straggler, err := sopts.Normalize()
 	if err != nil {
 		return geom{}, err
 	}
@@ -330,6 +415,8 @@ func (o Options) geometry() (geom, error) {
 		closeRead:  o.CloseReaders,
 		metrics:    o.Metrics,
 		trace:      o.Trace,
+		tuner:      o.Tuner,
+		clock:      o.Clock,
 	}, nil
 }
 

@@ -1,0 +1,115 @@
+package stream
+
+import "sync"
+
+// workerGate throttles how many of the pipeline's worker goroutines
+// may pick up stripes. The goroutines themselves live for the whole
+// run — spawning and reaping OS-thread-backed goroutines per knob move
+// would cost more than it saves — so the knob instead gates admission:
+// worker i may take a job only while i < limit. Worker 0 is therefore
+// always eligible, which is the liveness floor (the limit clamps to at
+// least 1). Parked workers hold no job, so a shrunken limit never
+// strands a stripe; it only idles spare goroutines.
+type workerGate struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	limit   int // workers with index < limit may take jobs
+	ceiling int // static Options.Workers
+	closed  bool
+}
+
+func newWorkerGate(ceiling int) *workerGate {
+	g := &workerGate{limit: ceiling, ceiling: ceiling}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// enter blocks worker i until it is eligible (i < limit) or the gate
+// is closed for shutdown.
+func (g *workerGate) enter(i int) {
+	g.mu.Lock()
+	for i >= g.limit && !g.closed {
+		g.cond.Wait()
+	}
+	g.mu.Unlock()
+}
+
+// setLimit clamps n to [1, ceiling]; n < 1 leaves the limit unchanged
+// (the Tuning zero value means "don't move this knob").
+func (g *workerGate) setLimit(n int) {
+	if n < 1 {
+		return
+	}
+	if n > g.ceiling {
+		n = g.ceiling
+	}
+	g.mu.Lock()
+	if n != g.limit {
+		g.limit = n
+		g.cond.Broadcast()
+	}
+	g.mu.Unlock()
+}
+
+// close releases every parked worker so they can observe the closed
+// work channel and exit; called before workers.Wait().
+func (g *workerGate) close() {
+	g.mu.Lock()
+	g.closed = true
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// windowGate bounds in-flight stripes below the static channel-buffer
+// ceiling. The producer acquires one slot per submitted job; the slot
+// is returned when the job is released. Shrinking the limit below the
+// current in-flight count stalls new submissions until enough stripes
+// drain — it never cancels work already admitted.
+type windowGate struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	limit    int
+	ceiling  int // static Options.Window
+	inflight int
+}
+
+func newWindowGate(ceiling int) *windowGate {
+	g := &windowGate{limit: ceiling, ceiling: ceiling}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// acquire blocks until an in-flight slot is free. It needs no
+// cancellation path: blocking implies inflight >= limit >= 1, and every
+// admitted job is eventually released by the consumer — including on
+// pipeline failure, which drains rather than abandons the window.
+func (g *windowGate) acquire() {
+	g.mu.Lock()
+	for g.inflight >= g.limit {
+		g.cond.Wait()
+	}
+	g.inflight++
+	g.mu.Unlock()
+}
+
+func (g *windowGate) release() {
+	g.mu.Lock()
+	g.inflight--
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+func (g *windowGate) setLimit(n int) {
+	if n < 1 {
+		return
+	}
+	if n > g.ceiling {
+		n = g.ceiling
+	}
+	g.mu.Lock()
+	if n != g.limit {
+		g.limit = n
+		g.cond.Broadcast()
+	}
+	g.mu.Unlock()
+}

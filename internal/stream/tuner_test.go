@@ -1,0 +1,125 @@
+package stream
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+// staticTuner returns a fixed Tuning on every pull and counts pulls.
+type staticTuner struct {
+	mu    sync.Mutex
+	t     Tuning
+	pulls int
+}
+
+func (s *staticTuner) PipelineTuning() Tuning {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pulls++
+	return s.t
+}
+
+func (s *staticTuner) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pulls
+}
+
+// TestTunerThrottledPipelineRoundTrip squeezes a decode through the
+// dynamic gates at their minimum (one worker, window of one, readahead
+// on) and requires byte-exact output: throttling must slow the
+// pipeline, never corrupt or deadlock it.
+func TestTunerThrottledPipelineRoundTrip(t *testing.T) {
+	const k, m, shardSize, stripes = 4, 2, 256, 12
+	opts := Options{
+		Codec:      mustRS(t, k, m),
+		StripeSize: k * shardSize,
+		Workers:    3,
+		Window:     4,
+		Seed:       1,
+	}
+	payload := randBytes(t, stripes*k*shardSize, 23)
+	shards := encodeAll(t, opts, payload)
+
+	tuner := &staticTuner{t: Tuning{
+		Workers:   1,
+		Window:    1,
+		Readahead: 2,
+	}}
+	opts.Tuner = tuner
+	dec, err := NewDecoder(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readers := make([]io.Reader, k+m)
+	for i := range readers {
+		readers[i] = bytes.NewReader(shards[i])
+	}
+	var out bytes.Buffer
+	if err := dec.Decode(context.Background(), readers, &out, int64(len(payload))); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), payload) {
+		t.Fatal("throttled decode produced wrong bytes")
+	}
+	// The tuner is pulled at every stripe boundary from both the
+	// producer and the shard gather loop.
+	if got := tuner.count(); got < stripes {
+		t.Fatalf("tuner pulled %d times, want >= %d (once per stripe)", got, stripes)
+	}
+
+	// Encode through the same gates.
+	tuner2 := &staticTuner{t: Tuning{Workers: 1, Window: 1}}
+	opts2 := opts
+	opts2.Tuner = tuner2
+	shards2 := encodeAll(t, opts2, payload)
+	for i := range shards {
+		if !bytes.Equal(shards[i], shards2[i]) {
+			t.Fatalf("throttled encode shard %d differs from static encode", i)
+		}
+	}
+	if tuner2.count() < stripes {
+		t.Fatalf("encode pulled the tuner %d times, want >= %d", tuner2.count(), stripes)
+	}
+}
+
+// TestTunerOutOfRangeLeavesKnobsAlone: zero/negative tuning values
+// mean "don't move", so a zero-value Tuning is a no-op and the decode
+// matches the static pipeline exactly.
+func TestTunerOutOfRangeLeavesKnobsAlone(t *testing.T) {
+	const k, m, shardSize, stripes = 3, 2, 128, 6
+	opts := Options{
+		Codec:      mustRS(t, k, m),
+		StripeSize: k * shardSize,
+		Workers:    2,
+		Seed:       2,
+		HedgeAfter: 50 * time.Millisecond, // never fires on clean readers
+	}
+	payload := randBytes(t, stripes*k*shardSize, 29)
+	shards := encodeAll(t, opts, payload)
+
+	opts.Tuner = &staticTuner{t: Tuning{Readahead: -1, Workers: -5, Window: 0}}
+	dec, err := NewDecoder(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readers := make([]io.Reader, k+m)
+	for i := range readers {
+		readers[i] = bytes.NewReader(shards[i])
+	}
+	var out bytes.Buffer
+	if err := dec.Decode(context.Background(), readers, &out, int64(len(payload))); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), payload) {
+		t.Fatal("no-op-tuned decode produced wrong bytes")
+	}
+	st := dec.Stats()
+	if st.Stripes != stripes {
+		t.Fatalf("Stripes = %d, want %d", st.Stripes, stripes)
+	}
+}

@@ -1,0 +1,310 @@
+// Package vclock is a minimal virtual-clock seam: an interface over
+// time.Now / time.NewTimer / time.NewTicker with a real implementation
+// and a deterministic fake.
+//
+// The adaptive controller (internal/adapt), the shard-I/O scheduler
+// (internal/shardio), and their tests all take a Clock instead of
+// calling the time package directly, so every time-driven decision —
+// breaker cooldowns, hedge deadlines, controller ticks — can be
+// replayed exactly from a scripted schedule with no real sleeping. A
+// nil Clock everywhere means "wall clock", so production code pays one
+// nil check and no behaviour change.
+package vclock
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock is the time source. Implementations must be safe for
+// concurrent use.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// NewTimer returns a timer that fires once after d.
+	NewTimer(d time.Duration) Timer
+	// NewTicker returns a ticker that fires every d.
+	NewTicker(d time.Duration) Ticker
+	// After returns a channel that receives the fire time once d has
+	// elapsed.
+	After(d time.Duration) <-chan time.Time
+}
+
+// Timer is the injectable face of *time.Timer. Stop and Reset carry
+// the *time.Timer contract: Reset must only be called on stopped or
+// drained timers.
+type Timer interface {
+	C() <-chan time.Time
+	Stop() bool
+	Reset(d time.Duration)
+}
+
+// Ticker is the injectable face of *time.Ticker.
+type Ticker interface {
+	C() <-chan time.Time
+	Stop()
+}
+
+// Real returns the wall-clock implementation.
+func Real() Clock { return realClock{} }
+
+// OrReal returns c, or the wall clock when c is nil — the one-liner
+// every Options.Clock consumer uses.
+func OrReal(c Clock) Clock {
+	if c == nil {
+		return realClock{}
+	}
+	return c
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time                         { return time.Now() }
+func (realClock) NewTimer(d time.Duration) Timer         { return realTimer{time.NewTimer(d)} }
+func (realClock) NewTicker(d time.Duration) Ticker       { return realTicker{time.NewTicker(d)} }
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+type realTimer struct{ t *time.Timer }
+
+func (t realTimer) C() <-chan time.Time   { return t.t.C }
+func (t realTimer) Stop() bool            { return t.t.Stop() }
+func (t realTimer) Reset(d time.Duration) { t.t.Reset(d) }
+
+type realTicker struct{ t *time.Ticker }
+
+func (t realTicker) C() <-chan time.Time { return t.t.C }
+func (t realTicker) Stop()               { t.t.Stop() }
+
+// Fake is a deterministic Clock: time advances only when a test calls
+// Advance (or Set), and every timer/ticker whose deadline is reached
+// fires synchronously inside that call, in deadline order. All methods
+// are safe for concurrent use.
+type Fake struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []*fakeWaiter
+	blocked *sync.Cond // signalled whenever the waiter set changes
+}
+
+// NewFake returns a fake clock starting at a fixed, arbitrary epoch
+// (determinism beats realism: the same test run always sees the same
+// absolute times).
+func NewFake() *Fake {
+	f := &Fake{now: time.Unix(1_700_000_000, 0)}
+	f.blocked = sync.NewCond(&f.mu)
+	return f
+}
+
+// fakeWaiter is one pending timer/ticker/After registration.
+type fakeWaiter struct {
+	at     time.Time
+	period time.Duration // 0: one-shot
+	ch     chan time.Time
+	dead   bool
+}
+
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// Set jumps the clock to t (monotone: earlier times are ignored),
+// firing everything due on the way.
+func (f *Fake) Set(t time.Time) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.advanceTo(t)
+}
+
+// Advance moves the clock forward by d, firing due timers and tickers
+// in deadline order. A ticker due several times within d fires once
+// per period.
+func (f *Fake) Advance(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.advanceTo(f.now.Add(d))
+}
+
+// advanceTo fires waiters in deadline order up to target; caller holds
+// f.mu. Sends are non-blocking after the first buffered slot: timer
+// channels have capacity 1 like the time package's, and a ticker that
+// nobody drained coalesces missed ticks, matching time.Ticker.
+func (f *Fake) advanceTo(target time.Time) {
+	for {
+		var next *fakeWaiter
+		for _, w := range f.waiters {
+			if w.dead || w.at.After(target) {
+				continue
+			}
+			if next == nil || w.at.Before(next.at) {
+				next = w
+			}
+		}
+		if next == nil {
+			break
+		}
+		f.now = next.at
+		select {
+		case next.ch <- next.at:
+		default:
+		}
+		if next.period > 0 {
+			next.at = next.at.Add(next.period)
+		} else {
+			next.dead = true
+		}
+	}
+	if target.After(f.now) {
+		f.now = target
+	}
+	f.gc()
+}
+
+// gc drops dead waiters; caller holds f.mu.
+func (f *Fake) gc() {
+	live := f.waiters[:0]
+	for _, w := range f.waiters {
+		if !w.dead {
+			live = append(live, w)
+		}
+	}
+	f.waiters = live
+}
+
+// add registers a waiter and wakes BlockUntil callers.
+func (f *Fake) add(w *fakeWaiter) {
+	f.mu.Lock()
+	f.waiters = append(f.waiters, w)
+	f.blocked.Broadcast()
+	f.mu.Unlock()
+}
+
+// Waiters returns the number of live pending timers/tickers — the
+// test-side rendezvous for "has the code under test armed its timer
+// yet?".
+func (f *Fake) Waiters() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, w := range f.waiters {
+		if !w.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// BlockUntil returns once at least n live waiters are registered.
+// Tests call it before Advance so the goroutine under test is known to
+// be parked on the clock, eliminating the arm/advance race that makes
+// wall-clock tests flaky.
+func (f *Fake) BlockUntil(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for {
+		live := 0
+		for _, w := range f.waiters {
+			if !w.dead {
+				live++
+			}
+		}
+		if live >= n {
+			return
+		}
+		f.blocked.Wait()
+	}
+}
+
+func (f *Fake) NewTimer(d time.Duration) Timer {
+	w := &fakeWaiter{ch: make(chan time.Time, 1)}
+	f.mu.Lock()
+	w.at = f.now.Add(d)
+	f.waiters = append(f.waiters, w)
+	f.blocked.Broadcast()
+	if d <= 0 {
+		f.advanceTo(f.now)
+	}
+	f.mu.Unlock()
+	return &fakeTimer{f: f, w: w}
+}
+
+func (f *Fake) NewTicker(d time.Duration) Ticker {
+	if d <= 0 {
+		panic("vclock: non-positive ticker period")
+	}
+	w := &fakeWaiter{period: d, ch: make(chan time.Time, 1)}
+	f.mu.Lock()
+	w.at = f.now.Add(d)
+	f.waiters = append(f.waiters, w)
+	f.blocked.Broadcast()
+	f.mu.Unlock()
+	return &fakeTicker{f: f, w: w}
+}
+
+func (f *Fake) After(d time.Duration) <-chan time.Time {
+	return f.NewTimer(d).C()
+}
+
+type fakeTimer struct {
+	f *Fake
+	w *fakeWaiter
+}
+
+func (t *fakeTimer) C() <-chan time.Time { return t.w.ch }
+
+func (t *fakeTimer) Stop() bool {
+	t.f.mu.Lock()
+	defer t.f.mu.Unlock()
+	active := !t.w.dead
+	t.w.dead = true
+	return active
+}
+
+func (t *fakeTimer) Reset(d time.Duration) {
+	t.f.mu.Lock()
+	t.w.dead = false
+	t.w.at = t.f.now.Add(d)
+	// Reset may revive a fired (gc'd) waiter: re-register if absent.
+	found := false
+	for _, w := range t.f.waiters {
+		if w == t.w {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.f.waiters = append(t.f.waiters, t.w)
+	}
+	t.f.blocked.Broadcast()
+	t.f.mu.Unlock()
+}
+
+type fakeTicker struct {
+	f *Fake
+	w *fakeWaiter
+}
+
+func (t *fakeTicker) C() <-chan time.Time { return t.w.ch }
+
+func (t *fakeTicker) Stop() {
+	t.f.mu.Lock()
+	t.w.dead = true
+	t.f.mu.Unlock()
+}
+
+// Deadlines returns the pending fire times, soonest first — a debug
+// aid for tests asserting on the armed schedule.
+func (f *Fake) Deadlines() []time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []time.Time
+	for _, w := range f.waiters {
+		if !w.dead {
+			out = append(out, w.at)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Before(out[j]) })
+	return out
+}

@@ -1,0 +1,147 @@
+package vclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFakeTimerFiresOnAdvance(t *testing.T) {
+	f := NewFake()
+	tm := f.NewTimer(10 * time.Millisecond)
+	select {
+	case <-tm.C():
+		t.Fatal("timer fired before Advance")
+	default:
+	}
+	f.Advance(9 * time.Millisecond)
+	select {
+	case <-tm.C():
+		t.Fatal("timer fired early")
+	default:
+	}
+	f.Advance(time.Millisecond)
+	select {
+	case at := <-tm.C():
+		if got := at.Sub(time.Unix(1_700_000_000, 0)); got != 10*time.Millisecond {
+			t.Fatalf("fire time offset = %v, want 10ms", got)
+		}
+	default:
+		t.Fatal("timer did not fire at its deadline")
+	}
+}
+
+func TestFakeTimerStopAndReset(t *testing.T) {
+	f := NewFake()
+	tm := f.NewTimer(time.Second)
+	if !tm.Stop() {
+		t.Fatal("Stop on an armed timer reported inactive")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop reported active")
+	}
+	f.Advance(2 * time.Second)
+	select {
+	case <-tm.C():
+		t.Fatal("stopped timer fired")
+	default:
+	}
+	tm.Reset(time.Second)
+	f.Advance(time.Second)
+	select {
+	case <-tm.C():
+	default:
+		t.Fatal("reset timer did not fire")
+	}
+	// Reset after firing re-arms (the group's hedge timer relies on
+	// stop-drain-reset cycles).
+	tm.Reset(time.Second)
+	f.Advance(time.Second)
+	select {
+	case <-tm.C():
+	default:
+		t.Fatal("re-reset timer did not fire")
+	}
+}
+
+func TestFakeTickerCoalescesAndStops(t *testing.T) {
+	f := NewFake()
+	tk := f.NewTicker(10 * time.Millisecond)
+	// Three periods elapse with nobody draining: the capacity-1 channel
+	// coalesces to one pending tick, like time.Ticker.
+	f.Advance(30 * time.Millisecond)
+	n := 0
+	for {
+		select {
+		case <-tk.C():
+			n++
+			continue
+		default:
+		}
+		break
+	}
+	if n != 1 {
+		t.Fatalf("undrained ticker delivered %d ticks, want 1 (coalesced)", n)
+	}
+	// Drained each period, it delivers each tick.
+	f.Advance(10 * time.Millisecond)
+	<-tk.C()
+	f.Advance(10 * time.Millisecond)
+	<-tk.C()
+	tk.Stop()
+	f.Advance(50 * time.Millisecond)
+	select {
+	case <-tk.C():
+		t.Fatal("stopped ticker ticked")
+	default:
+	}
+}
+
+func TestFakeFiringOrderIsDeadlineOrder(t *testing.T) {
+	f := NewFake()
+	late := f.NewTimer(20 * time.Millisecond)
+	early := f.NewTimer(5 * time.Millisecond)
+	f.Advance(30 * time.Millisecond)
+	a := <-early.C()
+	b := <-late.C()
+	if !a.Before(b) {
+		t.Fatalf("fire times out of order: early=%v late=%v", a, b)
+	}
+}
+
+func TestFakeBlockUntil(t *testing.T) {
+	f := NewFake()
+	done := make(chan struct{})
+	go func() {
+		f.BlockUntil(1)
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("BlockUntil(1) returned with no waiters")
+	case <-time.After(5 * time.Millisecond):
+	}
+	f.NewTimer(time.Second)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("BlockUntil(1) did not return after a timer was armed")
+	}
+}
+
+func TestOrReal(t *testing.T) {
+	if OrReal(nil) == nil {
+		t.Fatal("OrReal(nil) returned nil")
+	}
+	fk := NewFake()
+	if OrReal(fk) != Clock(fk) {
+		t.Fatal("OrReal did not pass through a non-nil clock")
+	}
+	// Real clock sanity: Now advances, timers fire.
+	c := Real()
+	tm := c.NewTimer(time.Millisecond)
+	select {
+	case <-tm.C():
+	case <-time.After(time.Second):
+		t.Fatal("real timer did not fire")
+	}
+}
