@@ -16,6 +16,9 @@
 //	                                 # machine-readable + regression gate
 //	dialga-bench -cluster            # in-process 6-node cluster lifecycle:
 //	                                 # put/get, kill 2 nodes, degraded get, repair
+//	dialga-bench -repair             # quorum-degraded puts with a node down,
+//	                                 # then intent adoption + repair convergence
+//	dialga-bench -repair -json       # same, machine-readable (BENCH_repair.json)
 //	dialga-bench -serve :8080        # loop the straggler workload and expose
 //	                                 # /metrics, /debug/trace, /debug/pprof
 //
@@ -47,7 +50,8 @@ func main() {
 		fusedMode = flag.String("fused", "both", "with -encode: sweep the fused path (on), the legacy two-pass path (off), or both")
 		gate      = flag.String("gate", "", "with -encode: baseline BENCH_fused.json; fail if the RS(10,4) fused speedup regressed >10%")
 		clusterB  = flag.Bool("cluster", false, "benchmark an in-process 6-node cluster: put/get, kill, degraded get, repair")
-		asJSON    = flag.Bool("json", false, "with -straggler/-cluster/-encode: emit JSON instead of text")
+		repairB   = flag.Bool("repair", false, "benchmark quorum-degraded puts and repair convergence after the missing node returns")
+		asJSON    = flag.Bool("json", false, "with -straggler/-cluster/-repair/-encode: emit JSON instead of text")
 		serve     = flag.String("serve", "", "loop the straggler workload and serve /metrics, /debug/trace and pprof on this address (e.g. :8080)")
 	)
 	flag.Parse()
@@ -86,6 +90,14 @@ func main() {
 
 	if *clusterB {
 		if err := runCluster(*quick, *asJSON); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *repairB {
+		if err := runRepairBench(*quick, *asJSON); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -10,6 +10,12 @@
 // the cluster map and the object name, so any node's gateway can serve
 // any object and there is no metadata service. The process drains
 // gracefully on SIGINT/SIGTERM.
+//
+// With -write-quorum below k+m the gateway acknowledges puts once a
+// quorum of shards is durable; each missing shard is journaled to the
+// -intent-log before the ack and rebuilt by the repair loop, which
+// adopts the journal at startup. The store itself recovers crash
+// debris (orphaned temp files, torn shards) every time it opens.
 package main
 
 import (
@@ -25,67 +31,98 @@ import (
 	"dialga/internal/obs"
 )
 
+// nodeConfig collects the flag values; run is kept separate from flag
+// parsing so tests can drive it directly.
+type nodeConfig struct {
+	id, dir, spec, listen string
+	k, m, stripeKiB       int
+	route                 string
+	hedge                 time.Duration
+	fgRPS, repairRPS      float64
+	repairInterval        time.Duration
+	drain                 time.Duration
+
+	writeQuorum    int
+	putRetries     int
+	intentLog      string
+	repairAttempts int
+	repairBW       int64
+}
+
 func main() {
-	var (
-		id             = flag.String("id", "", "this node's ID in the cluster map (required)")
-		dir            = flag.String("dir", "", "shard storage directory (required)")
-		spec           = flag.String("cluster", "", "cluster map: id=addr[/rack[/zone]],... (required)")
-		listen         = flag.String("listen", "", "listen address (default: this node's address in the map)")
-		k              = flag.Int("k", 4, "data shards per stripe")
-		m              = flag.Int("m", 2, "parity shards per stripe")
-		stripeKiB      = flag.Int("stripe", 1024, "stripe size in KiB for object puts")
-		route          = flag.String("route", "first-k", "read routing policy: first-k, round-robin, least-loaded")
-		hedge          = flag.Duration("hedge", 30*time.Millisecond, "hedged-read deadline floor for object gets (0 disables hedging)")
-		fgRPS          = flag.Float64("fg-rps", 0, "foreground admission rate, requests/s per node (0 = unmetered)")
-		repairRPS      = flag.Float64("repair-rps", 0, "repair admission rate, requests/s per node (0 = unmetered)")
-		repairInterval = flag.Duration("repair-interval", 0, "background scrub+repair period (0 disables the repair loop)")
-		drain          = flag.Duration("drain", node.DefaultDrainTimeout, "graceful-shutdown drain window")
-	)
+	var cfg nodeConfig
+	flag.StringVar(&cfg.id, "id", "", "this node's ID in the cluster map (required)")
+	flag.StringVar(&cfg.dir, "dir", "", "shard storage directory (required)")
+	flag.StringVar(&cfg.spec, "cluster", "", "cluster map: id=addr[/rack[/zone]],... (required)")
+	flag.StringVar(&cfg.listen, "listen", "", "listen address (default: this node's address in the map)")
+	flag.IntVar(&cfg.k, "k", 4, "data shards per stripe")
+	flag.IntVar(&cfg.m, "m", 2, "parity shards per stripe")
+	flag.IntVar(&cfg.stripeKiB, "stripe", 1024, "stripe size in KiB for object puts")
+	flag.StringVar(&cfg.route, "route", "first-k", "read routing policy: first-k, round-robin, least-loaded")
+	flag.DurationVar(&cfg.hedge, "hedge", 30*time.Millisecond, "hedged-read deadline floor for object gets (0 disables hedging)")
+	flag.Float64Var(&cfg.fgRPS, "fg-rps", 0, "foreground admission rate, requests/s per node (0 = unmetered)")
+	flag.Float64Var(&cfg.repairRPS, "repair-rps", 0, "repair admission rate, requests/s per node (0 = unmetered)")
+	flag.DurationVar(&cfg.repairInterval, "repair-interval", 0, "background scrub+repair period (0 disables the repair loop)")
+	flag.DurationVar(&cfg.drain, "drain", node.DefaultDrainTimeout, "graceful-shutdown drain window")
+	flag.IntVar(&cfg.writeQuorum, "write-quorum", 0, "shards that must be durable before a put is acked (0 = all k+m; else in [k+1, k+m])")
+	flag.IntVar(&cfg.putRetries, "put-retries", 0, "per-shard retries on transient put errors (0 = default 2, -1 disables)")
+	flag.StringVar(&cfg.intentLog, "intent-log", "", "durable write-intent journal path (empty disables; required for -write-quorum below k+m to survive restarts)")
+	flag.IntVar(&cfg.repairAttempts, "repair-attempts", 0, "rebuild attempts before a repair task is dropped (0 = default)")
+	flag.Int64Var(&cfg.repairBW, "repair-bw", 0, "repair read-bandwidth budget in bytes/s (0 = unmetered)")
 	flag.Parse()
-	if err := run(*id, *dir, *spec, *listen, *k, *m, *stripeKiB, *route, *hedge,
-		*fgRPS, *repairRPS, *repairInterval, *drain); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(id, dir, spec, listen string, k, m, stripeKiB int, route string,
-	hedge time.Duration, fgRPS, repairRPS float64, repairInterval, drain time.Duration) error {
-	if id == "" || dir == "" || spec == "" {
+func run(cfg nodeConfig) error {
+	if cfg.id == "" || cfg.dir == "" || cfg.spec == "" {
 		return fmt.Errorf("dialga-node needs -id, -dir and -cluster")
 	}
-	cmap, err := cluster.ParseSpec(spec)
+	cmap, err := cluster.ParseSpec(cfg.spec)
 	if err != nil {
 		return err
 	}
-	self, ok := cmap.Get(cluster.NodeID(id))
+	self, ok := cmap.Get(cluster.NodeID(cfg.id))
 	if !ok {
-		return fmt.Errorf("dialga-node: -id %s is not in the cluster map", id)
+		return fmt.Errorf("dialga-node: -id %s is not in the cluster map", cfg.id)
 	}
-	if listen == "" {
-		listen = self.Addr
+	if cfg.listen == "" {
+		cfg.listen = self.Addr
 	}
-	router, ok := cluster.NewRouter(route)
+	router, ok := cluster.NewRouter(cfg.route)
 	if !ok {
-		return fmt.Errorf("dialga-node: unknown -route %q (first-k, round-robin, least-loaded)", route)
+		return fmt.Errorf("dialga-node: unknown -route %q (first-k, round-robin, least-loaded)", cfg.route)
 	}
 
 	reg := obs.NewRegistry()
 	limiter := cluster.NewLimiter(map[string]cluster.Rate{
-		node.ClassForeground: {PerSecond: fgRPS},
-		node.ClassRepair:     {PerSecond: repairRPS},
+		node.ClassForeground: {PerSecond: cfg.fgRPS},
+		node.ClassRepair:     {PerSecond: cfg.repairRPS},
 	}, reg)
 
-	store, err := node.OpenStore(dir, reg)
+	store, err := node.OpenStore(cfg.dir, reg)
 	if err != nil {
 		return err
 	}
+	var intents *cluster.IntentLog
+	if cfg.intentLog != "" {
+		intents, err = cluster.OpenIntentLog(cfg.intentLog, reg)
+		if err != nil {
+			return err
+		}
+		defer intents.Close()
+	}
 	gw, err := cluster.NewGateway(cluster.GatewayOptions{
-		Map: cmap, K: k, M: m,
-		StripeSize: stripeKiB * 1024,
-		Router:     router,
-		HedgeAfter: hedge,
-		Metrics:    reg,
+		Map: cmap, K: cfg.k, M: cfg.m,
+		StripeSize:  cfg.stripeKiB * 1024,
+		Router:      router,
+		HedgeAfter:  cfg.hedge,
+		Metrics:     reg,
+		WriteQuorum: cfg.writeQuorum,
+		PutRetries:  cfg.putRetries,
+		Intents:     intents,
 	})
 	if err != nil {
 		return err
@@ -107,12 +144,21 @@ func run(id, dir, spec, listen string, k, m, stripeKiB int, route string,
 	ctx, stop := node.SignalContext(context.Background())
 	defer stop()
 
-	if repairInterval > 0 {
-		rep := cluster.NewRepairer(gw, limiter, reg)
-		go rep.Run(ctx, repairInterval)
+	if cfg.repairInterval > 0 {
+		rep := cluster.NewRepairerOpts(gw, limiter, reg, cluster.RepairerOptions{
+			MaxAttempts: cfg.repairAttempts,
+			Bandwidth:   cfg.repairBW,
+		})
+		// Shards the gateway could not land at put time go straight onto
+		// the repair queue; the journal keeps them across restarts.
+		gw.SetOnDegraded(func(object string, idx int) { rep.Enqueue(object, idx) })
+		if n := rep.AdoptIntents(); n > 0 {
+			fmt.Fprintf(os.Stderr, "dialga-node %s: adopted %d journaled write-intents\n", cfg.id, n)
+		}
+		go rep.Run(ctx, cfg.repairInterval)
 	}
 
 	fmt.Fprintf(os.Stderr, "dialga-node %s: serving %s (dir %s, RS(%d,%d), route %s, %d-node map)\n",
-		id, listen, dir, k, m, route, cmap.Len())
-	return node.Serve(ctx, &http.Server{Addr: listen, Handler: mux}, nil, drain)
+		cfg.id, cfg.listen, cfg.dir, cfg.k, cfg.m, cfg.route, cmap.Len())
+	return node.Serve(ctx, &http.Server{Addr: cfg.listen, Handler: mux}, nil, cfg.drain)
 }

@@ -49,6 +49,34 @@ type GatewayOptions struct {
 	Metrics *obs.Registry
 	// Seed makes decoder retry jitter reproducible.
 	Seed uint64
+	// WriteQuorum is the number of shard uploads that must land before
+	// a put is acknowledged. Zero means all K+M (every put fully
+	// redundant at ack). Any other value must lie in [K+1, K+M]: at
+	// least one shard beyond the data minimum, so an acked object
+	// always survives the immediate loss of any single node. Shards
+	// missing at ack time are journaled as write intents (see Intents)
+	// and handed to repair.
+	WriteQuorum int
+	// PutRetries is the per-shard retry budget for transient upload
+	// failures during a put. Zero means the default (2 retries); -1
+	// disables retries entirely, which also disables the per-shard
+	// replay spool — with retries on, each in-flight shard buffers its
+	// own bytes in memory (roughly size·(K+M)/K per object total) so a
+	// failed upload can be replayed from the start.
+	PutRetries int
+	// PutBackoff is the base delay between per-shard retry attempts,
+	// grown linearly with full deterministic jitter. Default 50ms.
+	PutBackoff time.Duration
+	// Intents is the durable write-intent journal degraded puts record
+	// the missing shards in before acknowledging. Nil disables
+	// journaling (quorum puts still succeed, but a gateway crash
+	// forgets which shards were owed).
+	Intents *IntentLog
+	// OnDegraded is called once per shard missing at ack time, after
+	// its intent is journaled — the hook the repairer registers to
+	// learn about owed shards without polling. Called from PutObject's
+	// goroutine; keep it fast. Nil disables.
+	OnDegraded func(object string, index int)
 }
 
 // Gateway stripes whole objects across the cluster: PUT encodes an
@@ -59,16 +87,21 @@ type GatewayOptions struct {
 // gateway (placement is deterministic), so there is no metadata
 // service to lose.
 type Gateway struct {
-	cmap    *Map
-	k, m    int
-	stripe  int
-	spares  int
-	router  Router
-	hedge   time.Duration
-	seed    uint64
-	reg     *obs.Registry
-	clients map[NodeID]*node.Client
-	codec   *rs.Code
+	cmap       *Map
+	k, m       int
+	stripe     int
+	spares     int
+	router     Router
+	hedge      time.Duration
+	seed       uint64
+	reg        *obs.Registry
+	clients    map[NodeID]*node.Client
+	codec      *rs.Code
+	quorum     int // shard uploads required to ack a put
+	retries    int // per-shard transient retry budget (-1: disabled)
+	backoff    time.Duration
+	intents    *IntentLog
+	onDegraded func(object string, index int)
 }
 
 // NewGateway validates opts into a Gateway.
@@ -106,18 +139,42 @@ func NewGateway(opts GatewayOptions) (*Gateway, error) {
 	if hc == nil {
 		hc = http.DefaultClient
 	}
+	quorum := opts.WriteQuorum
+	switch {
+	case quorum == 0:
+		quorum = opts.K + opts.M // full-width ack, always self-consistent
+	case quorum < opts.K+1 || quorum > opts.K+opts.M:
+		return nil, fmt.Errorf("cluster: write quorum %d outside [%d, %d]",
+			opts.WriteQuorum, opts.K+1, opts.K+opts.M)
+	}
+	retries := opts.PutRetries
+	if retries == 0 {
+		retries = 2
+	}
+	if retries < 0 {
+		retries = -1
+	}
+	backoff := opts.PutBackoff
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
 	g := &Gateway{
-		cmap:    opts.Map,
-		k:       opts.K,
-		m:       opts.M,
-		stripe:  stripeSize,
-		spares:  spares,
-		router:  router,
-		hedge:   opts.HedgeAfter,
-		seed:    opts.Seed,
-		reg:     opts.Metrics,
-		clients: make(map[NodeID]*node.Client, opts.Map.Len()),
-		codec:   codec,
+		cmap:       opts.Map,
+		k:          opts.K,
+		m:          opts.M,
+		stripe:     stripeSize,
+		spares:     spares,
+		router:     router,
+		hedge:      opts.HedgeAfter,
+		seed:       opts.Seed,
+		reg:        opts.Metrics,
+		clients:    make(map[NodeID]*node.Client, opts.Map.Len()),
+		codec:      codec,
+		quorum:     quorum,
+		retries:    retries,
+		backoff:    backoff,
+		intents:    opts.Intents,
+		onDegraded: opts.OnDegraded,
 	}
 	for _, n := range opts.Map.Nodes() {
 		g.clients[n.ID] = node.NewClient(n.Addr).WithHTTPClient(hc)
@@ -127,6 +184,12 @@ func NewGateway(opts GatewayOptions) (*Gateway, error) {
 
 // Shards returns the stripe width K+M.
 func (g *Gateway) Shards() int { return g.k + g.m }
+
+// SetOnDegraded installs the degraded-put callback after construction
+// — the gateway is usually built before the repairer that wants the
+// hook. Call before the gateway starts serving puts; the hook is read
+// without synchronization.
+func (g *Gateway) SetOnDegraded(f func(object string, index int)) { g.onDegraded = f }
 
 // Map returns the gateway's cluster map.
 func (g *Gateway) Map() *Map { return g.cmap }
@@ -179,7 +242,17 @@ func (g *Gateway) streamOptions() stream.Options {
 // concurrently to the object's placement. Every shard upload carries a
 // full shardfile (header + checksummed blocks), so each node validates
 // its shard independently and a node directory is scrubbable with
-// dialga-inspect. Returns the placement used.
+// dialga-inspect.
+//
+// A put is acknowledged once WriteQuorum shard uploads have landed.
+// Transient upload failures (connection errors, throttling, 5xx) are
+// retried per shard with backoff and full jitter, replaying the shard
+// from an in-memory spool; a shard that still cannot land does not
+// fail the put as long as quorum holds — its absence is journaled as a
+// durable write intent *before* the ack, then reported through
+// OnDegraded so repair rebuilds it. Below quorum the put fails and the
+// shards that did land are deleted best-effort. Returns the placement
+// used.
 func (g *Gateway) PutObject(ctx context.Context, object string, r io.Reader, size int64, class string) (Placement, error) {
 	if size < 0 {
 		return nil, fmt.Errorf("cluster: put %q needs a known size", object)
@@ -206,26 +279,23 @@ func (g *Gateway) PutObject(ctx context.Context, object string, r io.Reader, siz
 		pr, pw := io.Pipe()
 		pipes[i] = pw
 		writers[i] = pw
-		cli := g.clients[placement[i].ID].WithClass(class)
 		wg.Add(1)
-		go func(i int, cli *node.Client, pr *io.PipeReader, hdr []byte) {
+		go func(i int, pr *io.PipeReader, hdr []byte) {
 			defer wg.Done()
-			body := io.MultiReader(bytes.NewReader(hdr), pr)
-			if err := cli.PutShard(ctx, object, i, body); err != nil {
+			if err := g.uploadShard(ctx, object, i, placement[i].ID, class, pr, hdr); err != nil {
 				errs[i] = fmt.Errorf("shard %d -> %s: %w", i, placement[i].ID, err)
-				// Fail the encoder's next write into this pipe so the
-				// pipeline stops instead of blocking on a dead upload.
-				pr.CloseWithError(errs[i])
-				cancel()
-				return
 			}
-			pr.Close()
-		}(i, cli, pr, h.Marshal())
+		}(i, pr, h.Marshal())
 	}
 
 	// Count input bytes locally: enc.Stats() aggregates across every
 	// pipeline sharing the registry, so it cannot size-check one put.
-	cr := &countingReader{r: r}
+	// The ctx wrapper bounds cancellation latency: the encoder's
+	// producer loop reads the caller's reader without watching ctx, so
+	// a trickling (or stalled-between-reads) source would otherwise
+	// keep the whole put — pipes, uploader goroutines and all — alive
+	// long after the caller gave up.
+	cr := &countingReader{r: readerCtx(ctx, r)}
 	encErr := enc.Encode(ctx, cr, writers)
 	for _, pw := range pipes {
 		if encErr != nil {
@@ -236,27 +306,235 @@ func (g *Gateway) PutObject(ctx context.Context, object string, r io.Reader, siz
 	}
 	wg.Wait()
 
-	if encErr != nil {
+	fail := func(err error) (Placement, error) {
 		g.counter("cluster_puts_total", "Object puts, by result.",
 			obs.Label{Key: "result", Value: "error"}).Inc()
-		return nil, fmt.Errorf("cluster: put %q: %w", object, encErr)
+		return nil, fmt.Errorf("cluster: put %q: %w", object, err)
 	}
-	for _, err := range errs {
-		if err != nil {
-			g.counter("cluster_puts_total", "Object puts, by result.",
-				obs.Label{Key: "result", Value: "error"}).Inc()
-			return nil, fmt.Errorf("cluster: put %q: %w", object, err)
-		}
+	if encErr != nil {
+		return fail(encErr)
 	}
 	if cr.n != size {
-		g.counter("cluster_puts_total", "Object puts, by result.",
-			obs.Label{Key: "result", Value: "error"}).Inc()
-		return nil, fmt.Errorf("cluster: put %q: read %d bytes, expected %d", object, cr.n, size)
+		return fail(fmt.Errorf("read %d bytes, expected %d", cr.n, size))
+	}
+
+	landed := 0
+	var missing []int
+	var firstErr error
+	for i, err := range errs {
+		if err == nil {
+			landed++
+			continue
+		}
+		missing = append(missing, i)
+		if firstErr == nil {
+			firstErr = err
+		}
+		g.counter("cluster_put_shard_failures_total",
+			"Shard uploads that failed permanently during puts, by node.",
+			obs.Label{Key: "node", Value: string(placement[i].ID)}).Inc()
+	}
+	if landed < g.quorum {
+		// Not enough durability to ack. The shards that landed are
+		// stale the moment the client retries; clear them best-effort
+		// on a fresh context (ours may already be cancelled).
+		cleanCtx, cleanCancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cleanCancel()
+		for i, err := range errs {
+			if err == nil {
+				g.clients[placement[i].ID].WithClass(class).DeleteShard(cleanCtx, object, i)
+			}
+		}
+		return fail(fmt.Errorf("only %d of %d shards landed, quorum is %d: %w",
+			landed, n, g.quorum, firstErr))
+	}
+
+	// Quorum holds. Journal what is owed before acknowledging — the
+	// durability contract is that an acked degraded put survives a
+	// gateway crash — and discharge stale intents for shards this put
+	// just (re)wrote.
+	for i := 0; i < n; i++ {
+		if errs[i] == nil {
+			if err := g.intents.Done(object, i); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	for _, i := range missing {
+		if err := g.intents.Add(object, i); err != nil {
+			return fail(err)
+		}
+	}
+	if g.onDegraded != nil {
+		for _, i := range missing {
+			g.onDegraded(object, i)
+		}
+	}
+
+	result := "ok"
+	if len(missing) > 0 {
+		result = "degraded"
+		g.counter("cluster_put_degraded_total",
+			"Puts acknowledged at quorum with one or more shards owed to repair.").Inc()
 	}
 	g.counter("cluster_puts_total", "Object puts, by result.",
-		obs.Label{Key: "result", Value: "ok"}).Inc()
+		obs.Label{Key: "result", Value: result}).Inc()
 	g.counter("cluster_put_bytes_total", "Object payload bytes written.").Add(uint64(size))
 	return placement, nil
+}
+
+// uploadShard streams one shard from its pipe into its node. With
+// retries enabled, the bytes are teed into a spool as the first
+// attempt streams them; a transient failure drains the encoder's
+// remaining output into the spool (keeping the pipeline moving) and
+// replays the complete shard from memory, with linearly growing,
+// fully-jittered backoff between attempts. Failures never tear down
+// the put: the pipe is always drained to EOF so the other shards'
+// encode is unaffected, and the caller decides afterwards whether
+// quorum held.
+func (g *Gateway) uploadShard(ctx context.Context, object string, idx int, id NodeID, class string, pr *io.PipeReader, hdr []byte) error {
+	defer pr.Close()
+	cli := g.clients[id].WithClass(class)
+	if g.retries < 0 {
+		err := cli.PutShard(ctx, object, idx, io.MultiReader(bytes.NewReader(hdr), pr))
+		if err != nil {
+			io.Copy(io.Discard, pr)
+		}
+		return err
+	}
+	sp := &putSpool{}
+	body := &spoolBody{src: io.MultiReader(bytes.NewReader(hdr), pr), sp: sp}
+	err := cli.PutShard(ctx, object, idx, body)
+	rest := body.seal()
+	if err == nil {
+		return nil
+	}
+	if !node.Transient(err) {
+		io.Copy(io.Discard, pr)
+		return err
+	}
+	// Drain what the failed attempt did not consume — from the sealed
+	// body's source, so the spool also picks up header bytes a
+	// refused-at-connect attempt never read. Only a complete spool can
+	// be replayed; a drain error means the encode itself failed and
+	// there is nothing to retry.
+	if _, derr := io.Copy(sp, rest); derr != nil {
+		return err
+	}
+	for attempt := 1; attempt <= g.retries; attempt++ {
+		if serr := sleepCtx(ctx, putBackoff(g.seed, idx, attempt, g.backoff)); serr != nil {
+			return err
+		}
+		err = cli.PutShard(ctx, object, idx, bytes.NewReader(sp.bytes()))
+		if err == nil || !node.Transient(err) {
+			return err
+		}
+	}
+	return err
+}
+
+// putBackoff is the delay before retry attempt (1-based): full jitter
+// over [0, attempt·base), deterministic in (seed, shard, attempt) so a
+// seeded chaos run replays its exact retry schedule.
+func putBackoff(seed uint64, shard, attempt int, base time.Duration) time.Duration {
+	span := time.Duration(attempt) * base
+	h := mix(seed ^ uint64(shard)<<32 ^ uint64(attempt))
+	return time.Duration(h % uint64(span))
+}
+
+// sleepCtx pauses for d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// putSpool is a mutex-guarded append-only byte buffer. The lock
+// matters: net/http's transport may still be reading (and closing) a
+// request body from its own goroutine after RoundTrip has returned,
+// so the tee that fills the spool can race the drain that completes
+// it unless both sides serialize here.
+type putSpool struct {
+	mu sync.Mutex
+	b  []byte
+}
+
+func (s *putSpool) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	s.b = append(s.b, p...)
+	s.mu.Unlock()
+	return len(p), nil
+}
+
+// bytes snapshots the spooled contents. Callers only read it after
+// the upload attempt that fed the spool has been sealed and drained,
+// so the copy is stable.
+func (s *putSpool) bytes() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b
+}
+
+// spoolBody tees an upload body into a spool and can be sealed: after
+// seal, reads report EOF without touching the source, cutting off the
+// transport's post-RoundTrip body goroutine so the uploader gets the
+// source back for exclusive use and can drain the unread remainder
+// into the spool itself.
+type spoolBody struct {
+	mu     sync.Mutex
+	src    io.Reader
+	sp     *putSpool
+	sealed bool
+}
+
+func (b *spoolBody) Read(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.sealed {
+		return 0, io.EOF
+	}
+	n, err := b.src.Read(p)
+	if n > 0 {
+		b.sp.Write(p[:n])
+	}
+	return n, err
+}
+
+// seal cuts the transport off and hands the not-yet-consumed source
+// back to the caller.
+func (b *spoolBody) seal() io.Reader {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.sealed = true
+	return b.src
+}
+
+// readerCtx wraps r so each Read first checks ctx: once the put's
+// context ends, the next read fails instead of letting a slow source
+// hold the pipeline open. (A single Read already blocked inside r is
+// beyond rescue — this bounds the damage to one call.)
+func readerCtx(ctx context.Context, r io.Reader) io.Reader {
+	return &ctxReader{ctx: ctx, r: r}
+}
+
+type ctxReader struct {
+	ctx context.Context
+	r   io.Reader
+}
+
+func (c *ctxReader) Read(p []byte) (int, error) {
+	if err := c.ctx.Err(); err != nil {
+		return 0, err
+	}
+	return c.r.Read(p)
 }
 
 // openSet is the result of opening an object's shards for decode.

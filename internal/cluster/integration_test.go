@@ -81,6 +81,13 @@ type testCluster struct {
 // shards without reopening.
 func startCluster(t *testing.T, n, k, m, spares int, seed uint64) *testCluster {
 	t.Helper()
+	return startClusterOpts(t, n, k, m, spares, seed, nil)
+}
+
+// startClusterOpts is startCluster with a hook to adjust the gateway
+// options (quorum, intents, a fault transport) before it is built.
+func startClusterOpts(t *testing.T, n, k, m, spares int, seed uint64, mod func(*GatewayOptions)) *testCluster {
+	t.Helper()
 	reg := obs.NewRegistry()
 	tc := &testCluster{t: t, reg: reg}
 	infos := make([]NodeInfo, n)
@@ -102,7 +109,7 @@ func startCluster(t *testing.T, n, k, m, spares int, seed uint64) *testCluster {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gw, err := NewGateway(GatewayOptions{
+	opts := GatewayOptions{
 		Map: cmap, K: k, M: m,
 		StripeSize: 64 * 1024,
 		Spares:     spares,
@@ -112,7 +119,11 @@ func startCluster(t *testing.T, n, k, m, spares int, seed uint64) *testCluster {
 		// No pooled keep-alive connections: a killed-and-replaced node
 		// must not be reached over a stale socket.
 		HTTPClient: &http.Client{Transport: &http.Transport{DisableKeepAlives: true}},
-	})
+	}
+	if mod != nil {
+		mod(&opts)
+	}
+	gw, err := NewGateway(opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,300 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"dialga/internal/obs"
+)
+
+// An Intent records one shard the gateway acknowledged an object
+// without: the put reached its write quorum, but this shard's upload
+// failed, so the durability the client was promised is short one unit
+// of redundancy until repair rebuilds it.
+type Intent struct {
+	Object string `json:"object"`
+	Index  int    `json:"index"`
+}
+
+func (in Intent) key() string { return fmt.Sprintf("%s/%d", in.Object, in.Index) }
+
+// intentRecord is one log entry: an intent being opened ("add") or
+// discharged ("done").
+type intentRecord struct {
+	Op     string `json:"op"` // "add" | "done"
+	Object string `json:"object"`
+	Index  int    `json:"index"`
+}
+
+var intentCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// IntentLog is a durable, append-only journal of write intents. Every
+// record is framed as [u32 payload length][u32 CRC-32C][JSON payload]
+// and fsynced before the append returns, so an intent logged before
+// the gateway acknowledges a quorum put survives a gateway crash; on
+// reopen, Pending replays the log and hands the survivors to the
+// repair queue. A torn tail — the frame a crash cut mid-write — is
+// detected by the length/CRC framing and truncated away, exactly like
+// the node store's recovery scan: every record the replay reports was
+// written completely.
+//
+// The log compacts itself (rewrite-and-rename with only the open
+// intents) once discharged records dominate, so it stays proportional
+// to the number of outstanding intents rather than the write history.
+//
+// A nil *IntentLog is a valid no-op log: Add, Done, and Close succeed,
+// Pending is empty. The gateway runs without durability bookkeeping
+// unless one is configured. Safe for concurrent use.
+type IntentLog struct {
+	mu      sync.Mutex
+	path    string
+	f       *os.File
+	open    map[string]Intent // outstanding intents by key
+	dead    int               // discharged records still occupying the file
+	pending *obs.Gauge        // cluster_intents_pending
+	logged  *obs.Counter      // cluster_intents_logged_total
+	done    *obs.Counter      // cluster_intents_resolved_total
+	replay  *obs.Counter      // cluster_intents_recovered_total
+}
+
+// compactSlack is how many discharged records may accumulate before an
+// append triggers compaction.
+const compactSlack = 256
+
+// OpenIntentLog opens (creating if needed) the intent journal at path,
+// replaying any existing records. Intents that were logged but never
+// discharged are immediately visible via Pending. A non-nil reg
+// receives the log's cluster_intents_* series.
+func OpenIntentLog(path string, reg *obs.Registry) (*IntentLog, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, err
+	}
+	l := &IntentLog{
+		path: path,
+		open: make(map[string]Intent),
+		pending: reg.Gauge("cluster_intents_pending",
+			"Write intents logged but not yet discharged by repair."),
+		logged: reg.Counter("cluster_intents_logged_total",
+			"Write intents journaled for shards missing at ack time."),
+		done: reg.Counter("cluster_intents_resolved_total",
+			"Write intents discharged after the shard was rebuilt."),
+		replay: reg.Counter("cluster_intents_recovered_total",
+			"Write intents recovered from the journal at startup."),
+	}
+	valid, err := l.replayFile()
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	// Drop the torn tail, if any, so appends start at a clean frame.
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	l.f = f
+	l.replay.Add(uint64(len(l.open)))
+	l.pending.Set(float64(len(l.open)))
+	return l, nil
+}
+
+// replayFile reads every complete record from the journal into l.open
+// and returns the byte offset of the last valid frame's end. A missing
+// file replays as empty.
+func (l *IntentLog) replayFile() (int64, error) {
+	b, err := os.ReadFile(l.path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	var off int64
+	for int64(len(b))-off >= 8 {
+		n := binary.LittleEndian.Uint32(b[off:])
+		sum := binary.LittleEndian.Uint32(b[off+4:])
+		if n == 0 || n > 1<<20 || int64(len(b))-off-8 < int64(n) {
+			break // torn or garbage tail
+		}
+		payload := b[off+8 : off+8+int64(n)]
+		if crc32.Checksum(payload, intentCRC) != sum {
+			break
+		}
+		var rec intentRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			break
+		}
+		in := Intent{Object: rec.Object, Index: rec.Index}
+		switch rec.Op {
+		case "add":
+			l.open[in.key()] = in
+		case "done":
+			if _, ok := l.open[in.key()]; ok {
+				delete(l.open, in.key())
+				l.dead += 2 // the add and the done are both settled
+			}
+		}
+		off += 8 + int64(n)
+	}
+	return off, nil
+}
+
+// Add journals an intent: the shard at (object, index) was not written
+// even though the put was acknowledged. The record is durable (synced)
+// when Add returns. Re-adding an open intent is a no-op.
+func (l *IntentLog) Add(object string, index int) error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	in := Intent{Object: object, Index: index}
+	if _, ok := l.open[in.key()]; ok {
+		return nil
+	}
+	if err := l.append(intentRecord{Op: "add", Object: object, Index: index}); err != nil {
+		return err
+	}
+	l.open[in.key()] = in
+	l.logged.Inc()
+	l.pending.Set(float64(len(l.open)))
+	return nil
+}
+
+// Done discharges an intent after the shard exists again (repair
+// rebuilt it, or a later full-width put overwrote the object).
+// Discharging an unknown intent is a no-op.
+func (l *IntentLog) Done(object string, index int) error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	in := Intent{Object: object, Index: index}
+	if _, ok := l.open[in.key()]; !ok {
+		return nil
+	}
+	if err := l.append(intentRecord{Op: "done", Object: object, Index: index}); err != nil {
+		return err
+	}
+	delete(l.open, in.key())
+	l.dead += 2
+	l.done.Inc()
+	l.pending.Set(float64(len(l.open)))
+	if l.dead >= compactSlack {
+		return l.compactLocked()
+	}
+	return nil
+}
+
+// Pending snapshots the outstanding intents, ordered by object then
+// index so replay into the repair queue is deterministic.
+func (l *IntentLog) Pending() []Intent {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Intent, 0, len(l.open))
+	for _, in := range l.open {
+		out = append(out, in)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Object != out[j].Object {
+			return out[i].Object < out[j].Object
+		}
+		return out[i].Index < out[j].Index
+	})
+	return out
+}
+
+// Compact rewrites the journal with only the open intents.
+func (l *IntentLog) Compact() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.compactLocked()
+}
+
+func (l *IntentLog) compactLocked() error {
+	tmp := l.path + ".compact"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp)
+	for _, in := range l.open {
+		if _, err := f.Write(frame(intentRecord{Op: "add", Object: in.Object, Index: in.Index})); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, l.path); err != nil {
+		return err
+	}
+	old := l.f
+	nf, err := os.OpenFile(l.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	l.f, l.dead = nf, 0
+	return old.Close()
+}
+
+// Close flushes and closes the journal. The file stays on disk for the
+// next open to replay.
+func (l *IntentLog) Close() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}
+
+func (l *IntentLog) append(rec intentRecord) error {
+	if l.f == nil {
+		return fmt.Errorf("cluster: intent log %s is closed", l.path)
+	}
+	if _, err := l.f.Write(frame(rec)); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+// frame serializes one record with its length/CRC-32C header.
+func frame(rec intentRecord) []byte {
+	payload, _ := json.Marshal(rec) // a struct of string+int cannot fail
+	b := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(b, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(b[4:], crc32.Checksum(payload, intentCRC))
+	copy(b[8:], payload)
+	return b
+}

@@ -1,0 +1,183 @@
+package cluster
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dialga/internal/obs"
+)
+
+func TestIntentLogDurability(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "intents.log")
+	l, err := OpenIntentLog(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Add("obj-a", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Add("obj-a", 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Add("obj-b", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Done("obj-a", 5); err != nil {
+		t.Fatal(err)
+	}
+	// Re-adding an open intent and discharging an unknown one are
+	// no-ops, not duplicate records.
+	if err := l.Add("obj-a", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Done("never-logged", 9); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	// "Crash" and reopen: the undischarged intents survive verbatim.
+	reg := obs.NewRegistry()
+	l2, err := OpenIntentLog(path, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	got := l2.Pending()
+	want := []Intent{{Object: "obj-a", Index: 3}, {Object: "obj-b", Index: 0}}
+	if len(got) != len(want) {
+		t.Fatalf("pending = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pending[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if v := reg.Counter("cluster_intents_recovered_total", "").Value(); v != 2 {
+		t.Fatalf("cluster_intents_recovered_total = %d, want 2", v)
+	}
+	if v := reg.Gauge("cluster_intents_pending", "").Value(); v != 2 {
+		t.Fatalf("cluster_intents_pending = %v, want 2", v)
+	}
+}
+
+func TestIntentLogTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "intents.log")
+	l, err := OpenIntentLog(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Add("whole", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Add("torn", 2); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	// Tear the last frame mid-payload, as a crash during append would.
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := OpenIntentLog(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := l2.Pending()
+	if len(got) != 1 || got[0].Object != "whole" {
+		t.Fatalf("pending after torn tail = %v, want just whole/1", got)
+	}
+	// The torn bytes were truncated away; a fresh append lands on a
+	// clean frame boundary and both records replay next time.
+	if err := l2.Add("after", 7); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+	l3, err := OpenIntentLog(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l3.Close()
+	if got := l3.Pending(); len(got) != 2 {
+		t.Fatalf("pending after post-tear append = %v, want 2 intents", got)
+	}
+}
+
+func TestIntentLogGarbageFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "intents.log")
+	if err := os.WriteFile(path, []byte("not a journal at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := OpenIntentLog(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if got := l.Pending(); len(got) != 0 {
+		t.Fatalf("garbage file replayed intents: %v", got)
+	}
+	if err := l.Add("fresh", 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntentLogCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "intents.log")
+	l, err := OpenIntentLog(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Churn enough add/done pairs to cross the compaction threshold
+	// several times, with one intent held open throughout.
+	if err := l.Add("sticky", 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 400; i++ {
+		if err := l.Add("churn", i); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Done("churn", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 801 appended frames would be tens of KB; a compacted log holds
+	// roughly the open set plus slack.
+	if fi.Size() > 20_000 {
+		t.Fatalf("log is %d bytes after churn; compaction did not run", fi.Size())
+	}
+	l.Close()
+	l2, err := OpenIntentLog(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	got := l2.Pending()
+	if len(got) != 1 || got[0].Object != "sticky" {
+		t.Fatalf("pending after compaction = %v, want just sticky/0", got)
+	}
+}
+
+func TestNilIntentLogIsNoOp(t *testing.T) {
+	var l *IntentLog
+	if err := l.Add("x", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Done("x", 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Pending(); got != nil {
+		t.Fatalf("nil log pending = %v", got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"container/heap"
 	"context"
 	"errors"
 	"fmt"
@@ -24,6 +25,60 @@ type repairTask struct {
 
 func (t repairTask) key() string { return t.Object + "/" + strconv.Itoa(t.Index) }
 
+// repairItem is a queued task with its scheduling state. redundancy is
+// the object's remaining parity headroom (live shards minus K) when
+// the task was enqueued: an object one shard from unreadable sorts
+// before one that can still lose a node, because the cost of being
+// wrong about the ordering is data loss on one side and latency on the
+// other. seq breaks ties FIFO so same-priority work is not starved.
+type repairItem struct {
+	repairTask
+	redundancy int
+	attempts   int
+	seq        uint64
+	pos        int // index in the heap, maintained by the heap interface
+}
+
+type repairHeap []*repairItem
+
+func (h repairHeap) Len() int { return len(h) }
+func (h repairHeap) Less(i, j int) bool {
+	if h[i].redundancy != h[j].redundancy {
+		return h[i].redundancy < h[j].redundancy
+	}
+	return h[i].seq < h[j].seq
+}
+func (h repairHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].pos, h[j].pos = i, j
+}
+func (h *repairHeap) Push(x any) {
+	it := x.(*repairItem)
+	it.pos = len(*h)
+	*h = append(*h, it)
+}
+func (h *repairHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// RepairerOptions tunes the repair queue's scheduling.
+type RepairerOptions struct {
+	// MaxAttempts is how many rebuild attempts a task gets before it is
+	// dropped (a later scan re-discovers the shard and starts fresh, so
+	// a drop bounds queue churn, not durability). Default 5.
+	MaxAttempts int
+	// Bandwidth caps repair's data movement in object bytes per second
+	// across the whole queue — each rebuild decodes one object, so an
+	// object's FileSize is the unit of spend. Zero leaves repair
+	// unpaced (the admission limiter still applies per request).
+	Bandwidth int64
+}
+
 // Repairer is the background repair queue: it scrubs every placed
 // shard of every object in the cluster (reusing the same shardfile
 // scrub that dialga-inspect -verify runs locally), queues the damaged
@@ -32,63 +87,144 @@ func (t repairTask) key() string { return t.Object + "/" + strconv.Itoa(t.Index)
 // only the damaged shard's output is kept, so repair moves O(object)
 // bytes but writes only the one shard.
 //
+// The queue is a priority queue ordered by remaining redundancy:
+// objects at redundancy zero (one more loss and they are unreadable)
+// rebuild before objects that still have parity headroom, FIFO within
+// a priority. Failed rebuilds are retried with a capped attempt
+// counter, and the queue seeds itself from the gateway's durable
+// write-intent journal at startup (AdoptIntents), so shards owed by
+// quorum writes survive a gateway crash and restart.
+//
 // All repair traffic — scrub probes, source reads, the rebuilt-shard
 // write — is tagged node.ClassRepair and paced by the limiter's repair
-// bucket at both ends, so however deep the damage backlog is,
-// foreground reads keep their own token budget and their own node
-// capacity.
+// bucket at both ends, plus an optional global bandwidth budget, so
+// however deep the damage backlog is, foreground reads keep their own
+// token budget and their own node capacity.
 type Repairer struct {
-	gw  *Gateway
-	lim *Limiter
-	reg *obs.Registry
+	gw          *Gateway
+	lim         *Limiter
+	reg         *obs.Registry
+	maxAttempts int
+	pacer       *bwPacer
 
 	mu     sync.Mutex
-	queue  []repairTask
-	queued map[string]bool
+	heap   repairHeap
+	queued map[string]*repairItem
+	seq    uint64
 }
 
-// NewRepairer wires a repair queue over the gateway's cluster view.
-// lim may be nil (unpaced); reg may be nil (unmetered).
+// NewRepairer wires a repair queue over the gateway's cluster view
+// with default scheduling. lim may be nil (unpaced); reg may be nil
+// (unmetered).
 func NewRepairer(gw *Gateway, lim *Limiter, reg *obs.Registry) *Repairer {
-	return &Repairer{gw: gw, lim: lim, reg: reg, queued: make(map[string]bool)}
+	return NewRepairerOpts(gw, lim, reg, RepairerOptions{})
+}
+
+// NewRepairerOpts is NewRepairer with explicit scheduling options.
+func NewRepairerOpts(gw *Gateway, lim *Limiter, reg *obs.Registry, opts RepairerOptions) *Repairer {
+	maxAttempts := opts.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 5
+	}
+	var pacer *bwPacer
+	if opts.Bandwidth > 0 {
+		pacer = &bwPacer{rate: float64(opts.Bandwidth)}
+	}
+	return &Repairer{
+		gw: gw, lim: lim, reg: reg,
+		maxAttempts: maxAttempts,
+		pacer:       pacer,
+		queued:      make(map[string]*repairItem),
+	}
 }
 
 // Pending returns the number of queued repair tasks.
 func (r *Repairer) Pending() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return len(r.queue)
+	return len(r.heap)
 }
 
-// Enqueue queues shard idx of object for rebuild, deduplicating
-// against tasks already queued. It reports whether the task was new.
+// Enqueue queues shard idx of object for rebuild at the most urgent
+// single-loss priority the caller can assert without a scan (the
+// object is down at least this one shard). It reports whether the
+// task was new; re-enqueueing an existing task can only raise its
+// urgency, never reset its attempt count.
 func (r *Repairer) Enqueue(object string, idx int) bool {
-	t := repairTask{Object: object, Index: idx}
+	red := r.gw.m - 1
+	if red < 0 {
+		red = 0
+	}
+	return r.enqueue(repairTask{Object: object, Index: idx}, red, 0)
+}
+
+// enqueue adds or re-prioritizes a task. A task already queued keeps
+// its attempt count and takes the lower (more urgent) redundancy.
+func (r *Repairer) enqueue(t repairTask, redundancy, attempts int) bool {
+	if redundancy < 0 {
+		redundancy = 0
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.queued[t.key()] {
+	if it, ok := r.queued[t.key()]; ok {
+		if redundancy < it.redundancy {
+			it.redundancy = redundancy
+			heap.Fix(&r.heap, it.pos)
+			r.updateGaugesLocked()
+		}
 		return false
 	}
-	r.queued[t.key()] = true
-	r.queue = append(r.queue, t)
-	r.reg.Gauge("cluster_repair_queue",
-		"Damaged shards currently queued for rebuild.").Set(float64(len(r.queue)))
+	r.seq++
+	it := &repairItem{repairTask: t, redundancy: redundancy, attempts: attempts, seq: r.seq}
+	r.queued[t.key()] = it
+	heap.Push(&r.heap, it)
+	r.updateGaugesLocked()
 	return true
 }
 
-// pop takes the oldest task off the queue.
-func (r *Repairer) pop() (repairTask, bool) {
+// pop takes the most urgent task off the queue.
+func (r *Repairer) pop() (*repairItem, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if len(r.queue) == 0 {
-		return repairTask{}, false
+	if len(r.heap) == 0 {
+		return nil, false
 	}
-	t := r.queue[0]
-	r.queue = r.queue[1:]
-	delete(r.queued, t.key())
+	it := heap.Pop(&r.heap).(*repairItem)
+	delete(r.queued, it.key())
+	r.updateGaugesLocked()
+	return it, true
+}
+
+// updateGaugesLocked refreshes the queue-depth gauges: the total, and
+// one series per redundancy level so dashboards can see whether the
+// backlog is annoying (redundancy m-1) or dangerous (redundancy 0).
+func (r *Repairer) updateGaugesLocked() {
 	r.reg.Gauge("cluster_repair_queue",
-		"Damaged shards currently queued for rebuild.").Set(float64(len(r.queue)))
-	return t, true
+		"Damaged shards currently queued for rebuild.").Set(float64(len(r.heap)))
+	counts := make(map[int]int)
+	for _, it := range r.heap {
+		counts[it.redundancy]++
+	}
+	for red := 0; red <= r.gw.m; red++ {
+		r.reg.Gauge("cluster_repair_queue_priority",
+			"Damaged shards queued for rebuild, by the object's remaining redundancy.",
+			obs.Label{Key: "redundancy", Value: strconv.Itoa(red)}).Set(float64(counts[red]))
+	}
+}
+
+// AdoptIntents seeds the queue from the gateway's durable write-intent
+// journal: every shard a quorum put acknowledged without is queued for
+// rebuild. Run it once at startup, after OpenIntentLog replayed the
+// journal, to resume the repairs a crashed gateway still owed. It
+// returns how many tasks it queued.
+func (r *Repairer) AdoptIntents() int {
+	n := 0
+	for _, in := range r.gw.intents.Pending() {
+		if r.Enqueue(in.Object, in.Index) {
+			n++
+		}
+	}
+	return n
 }
 
 // admit paces one repair-class operation through the limiter.
@@ -130,23 +266,29 @@ func (r *Repairer) objects(ctx context.Context) ([]string, error) {
 	return names, nil
 }
 
-// ScanOnce scrubs every placed shard of every object and enqueues the
-// damaged ones, returning how many new tasks it queued. A shard whose
-// node answers 404 is missing (enqueued); a shard whose node is
-// unreachable is skipped — under the persistent-memory fault model the
-// node's shards survive it, so rebuilding them elsewhere while the
-// node is down would churn data that will reappear.
+// ScanOnce scrubs every placed shard of every object, enqueues the
+// damaged ones at a priority reflecting the object's remaining
+// redundancy, and publishes cluster_redundancy_min — the lowest live
+// shard count across everything it scanned. It returns how many new
+// tasks it queued. A shard whose node answers 404 is missing
+// (enqueued); a shard whose node is unreachable is skipped — under the
+// persistent-memory fault model the node's shards survive it, so
+// rebuilding them elsewhere while the node is down would churn data
+// that will reappear.
 func (r *Repairer) ScanOnce(ctx context.Context) (int, error) {
 	names, err := r.objects(ctx)
 	if err != nil {
 		return 0, err
 	}
 	enqueued := 0
+	n := r.gw.k + r.gw.m
+	minLive := n
 	for _, object := range names {
 		placement, err := r.gw.Place(object)
 		if err != nil {
 			return enqueued, err
 		}
+		var damaged []int
 		for idx, info := range placement {
 			if err := r.admit(ctx); err != nil {
 				return enqueued, err
@@ -158,9 +300,7 @@ func (r *Repairer) ScanOnce(ctx context.Context) (int, error) {
 				r.reg.Counter("cluster_scrub_damaged_total",
 					"Placed shards found damaged by repair scans, by kind.",
 					obs.Label{Key: "status", Value: "missing"}).Inc()
-				if r.Enqueue(object, idx) {
-					enqueued++
-				}
+				damaged = append(damaged, idx)
 			case err != nil:
 				r.reg.Counter("cluster_scrub_unreachable_total",
 					"Placed shards the repair scan could not probe (node down).").Inc()
@@ -168,22 +308,33 @@ func (r *Repairer) ScanOnce(ctx context.Context) (int, error) {
 				r.reg.Counter("cluster_scrub_damaged_total",
 					"Placed shards found damaged by repair scans, by kind.",
 					obs.Label{Key: "status", Value: status.Status}).Inc()
-				if r.Enqueue(object, idx) {
-					enqueued++
-				}
+				damaged = append(damaged, idx)
 			default:
 				r.reg.Counter("cluster_scrub_ok_total",
 					"Placed shards that passed a repair-scan scrub.").Inc()
 			}
 		}
+		live := n - len(damaged)
+		if live < minLive {
+			minLive = live
+		}
+		for _, idx := range damaged {
+			if r.enqueue(repairTask{Object: object, Index: idx}, live-r.gw.k, 0) {
+				enqueued++
+			}
+		}
 	}
+	r.reg.Gauge("cluster_redundancy_min",
+		"Lowest live-shard count across all objects at the last repair scan.").
+		Set(float64(minLive))
 	return enqueued, nil
 }
 
 // RepairOne rebuilds one damaged shard: a degraded streaming decode of
 // the surviving shards is piped straight into a re-encode whose output
 // is discarded for every shard but the damaged one, which streams to
-// its placed node as a fresh validated shardfile.
+// its placed node as a fresh validated shardfile. A successful rebuild
+// discharges the shard's durable write intent, if one is journaled.
 func (r *Repairer) RepairOne(ctx context.Context, object string, idx int) error {
 	placement, err := r.gw.Place(object)
 	if err != nil {
@@ -204,10 +355,26 @@ func (r *Repairer) RepairOne(ctx context.Context, object string, idx int) error 
 	h.Index = uint32(idx)
 	stripeSize := int(h.ShardSize) * r.gw.k
 
+	// Spend this object's bytes against the global repair budget
+	// before moving them.
+	if err := r.pacer.wait(ctx, int64(h.FileSize)); err != nil {
+		for _, rd := range set.readers {
+			if c, ok := rd.(io.Closer); ok {
+				c.Close()
+			}
+		}
+		return err
+	}
+
 	decOpts := r.gw.streamOptions()
 	decOpts.StripeSize = stripeSize
 	decOpts.Checksum = h.Algo.Stream()
 	decOpts.CloseReaders = true
+	// Repair is background work that may already be at the decode
+	// limit (every spare block can be load-bearing); hedging a slow
+	// shard into an erasure here trades correctness margin for latency
+	// nobody is waiting on. Read every block.
+	decOpts.HedgeAfter = 0
 	dec, err := stream.NewDecoder(decOpts)
 	if err != nil {
 		return err
@@ -262,20 +429,25 @@ func (r *Repairer) RepairOne(ctx context.Context, object string, idx int) error 
 	r.reg.Counter("cluster_repair_bytes_total",
 		"Bytes of rebuilt shard data written by the repair queue.").
 		Add(uint64(h.ExpectedFileSize()))
+	// The shard exists again; whatever a degraded put still owed for
+	// this slot is settled.
+	r.gw.intents.Done(object, idx)
 	return nil
 }
 
 // DrainOnce works the queue until it is empty or ctx ends, returning
-// how many repairs succeeded and failed. A failed task is re-queued at
-// the back (its nodes may be back next pass) unless ctx ended.
+// how many repairs succeeded and failed. A failed task is re-queued
+// (its nodes may be back next pass) with its attempt counter bumped,
+// until MaxAttempts; after that it is dropped — a later scan that
+// still finds the shard damaged starts it over with a fresh budget.
 func (r *Repairer) DrainOnce(ctx context.Context) (repaired, failed int) {
-	requeue := []repairTask{}
+	var requeue []*repairItem
 	for {
-		t, ok := r.pop()
+		it, ok := r.pop()
 		if !ok {
 			break
 		}
-		err := r.RepairOne(ctx, t.Object, t.Index)
+		err := r.RepairOne(ctx, it.Object, it.Index)
 		if err == nil {
 			repaired++
 			r.reg.Counter("cluster_repairs_total", "Shard rebuilds, by result.",
@@ -285,13 +457,23 @@ func (r *Repairer) DrainOnce(ctx context.Context) (repaired, failed int) {
 		failed++
 		r.reg.Counter("cluster_repairs_total", "Shard rebuilds, by result.",
 			obs.Label{Key: "result", Value: "error"}).Inc()
+		r.reg.Counter("cluster_repair_failures_total",
+			"Shard rebuild attempts that failed.").Inc()
 		if ctx.Err() != nil {
+			// Put the interrupted task back so nothing is stranded.
+			requeue = append(requeue, it)
 			break
 		}
-		requeue = append(requeue, t)
+		it.attempts++
+		if it.attempts >= r.maxAttempts {
+			r.reg.Counter("cluster_repair_dropped_total",
+				"Repair tasks dropped after exhausting their attempt budget.").Inc()
+			continue
+		}
+		requeue = append(requeue, it)
 	}
-	for _, t := range requeue {
-		r.Enqueue(t.Object, t.Index)
+	for _, it := range requeue {
+		r.enqueue(it.repairTask, it.redundancy, it.attempts)
 	}
 	return repaired, failed
 }
@@ -318,4 +500,29 @@ func (r *Repairer) Run(ctx context.Context, interval time.Duration) error {
 			r.DrainOnce(ctx)
 		}
 	}
+}
+
+// bwPacer meters repair bandwidth: wait reserves n bytes against a
+// rate, sleeping until the reservation's start time. A nil pacer is
+// unlimited.
+type bwPacer struct {
+	rate float64 // bytes per second
+
+	mu   sync.Mutex
+	next time.Time
+}
+
+func (p *bwPacer) wait(ctx context.Context, n int64) error {
+	if p == nil || n <= 0 {
+		return nil
+	}
+	p.mu.Lock()
+	now := time.Now()
+	if p.next.Before(now) {
+		p.next = now
+	}
+	start := p.next
+	p.next = start.Add(time.Duration(float64(n) / p.rate * float64(time.Second)))
+	p.mu.Unlock()
+	return sleepCtx(ctx, start.Sub(now))
 }

@@ -1,0 +1,226 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dialga/internal/node"
+	"dialga/internal/obs"
+)
+
+// TestRepairQueuePriorityOrder: tasks pop lowest-redundancy first,
+// FIFO within a level, and re-enqueueing can only raise urgency.
+func TestRepairQueuePriorityOrder(t *testing.T) {
+	tc := startCluster(t, 6, 4, 2, 0, 21)
+	r := NewRepairer(tc.gw, nil, tc.reg)
+
+	r.enqueue(repairTask{Object: "healthy-ish", Index: 0}, 1, 0)
+	r.enqueue(repairTask{Object: "critical", Index: 3}, 0, 0)
+	r.enqueue(repairTask{Object: "healthy-ish", Index: 1}, 1, 0)
+	r.enqueue(repairTask{Object: "critical-2", Index: 2}, 0, 0)
+	// Already-queued task discovered again at lower redundancy climbs.
+	r.enqueue(repairTask{Object: "healthy-ish", Index: 1}, 0, 0)
+
+	if g := tc.reg.Gauge("cluster_repair_queue_priority", "",
+		obs.Label{Key: "redundancy", Value: "0"}).Value(); g != 3 {
+		t.Fatalf("priority-0 depth = %v, want 3", g)
+	}
+	if g := tc.reg.Gauge("cluster_repair_queue_priority", "",
+		obs.Label{Key: "redundancy", Value: "1"}).Value(); g != 1 {
+		t.Fatalf("priority-1 depth = %v, want 1", g)
+	}
+
+	want := []repairTask{
+		{Object: "critical", Index: 3},    // redundancy 0, first in
+		{Object: "healthy-ish", Index: 1}, // promoted to 0, keeps its older seq
+		{Object: "critical-2", Index: 2},  // redundancy 0, newest
+		{Object: "healthy-ish", Index: 0}, // redundancy 1
+	}
+	for i, w := range want {
+		it, ok := r.pop()
+		if !ok || it.repairTask != w {
+			t.Fatalf("pop %d = %+v (ok=%v), want %v", i, it, ok, w)
+		}
+	}
+	if _, ok := r.pop(); ok {
+		t.Fatal("queue not empty")
+	}
+	if g := tc.reg.Gauge("cluster_repair_queue", "").Value(); g != 0 {
+		t.Fatalf("total depth after drain = %v", g)
+	}
+}
+
+// TestRepairAttemptCap: a task whose rebuild cannot succeed is retried
+// MaxAttempts times, counted, then dropped — never stranded in the
+// dedup map, never spinning forever.
+func TestRepairAttemptCap(t *testing.T) {
+	tc := startCluster(t, 6, 4, 2, 0, 23)
+	r := NewRepairerOpts(tc.gw, nil, tc.reg, RepairerOptions{MaxAttempts: 3})
+	ctx := context.Background()
+
+	// No such object anywhere: every rebuild fails to open sources.
+	if !r.Enqueue("phantom", 0) {
+		t.Fatal("enqueue")
+	}
+	totalFailed := 0
+	for pass := 0; pass < 10 && r.Pending() > 0; pass++ {
+		_, failed := r.DrainOnce(ctx)
+		totalFailed += failed
+	}
+	if r.Pending() != 0 {
+		t.Fatalf("task still queued after cap: pending=%d", r.Pending())
+	}
+	if totalFailed != 3 {
+		t.Fatalf("failed attempts = %d, want 3", totalFailed)
+	}
+	if v := tc.reg.Counter("cluster_repair_failures_total", "").Value(); v != 3 {
+		t.Fatalf("cluster_repair_failures_total = %d, want 3", v)
+	}
+	if v := tc.reg.Counter("cluster_repair_dropped_total", "").Value(); v != 1 {
+		t.Fatalf("cluster_repair_dropped_total = %d, want 1", v)
+	}
+	// The dedup map let go of the key: the task can be found again.
+	if !r.Enqueue("phantom", 0) {
+		t.Fatal("dropped task could not be re-enqueued")
+	}
+}
+
+// TestRepairAdoptsIntents: a degraded quorum put's journaled intent is
+// adopted into the queue at startup, repaired, and discharged.
+func TestRepairAdoptsIntents(t *testing.T) {
+	logPath := filepath.Join(t.TempDir(), "intents.log")
+	log, err := OpenIntentLog(logPath, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := startClusterOpts(t, 6, 4, 2, 0, 29, func(o *GatewayOptions) {
+		o.WriteQuorum = 5
+		o.PutBackoff = 2 * time.Millisecond
+		o.Intents = log
+	})
+	ctx := context.Background()
+
+	const object = "owed"
+	payload := clusterPayload(61, 150_000)
+	place, err := tc.gw.Place(object)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.node(place[4].ID).stop()
+	if _, err := tc.gw.PutObject(ctx, object, bytes.NewReader(payload), int64(len(payload)), node.ClassForeground); err != nil {
+		t.Fatal(err)
+	}
+	log.Close()
+
+	// "Restart": reopen the journal, adopt, bring the node back, drain.
+	log2, err := OpenIntentLog(logPath, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log2.Close()
+	tc.gw.intents = log2
+	tc.node(place[4].ID).start()
+
+	r := NewRepairer(tc.gw, nil, tc.reg)
+	if n := r.AdoptIntents(); n != 1 {
+		t.Fatalf("adopted %d intents, want 1", n)
+	}
+	repaired, failed := r.DrainOnce(ctx)
+	if repaired != 1 || failed != 0 {
+		t.Fatalf("repaired=%d failed=%d, want 1/0", repaired, failed)
+	}
+	if got := log2.Pending(); len(got) != 0 {
+		t.Fatalf("intents after repair = %v, want none", got)
+	}
+	cli, _ := tc.gw.Client(place[4].ID)
+	if st, err := cli.StatShard(ctx, object, 4); err != nil || int(st.Index) != 4 {
+		t.Fatalf("rebuilt shard: %+v, %v", st, err)
+	}
+	tc.mustGet(ctx, object, payload)
+}
+
+// TestRepairBandwidthBudget: with a budget of one object per ~50ms,
+// three rebuilds must take at least ~100ms (first is free).
+func TestRepairBandwidthBudget(t *testing.T) {
+	tc := startCluster(t, 6, 4, 2, 0, 31)
+	ctx := context.Background()
+
+	const objSize = 50_000
+	payloads := map[string][]byte{}
+	for _, name := range []string{"bw-0", "bw-1", "bw-2"} {
+		payloads[name] = clusterPayload(71, objSize)
+		if _, err := tc.gw.PutObject(ctx, name, bytes.NewReader(payloads[name]), objSize, node.ClassForeground); err != nil {
+			t.Fatal(err)
+		}
+		place, _ := tc.gw.Place(name)
+		cli, _ := tc.gw.Client(place[2].ID)
+		if err := cli.DeleteShard(ctx, name, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// objSize bytes per 50ms.
+	r := NewRepairerOpts(tc.gw, nil, tc.reg, RepairerOptions{Bandwidth: objSize * 20})
+	if _, err := r.ScanOnce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if r.Pending() != 3 {
+		t.Fatalf("pending = %d, want 3", r.Pending())
+	}
+	start := time.Now()
+	repaired, failed := r.DrainOnce(ctx)
+	elapsed := time.Since(start)
+	if repaired != 3 || failed != 0 {
+		t.Fatalf("repaired=%d failed=%d", repaired, failed)
+	}
+	if elapsed < 80*time.Millisecond {
+		t.Fatalf("3 paced rebuilds finished in %v; budget not applied", elapsed)
+	}
+	for name, want := range payloads {
+		tc.mustGet(ctx, name, want)
+	}
+}
+
+// TestScanSetsRedundancyMin: the scan publishes the lowest live-shard
+// count it saw, and prioritizes the weakest object's shards first.
+func TestScanSetsRedundancyMin(t *testing.T) {
+	tc := startCluster(t, 6, 4, 2, 0, 37)
+	ctx := context.Background()
+
+	const objSize = 60_000
+	for _, name := range []string{"strong", "weak"} {
+		if _, err := tc.gw.PutObject(ctx, name, bytes.NewReader(clusterPayload(83, objSize)), objSize, node.ClassForeground); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// strong loses one shard (live 5), weak loses two (live 4).
+	del := func(name string, idx int) {
+		place, _ := tc.gw.Place(name)
+		cli, _ := tc.gw.Client(place[idx].ID)
+		if err := cli.DeleteShard(ctx, name, idx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	del("strong", 1)
+	del("weak", 0)
+	del("weak", 3)
+
+	r := NewRepairer(tc.gw, nil, tc.reg)
+	if _, err := r.ScanOnce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if g := tc.reg.Gauge("cluster_redundancy_min", "").Value(); g != 4 {
+		t.Fatalf("cluster_redundancy_min = %v, want 4", g)
+	}
+	// Both weak shards (redundancy 0) pop before strong's (redundancy 1).
+	first, _ := r.pop()
+	second, _ := r.pop()
+	third, _ := r.pop()
+	if first.Object != "weak" || second.Object != "weak" || third.Object != "strong" {
+		t.Fatalf("pop order %s, %s, %s; want weak, weak, strong",
+			first.Object, second.Object, third.Object)
+	}
+}

@@ -56,6 +56,20 @@ const (
 	// device that is slow for a while and then recovers, which is how
 	// chaos tests move a straggler from one shard to another mid-run.
 	Slow
+	// Refuse is a connection-level fault interpreted by Transport: the
+	// request is failed immediately with a transient error, as a
+	// refused connection would be. Unlike the byte-addressed ops, Off
+	// and Len count whole requests: requests Off..Off+Len-1 (counted
+	// from when the plan was installed for the host) are refused, and
+	// Len zero refuses every request from Off on — a network partition
+	// that holds until the plan is cleared. Ignored by Reader/Writer.
+	Refuse
+	// Blackhole is a connection-level fault interpreted by Transport:
+	// affected requests hang until their context ends, the way a
+	// blackholed route (packets silently dropped, no RST) behaves.
+	// Off/Len address whole requests exactly like Refuse. Ignored by
+	// Reader/Writer.
+	Blackhole
 )
 
 var kindNames = map[Kind]string{
@@ -66,6 +80,8 @@ var kindNames = map[Kind]string{
 	ShortWrite: "short",
 	Stall:      "stall",
 	Slow:       "slow",
+	Refuse:     "refuse",
+	Blackhole:  "hole",
 }
 
 func (k Kind) String() string {
@@ -75,11 +91,13 @@ func (k Kind) String() string {
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
 
-// Op is one injected fault, addressed by absolute stream offset.
+// Op is one injected fault. Byte-stream ops are addressed by absolute
+// stream offset; the connection-level ops (Refuse, Blackhole) are
+// addressed by request count instead.
 type Op struct {
 	Kind Kind
-	Off  int64 // absolute byte offset the fault anchors to
-	Len  int64 // ZeroFill: span in bytes; Stall/Slow: microseconds
+	Off  int64 // absolute byte offset (Refuse/Blackhole: first request index)
+	Len  int64 // ZeroFill: span in bytes; Stall/Slow: microseconds; Refuse/Blackhole: request count, 0 = unbounded
 	Span int64 // Slow: bytes the op covers from Off; 0 = to EOF
 	Bit  uint8 // BitFlip: bit index 0..7
 }

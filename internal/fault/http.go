@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"fmt"
 	"io"
 	"net/http"
 	"sync"
@@ -9,14 +10,28 @@ import (
 )
 
 // Transport is an http.RoundTripper that applies a fault Plan to the
-// response bodies of a wrapped transport, keyed by the request's host.
-// Every response body is its own byte stream, so a plan's offsets are
-// relative to the start of each response — a `slow@0+3000` plan makes
-// every read from that host a straggler, a `flip@100.3` plan corrupts
-// byte 100 of every body. This is how the cluster chaos tests inject
-// deterministic network faults under the shard client without touching
-// the servers: the same Plan grammar, seeded Generate, and metrics
-// that the reader/writer wrappers use, applied at the transport seam.
+// traffic of a wrapped transport, keyed by the request's host. Two
+// classes of op apply:
+//
+// Byte-stream ops (flip, zero, trunc, err, slow, ...) wrap the
+// response body, so the plan's offsets are relative to the start of
+// each response — a `slow@0+3000` plan makes every read from that
+// host a straggler, a `flip@100.3` plan corrupts byte 100 of every
+// body.
+//
+// Connection-level ops (refuse, hole) fire before the request is even
+// sent and are addressed by request count rather than byte offset:
+// `refuse@0+3` refuses the first three requests after the plan was
+// installed, `refuse@0+0` refuses every request until the plan is
+// cleared (a network partition), and `hole@0+0` makes every request
+// hang until its context ends (a blackholed route). Refused and
+// blackholed requests surface as transient *Err faults, so clients
+// classify them exactly like a real connection failure.
+//
+// This is how the cluster chaos tests inject deterministic network
+// faults under the shard client without touching the servers: the
+// same Plan grammar, seeded Generate, and metrics that the
+// reader/writer wrappers use, applied at the transport seam.
 //
 // The zero value is unusable; build one with NewTransport. Safe for
 // concurrent use.
@@ -25,7 +40,8 @@ type Transport struct {
 	reg  *obs.Registry
 
 	mu    sync.Mutex
-	plans map[string]Plan // request host -> plan applied to its responses
+	plans map[string]Plan  // request host -> plan applied to its traffic
+	reqs  map[string]int64 // request host -> requests since its plan was installed
 }
 
 // NewTransport wraps base (http.DefaultTransport when nil) with an
@@ -34,7 +50,7 @@ func NewTransport(base http.RoundTripper) *Transport {
 	if base == nil {
 		base = http.DefaultTransport
 	}
-	return &Transport{base: base, plans: make(map[string]Plan)}
+	return &Transport{base: base, plans: make(map[string]Plan), reqs: make(map[string]int64)}
 }
 
 // WithMetrics counts every applied injection in reg as
@@ -45,11 +61,14 @@ func (t *Transport) WithMetrics(reg *obs.Registry) *Transport {
 }
 
 // Set installs (or, with an empty plan, clears) the fault plan for
-// every future response from host ("host:port" as it appears in
-// request URLs). In-flight bodies keep the plan they started with.
+// every future request to host ("host:port" as it appears in request
+// URLs), resetting the host's request counter so the plan's
+// connection-level ops address requests from this moment. In-flight
+// bodies keep the plan they started with.
 func (t *Transport) Set(host string, p Plan) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.reqs[host] = 0
 	if len(p.Ops) == 0 {
 		delete(t.plans, host)
 		return
@@ -57,21 +76,69 @@ func (t *Transport) Set(host string, p Plan) {
 	t.plans[host] = p
 }
 
-// RoundTrip performs the request on the wrapped transport and, when
-// the request's host has a plan, re-wraps the response body so the
-// plan's read-side faults fire as the caller consumes it. Injected
-// sleeps honour the request context: a cancelled request is never held
-// hostage by its own fault plan.
+// Partition installs an unbounded refuse plan (`refuse@0+0`) for each
+// host: every request fails immediately with a transient fault until
+// Heal. It composes with Set — a partitioned host's previous plan is
+// replaced, matching a node that fell off the network entirely.
+func (t *Transport) Partition(hosts ...string) {
+	for _, h := range hosts {
+		t.Set(h, Plan{Ops: []Op{{Kind: Refuse}}})
+	}
+}
+
+// Heal clears the fault plan for each host, ending a Partition (or
+// any other plan) so traffic flows clean again.
+func (t *Transport) Heal(hosts ...string) {
+	for _, h := range hosts {
+		t.Set(h, Plan{})
+	}
+}
+
+// covers reports whether a request-count-addressed op covers the n-th
+// request: n in [Off, Off+Len), unbounded when Len is zero.
+func covers(op Op, n int64) bool {
+	return n >= op.Off && (op.Len == 0 || n < op.Off+op.Len)
+}
+
+// RoundTrip applies the request host's plan: connection-level ops may
+// refuse or blackhole the request outright; otherwise the request
+// runs on the wrapped transport and the response body is re-wrapped
+// so the plan's read-side faults fire as the caller consumes it.
+// Injected sleeps and blackholes honour the request context: a
+// cancelled request is never held hostage by its own fault plan.
 func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.mu.Lock()
+	plan, ok := t.plans[req.URL.Host]
+	var n int64
+	if ok {
+		n = t.reqs[req.URL.Host]
+		t.reqs[req.URL.Host] = n + 1
+	}
+	t.mu.Unlock()
+	if !ok {
+		return t.base.RoundTrip(req)
+	}
+	m := newInjectMetrics(t.reg)
+	for _, op := range plan.Ops {
+		switch op.Kind {
+		case Refuse:
+			if covers(op, n) {
+				m.inc(Refuse, 1)
+				return nil, fmt.Errorf("fault: connection to %s refused (request %d): %w",
+					req.URL.Host, n, &Err{Off: n})
+			}
+		case Blackhole:
+			if covers(op, n) {
+				m.inc(Blackhole, 1)
+				<-req.Context().Done()
+				return nil, fmt.Errorf("fault: connection to %s blackholed (request %d): %w",
+					req.URL.Host, n, &Err{Off: n})
+			}
+		}
+	}
 	resp, err := t.base.RoundTrip(req)
 	if err != nil || resp == nil || resp.Body == nil {
 		return resp, err
-	}
-	t.mu.Lock()
-	plan, ok := t.plans[req.URL.Host]
-	t.mu.Unlock()
-	if !ok {
-		return resp, nil
 	}
 	fr := NewReader(resp.Body, plan).WithContext(req.Context())
 	if t.reg != nil {

@@ -13,7 +13,7 @@ import (
 // no-op, so the injectors stay dependency-free unless a registry is
 // attached with WithMetrics.
 type injectMetrics struct {
-	c [Slow + 1]*obs.Counter // indexed by Kind
+	c [Blackhole + 1]*obs.Counter // indexed by Kind
 }
 
 func newInjectMetrics(reg *obs.Registry) *injectMetrics {

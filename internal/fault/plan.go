@@ -29,6 +29,8 @@ func (p Plan) String() string {
 			} else {
 				fmt.Fprintf(&b, "slow@%d+%d", op.Off, op.Len)
 			}
+		case Refuse, Blackhole:
+			fmt.Fprintf(&b, "%s@%d+%d", op.Kind, op.Off, op.Len)
 		default:
 			fmt.Fprintf(&b, "%s@%d", op.Kind, op.Off)
 		}
@@ -65,7 +67,7 @@ func Parse(s string) (Plan, error) {
 				return Plan{}, fmt.Errorf("%w: flip bit %q out of range", errBadPlan, bits)
 			}
 			op.Off, op.Bit = off, uint8(bit)
-		case "zero", "stall", "slow":
+		case "zero", "stall", "slow", "refuse", "hole":
 			switch name {
 			case "zero":
 				op.Kind = ZeroFill
@@ -73,6 +75,10 @@ func Parse(s string) (Plan, error) {
 				op.Kind = Stall
 			case "slow":
 				op.Kind = Slow
+			case "refuse":
+				op.Kind = Refuse
+			case "hole":
+				op.Kind = Blackhole
 			}
 			offs, lens, ok := strings.Cut(rest, "+")
 			if !ok {

@@ -3,6 +3,7 @@ package node
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -75,6 +76,15 @@ func (e *StatusError) Transient() bool {
 // Is makes a 404 StatusError match ErrNotFound.
 func (e *StatusError) Is(target error) bool {
 	return target == ErrNotFound && e.Code == http.StatusNotFound
+}
+
+// Transient reports whether err advertises itself as momentary via the
+// Transient() bool convention (NetError, throttled/5xx StatusError,
+// fault-injected errors). The cluster layer keys retry-vs-give-up
+// decisions for shard uploads off this.
+func Transient(err error) bool {
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
 }
 
 // Client talks the shard API to one node. The zero value is unusable;

@@ -53,10 +53,17 @@ type Store struct {
 	deletes *obs.Counter // node_store_deletes_total
 	rejects *obs.Counter // node_store_rejected_total
 	shards  *obs.Gauge   // node_store_shards
+	recRuns *obs.Counter // node_recovery_runs_total
+	recTmp  *obs.Counter // node_recovery_tmp_removed_total
+	recQuar *obs.Counter // node_recovery_quarantined_total
 }
 
-// OpenStore creates (if needed) and opens a shard store rooted at dir.
-// A non-nil reg receives the store's node_store_* series.
+// OpenStore creates (if needed) and opens a shard store rooted at dir,
+// running the crash-recovery scan (see Recover) before the store
+// serves anything: orphaned upload temp files are deleted and torn or
+// unreadable shard files are quarantined, so every shard the open
+// store reports actually parses. A non-nil reg receives the store's
+// node_store_* and node_recovery_* series.
 func OpenStore(dir string, reg *obs.Registry) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
@@ -73,6 +80,15 @@ func OpenStore(dir string, reg *obs.Registry) (*Store, error) {
 			"Shard uploads rejected by header or size validation."),
 		shards: reg.Gauge("node_store_shards",
 			"Shard files currently held by the local store."),
+		recRuns: reg.Counter("node_recovery_runs_total",
+			"Crash-recovery scans run over the local store."),
+		recTmp: reg.Counter("node_recovery_tmp_removed_total",
+			"Orphaned upload temp files removed by recovery scans."),
+		recQuar: reg.Counter("node_recovery_quarantined_total",
+			"Torn or unreadable shard files quarantined by recovery scans."),
+	}
+	if _, err := s.Recover(); err != nil {
+		return nil, err
 	}
 	n, err := s.countShards()
 	if err != nil {
@@ -86,14 +102,15 @@ func OpenStore(dir string, reg *obs.Registry) (*Store, error) {
 func (s *Store) Dir() string { return s.dir }
 
 // objectDir maps an object name to its directory, percent-encoding
-// anything that could escape the store root. Empty names and names
-// that encode to path navigation are rejected.
+// anything that could escape the store root. Empty names, names that
+// encode to path navigation, and names that would collide with the
+// store's dot-prefixed bookkeeping dirs (.quarantine) are rejected.
 func (s *Store) objectDir(object string) (string, error) {
 	if object == "" {
 		return "", fmt.Errorf("%w: empty object name", ErrBadShard)
 	}
 	enc := url.PathEscape(object)
-	if enc == "." || enc == ".." || strings.ContainsAny(enc, "/\\") {
+	if strings.HasPrefix(enc, ".") || strings.ContainsAny(enc, "/\\") {
 		return "", fmt.Errorf("%w: unusable object name %q", ErrBadShard, object)
 	}
 	return filepath.Join(s.dir, enc), nil
@@ -267,8 +284,8 @@ func (s *Store) Objects() ([]string, error) {
 	}
 	var names []string
 	for _, e := range entries {
-		if !e.IsDir() {
-			continue
+		if !e.IsDir() || strings.HasPrefix(e.Name(), ".") {
+			continue // files, and bookkeeping dirs like .quarantine
 		}
 		name, err := url.PathUnescape(e.Name())
 		if err != nil {
