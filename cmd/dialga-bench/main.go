@@ -19,6 +19,9 @@
 //	dialga-bench -repair             # quorum-degraded puts with a node down,
 //	                                 # then intent adoption + repair convergence
 //	dialga-bench -repair -json       # same, machine-readable (BENCH_repair.json)
+//	dialga-bench -rebalance          # map swap (node added, rack removed), then
+//	                                 # bounded migration convergence + range reads
+//	dialga-bench -rebalance -json    # same, machine-readable (BENCH_rebalance.json)
 //	dialga-bench -serve :8080        # loop the straggler workload and expose
 //	                                 # /metrics, /debug/trace, /debug/pprof
 //
@@ -51,7 +54,8 @@ func main() {
 		gate      = flag.String("gate", "", "with -encode: baseline BENCH_fused.json; fail if the RS(10,4) fused speedup regressed >10%")
 		clusterB  = flag.Bool("cluster", false, "benchmark an in-process 6-node cluster: put/get, kill, degraded get, repair")
 		repairB   = flag.Bool("repair", false, "benchmark quorum-degraded puts and repair convergence after the missing node returns")
-		asJSON    = flag.Bool("json", false, "with -straggler/-cluster/-repair/-encode: emit JSON instead of text")
+		rebalB    = flag.Bool("rebalance", false, "benchmark cluster-map-swap rebalancing: migration convergence and range-read fan-out")
+		asJSON    = flag.Bool("json", false, "with -straggler/-cluster/-repair/-rebalance/-encode: emit JSON instead of text")
 		serve     = flag.String("serve", "", "loop the straggler workload and serve /metrics, /debug/trace and pprof on this address (e.g. :8080)")
 	)
 	flag.Parse()
@@ -98,6 +102,14 @@ func main() {
 
 	if *repairB {
 		if err := runRepairBench(*quick, *asJSON); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *rebalB {
+		if err := runRebalanceBench(*quick, *asJSON); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -1,0 +1,237 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"dialga/internal/cluster"
+	"dialga/internal/node"
+	"dialga/internal/obs"
+)
+
+// rebalanceConfig shapes the membership-change benchmark.
+type rebalanceConfig struct {
+	Nodes     int   `json:"nodes"`
+	K         int   `json:"k"`
+	M         int   `json:"m"`
+	Objects   int   `json:"objects"`
+	ObjectKiB int   `json:"object_kib"`
+	StripeKiB int   `json:"stripe_kib"`
+	Seed      int64 `json:"seed"`
+}
+
+// rebalanceResult is the benchmark's emitted shape
+// (BENCH_rebalance.json in CI): how fast a cluster converges onto a
+// new map after one node joins and one node (a whole rack) leaves.
+type rebalanceResult struct {
+	Config         rebalanceConfig `json:"config"`
+	Moves          int             `json:"moves"`
+	MigratedShards int             `json:"migrated_shards"`
+	MigrateMBps    float64         `json:"migrate_mbps"`
+	ConvergeMS     float64         `json:"converge_ms"`
+	OldNodeEmptied bool            `json:"old_node_emptied"`
+	IntentsDrained bool            `json:"intents_drained"`
+	FullShardGets  int             `json:"full_shard_gets"`
+	RangeShardGets int             `json:"range_shard_gets"`
+}
+
+// runRebalanceBench stands up an in-process cluster, fills it with
+// objects, swaps in a new map (one node added, one node removed), and
+// measures how long the placement-diff rebalance takes to migrate
+// every displaced shard to its new home — then verifies every object
+// byte-exact and pins the Range-read efficiency claim (a small range
+// opens strictly fewer shards than a full read).
+func runRebalanceBench(quick, asJSON bool) error {
+	cfg := rebalanceConfig{
+		Nodes: 6, K: 4, M: 2,
+		Objects: 12, ObjectKiB: 1024, StripeKiB: 256,
+		Seed: 42,
+	}
+	if quick {
+		cfg.Objects, cfg.ObjectKiB, cfg.StripeKiB = 4, 128, 64
+	}
+
+	root, err := os.MkdirTemp("", "dialga-rebalance-bench-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(root)
+
+	// cfg.Nodes serving members plus the node that will join.
+	reg := obs.NewRegistry()
+	nodes := make([]*benchNode, cfg.Nodes+1)
+	for i := range nodes {
+		nodes[i] = &benchNode{
+			id:   cluster.NodeID(fmt.Sprintf("n%d", i)),
+			dir:  filepath.Join(root, fmt.Sprintf("n%d", i)),
+			addr: "127.0.0.1:0",
+		}
+		if err := nodes[i].start(reg); err != nil {
+			return err
+		}
+		defer nodes[i].stop()
+	}
+	info := func(n *benchNode, i int) cluster.NodeInfo {
+		return cluster.NodeInfo{
+			ID: n.id, Addr: n.addr,
+			Rack: fmt.Sprintf("r%d", i),
+			Zone: fmt.Sprintf("z%d", i%2),
+		}
+	}
+	infos := make([]cluster.NodeInfo, cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		infos[i] = info(nodes[i], i)
+	}
+	oldMap, err := cluster.New(infos)
+	if err != nil {
+		return err
+	}
+
+	intents, err := cluster.OpenIntentLog(filepath.Join(root, "intents.log"), reg)
+	if err != nil {
+		return err
+	}
+	defer intents.Close()
+	gw, err := cluster.NewGateway(cluster.GatewayOptions{
+		Map: oldMap, K: cfg.K, M: cfg.M,
+		StripeSize: cfg.StripeKiB * 1024,
+		Metrics:    reg,
+		Seed:       uint64(cfg.Seed),
+		Intents:    intents,
+		HTTPClient: &http.Client{Transport: &http.Transport{DisableKeepAlives: true}},
+	})
+	if err != nil {
+		return err
+	}
+
+	ctx := context.Background()
+	objSize := int64(cfg.ObjectKiB) * 1024
+	payload := func(i int) []byte {
+		buf := make([]byte, objSize)
+		st := uint64(cfg.Seed) + uint64(i)*0x9e3779b97f4a7c15
+		for j := range buf {
+			st = st*6364136223846793005 + 1442695040888963407
+			buf[j] = byte(st >> 56)
+		}
+		return buf
+	}
+	objName := func(i int) string { return fmt.Sprintf("rebalance-obj-%03d", i) }
+	for i := 0; i < cfg.Objects; i++ {
+		if _, err := gw.PutObject(ctx, objName(i), bytes.NewReader(payload(i)), objSize, node.ClassForeground); err != nil {
+			return fmt.Errorf("put %s: %w", objName(i), err)
+		}
+	}
+
+	// The membership change: node 1 (rack r1) leaves, the spare node
+	// joins in a new rack. The swap itself moves no bytes.
+	newInfos := make([]cluster.NodeInfo, 0, cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		if i == 1 {
+			continue
+		}
+		newInfos = append(newInfos, infos[i])
+	}
+	newInfos = append(newInfos, info(nodes[cfg.Nodes], cfg.Nodes))
+	newMap, err := cluster.New(newInfos)
+	if err != nil {
+		return err
+	}
+	if err := gw.UpdateMap(newMap.WithEpoch(oldMap.Epoch() + 1)); err != nil {
+		return err
+	}
+
+	rep := cluster.NewRepairer(gw, nil, reg)
+	start := time.Now()
+	moves, err := rep.Rebalance(ctx, oldMap)
+	if err != nil {
+		return fmt.Errorf("rebalance: %w", err)
+	}
+	migrated, failed := rep.DrainOnce(ctx)
+	convergeSecs := time.Since(start).Seconds()
+	if failed > 0 {
+		return fmt.Errorf("%d migrations failed", failed)
+	}
+
+	// Every object must read byte-exact on the new map.
+	for i := 0; i < cfg.Objects; i++ {
+		var out bytes.Buffer
+		if err := gw.GetObject(ctx, objName(i), &out, node.ClassForeground); err != nil {
+			return fmt.Errorf("verify %s: %w", objName(i), err)
+		}
+		if !bytes.Equal(out.Bytes(), payload(i)) {
+			return fmt.Errorf("verify %s: payload mismatch", objName(i))
+		}
+	}
+	left, err := node.NewClient(nodes[1].addr).Objects(ctx)
+	if err != nil {
+		return fmt.Errorf("listing the removed node: %w", err)
+	}
+
+	// Range-read efficiency on the rebalanced cluster: one stripe's
+	// window against the whole object, counted in shard fetches.
+	shardGets := func() uint64 {
+		return reg.Counter("node_requests_total", "",
+			obs.Label{Key: "route", Value: "shard_get"},
+			obs.Label{Key: "class", Value: "foreground"}).Value()
+	}
+	before := shardGets()
+	var full bytes.Buffer
+	if err := gw.GetObject(ctx, objName(0), &full, node.ClassForeground); err != nil {
+		return err
+	}
+	fullGets := int(shardGets() - before)
+	before = shardGets()
+	var part bytes.Buffer
+	if err := gw.GetObjectRange(ctx, objName(0), &part, 1024, 4096, node.ClassForeground); err != nil {
+		return fmt.Errorf("range read: %w", err)
+	}
+	rangeGets := int(shardGets() - before)
+	if !bytes.Equal(part.Bytes(), full.Bytes()[1024:1024+4096]) {
+		return fmt.Errorf("range read bytes differ from the full read's slice")
+	}
+	if rangeGets >= fullGets {
+		return fmt.Errorf("range read opened %d shards, full read %d: want strictly fewer", rangeGets, fullGets)
+	}
+
+	shardBytes := float64(objSize) / float64(cfg.K) * float64(migrated)
+	res := rebalanceResult{
+		Config:         cfg,
+		Moves:          moves,
+		MigratedShards: migrated,
+		MigrateMBps:    shardBytes / (1 << 20) / convergeSecs,
+		ConvergeMS:     convergeSecs * 1000,
+		OldNodeEmptied: len(left) == 0,
+		IntentsDrained: len(intents.Pending()) == 0,
+		FullShardGets:  fullGets,
+		RangeShardGets: rangeGets,
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			return err
+		}
+	} else {
+		fmt.Printf("rebalance convergence: %d+1 nodes, RS(%d,%d), %d objects x %d KiB, node added + rack removed\n",
+			cfg.Nodes, cfg.K, cfg.M, cfg.Objects, cfg.ObjectKiB)
+		fmt.Printf("  moves enqueued    %8d\n", res.Moves)
+		fmt.Printf("  converge          %8.1f ms   (%d shards migrated, %.1f MB/s)\n",
+			res.ConvergeMS, res.MigratedShards, res.MigrateMBps)
+		fmt.Printf("  old node emptied  %v\n", res.OldNodeEmptied)
+		fmt.Printf("  intents drained   %v\n", res.IntentsDrained)
+		fmt.Printf("  shard fetches     full read %d, range read %d\n", res.FullShardGets, res.RangeShardGets)
+	}
+	if !res.OldNodeEmptied {
+		return fmt.Errorf("removed node still holds %d objects after convergence", len(left))
+	}
+	if !res.IntentsDrained {
+		return fmt.Errorf("intents not drained after convergence")
+	}
+	return nil
+}

@@ -11,6 +11,14 @@
 // any object and there is no metadata service. The process drains
 // gracefully on SIGINT/SIGTERM.
 //
+// With -cluster-file the map comes from a spec file instead, and
+// SIGHUP reloads it live: the new map (with a bumped epoch) swaps in
+// atomically without dropping in-flight streams, and the repair loop
+// rebalances — every shard whose placement changed is migrated
+// copy-then-delete to its new home, paced by the shared
+// -repair-bw/-rebalance-bw budget, always yielding to real repairs.
+// The serving map and its epoch are visible at /v1/cluster/map.
+//
 // With -write-quorum below k+m the gateway acknowledges puts once a
 // quorum of shards is durable; each missing shard is journaled to the
 // -intent-log before the ack and rebuilt by the repair loop, which
@@ -24,6 +32,9 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 	"time"
 
 	"dialga/internal/cluster"
@@ -35,6 +46,7 @@ import (
 // parsing so tests can drive it directly.
 type nodeConfig struct {
 	id, dir, spec, listen string
+	clusterFile           string
 	k, m, stripeKiB       int
 	route                 string
 	hedge                 time.Duration
@@ -47,13 +59,15 @@ type nodeConfig struct {
 	intentLog      string
 	repairAttempts int
 	repairBW       int64
+	rebalanceBW    int64
 }
 
 func main() {
 	var cfg nodeConfig
 	flag.StringVar(&cfg.id, "id", "", "this node's ID in the cluster map (required)")
 	flag.StringVar(&cfg.dir, "dir", "", "shard storage directory (required)")
-	flag.StringVar(&cfg.spec, "cluster", "", "cluster map: id=addr[/rack[/zone]],... (required)")
+	flag.StringVar(&cfg.spec, "cluster", "", "cluster map: id=addr[/rack[/zone]],... (this or -cluster-file required)")
+	flag.StringVar(&cfg.clusterFile, "cluster-file", "", "file holding the cluster map spec; SIGHUP reloads it live")
 	flag.StringVar(&cfg.listen, "listen", "", "listen address (default: this node's address in the map)")
 	flag.IntVar(&cfg.k, "k", 4, "data shards per stripe")
 	flag.IntVar(&cfg.m, "m", 2, "parity shards per stripe")
@@ -69,6 +83,7 @@ func main() {
 	flag.StringVar(&cfg.intentLog, "intent-log", "", "durable write-intent journal path (empty disables; required for -write-quorum below k+m to survive restarts)")
 	flag.IntVar(&cfg.repairAttempts, "repair-attempts", 0, "rebuild attempts before a repair task is dropped (0 = default)")
 	flag.Int64Var(&cfg.repairBW, "repair-bw", 0, "repair read-bandwidth budget in bytes/s (0 = unmetered)")
+	flag.Int64Var(&cfg.rebalanceBW, "rebalance-bw", 0, "bandwidth budget in bytes/s shared by repair and rebalance data movement (0 = use -repair-bw)")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -76,11 +91,24 @@ func main() {
 	}
 }
 
-func run(cfg nodeConfig) error {
-	if cfg.id == "" || cfg.dir == "" || cfg.spec == "" {
-		return fmt.Errorf("dialga-node needs -id, -dir and -cluster")
+// loadSpec reads the cluster map from -cluster-file (if set) or the
+// inline -cluster spec.
+func loadSpec(cfg nodeConfig) (*cluster.Map, error) {
+	if cfg.clusterFile != "" {
+		b, err := os.ReadFile(cfg.clusterFile)
+		if err != nil {
+			return nil, fmt.Errorf("dialga-node: reading -cluster-file: %w", err)
+		}
+		return cluster.ParseSpec(strings.TrimSpace(string(b)))
 	}
-	cmap, err := cluster.ParseSpec(cfg.spec)
+	return cluster.ParseSpec(cfg.spec)
+}
+
+func run(cfg nodeConfig) error {
+	if cfg.id == "" || cfg.dir == "" || (cfg.spec == "" && cfg.clusterFile == "") {
+		return fmt.Errorf("dialga-node needs -id, -dir and -cluster or -cluster-file")
+	}
+	cmap, err := loadSpec(cfg)
 	if err != nil {
 		return err
 	}
@@ -140,14 +168,23 @@ func run(cfg nodeConfig) error {
 	mux.Handle("/v1/object/", gh)
 	mux.Handle("/v1/objects/all", gh)
 	mux.Handle("/v1/placement/", gh)
+	mux.Handle("/v1/cluster/", gh)
 
 	ctx, stop := node.SignalContext(context.Background())
 	defer stop()
 
-	if cfg.repairInterval > 0 {
-		rep := cluster.NewRepairerOpts(gw, limiter, reg, cluster.RepairerOptions{
+	// The repair queue also executes rebalance migrations, so a node
+	// with a reloadable map needs one even without a scrub loop. Both
+	// kinds of data movement share one bandwidth budget.
+	var rep *cluster.Repairer
+	if cfg.repairInterval > 0 || cfg.clusterFile != "" {
+		bw := cfg.repairBW
+		if cfg.rebalanceBW > 0 {
+			bw = cfg.rebalanceBW
+		}
+		rep = cluster.NewRepairerOpts(gw, limiter, reg, cluster.RepairerOptions{
 			MaxAttempts: cfg.repairAttempts,
-			Bandwidth:   cfg.repairBW,
+			Bandwidth:   bw,
 		})
 		// Shards the gateway could not land at put time go straight onto
 		// the repair queue; the journal keeps them across restarts.
@@ -155,7 +192,48 @@ func run(cfg nodeConfig) error {
 		if n := rep.AdoptIntents(); n > 0 {
 			fmt.Fprintf(os.Stderr, "dialga-node %s: adopted %d journaled write-intents\n", cfg.id, n)
 		}
-		go rep.Run(ctx, cfg.repairInterval)
+		if cfg.repairInterval > 0 {
+			go rep.Run(ctx, cfg.repairInterval)
+		}
+	}
+
+	if cfg.clusterFile != "" {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		defer signal.Stop(hup)
+		go func() {
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-hup:
+				}
+				next, err := loadSpec(cfg)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "dialga-node %s: reload: %v\n", cfg.id, err)
+					continue
+				}
+				prev := gw.Map()
+				if err := gw.UpdateMap(next.WithEpoch(prev.Epoch() + 1)); err != nil {
+					fmt.Fprintf(os.Stderr, "dialga-node %s: reload: %v\n", cfg.id, err)
+					continue
+				}
+				fmt.Fprintf(os.Stderr, "dialga-node %s: cluster map reloaded, epoch %d (%d nodes)\n",
+					cfg.id, prev.Epoch()+1, next.Len())
+				go func(prev *cluster.Map) {
+					moves, err := rep.Rebalance(ctx, prev)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "dialga-node %s: rebalance: %v\n", cfg.id, err)
+						return
+					}
+					if moves > 0 {
+						done, failed := rep.DrainOnce(ctx)
+						fmt.Fprintf(os.Stderr, "dialga-node %s: rebalance: %d moves enqueued, %d done, %d failed\n",
+							cfg.id, moves, done, failed)
+					}
+				}(prev)
+			}
+		}()
 	}
 
 	fmt.Fprintf(os.Stderr, "dialga-node %s: serving %s (dir %s, RS(%d,%d), route %s, %d-node map)\n",

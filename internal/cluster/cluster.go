@@ -39,11 +39,15 @@ type NodeInfo struct {
 // so equal rack names in different zones stay distinct domains.
 func (n NodeInfo) Domain() string { return n.Zone + "/" + n.Rack }
 
-// Map is a static-membership cluster map: the full node set, known to
-// every node at start-up. Placement and routing are pure functions of
-// the map and the object name, so any node (or client) computes the
-// same answer without coordination. Maps are immutable after New.
+// Map is a versioned cluster map: the full node set plus an epoch
+// that orders successive maps. Placement and routing are pure
+// functions of the map and the object name, so any node (or client)
+// holding the same epoch computes the same answer without
+// coordination. Maps are immutable after New; membership changes are
+// expressed as a *new* Map with a higher epoch swapped in atomically
+// (see Gateway.UpdateMap), never as in-place mutation.
 type Map struct {
+	epoch uint64
 	nodes []NodeInfo // sorted by ID
 	byID  map[NodeID]NodeInfo
 }
@@ -85,14 +89,17 @@ func New(nodes []NodeInfo) (*Map, error) {
 }
 
 // ParseSpec builds a Map from a compact flag-friendly spec:
-// "id=addr[/rack[/zone]]" entries joined by commas, e.g.
+// "id=addr[/rack[/zone]]" entries joined by commas or newlines, e.g.
 //
 //	n0=127.0.0.1:7070/r0/z0,n1=127.0.0.1:7071/r1/z0,n2=127.0.0.1:7072/r2/z1
+//
+// Newlines let a -cluster-file spec list one node per line; lines
+// starting with # are comments.
 func ParseSpec(spec string) (*Map, error) {
 	var nodes []NodeInfo
-	for _, tok := range strings.Split(spec, ",") {
+	for _, tok := range strings.FieldsFunc(spec, func(r rune) bool { return r == ',' || r == '\n' }) {
 		tok = strings.TrimSpace(tok)
-		if tok == "" {
+		if tok == "" || strings.HasPrefix(tok, "#") {
 			continue
 		}
 		id, rest, ok := strings.Cut(tok, "=")
@@ -114,6 +121,28 @@ func ParseSpec(spec string) (*Map, error) {
 	}
 	return New(nodes)
 }
+
+// Epoch returns the map's version. Epoch 0 is the boot map; every
+// reload bumps it. Placement depends only on membership, not the
+// epoch — the epoch exists so concurrent readers can tell which
+// generation of the map an operation was pinned to.
+func (m *Map) Epoch() uint64 { return m.epoch }
+
+// WithEpoch returns a copy of the map stamped with the given epoch.
+// The node set is shared (maps are immutable), so the copy is cheap.
+func (m *Map) WithEpoch(epoch uint64) *Map {
+	return &Map{epoch: epoch, nodes: m.nodes, byID: m.byID}
+}
+
+// MapInfo is the wire shape of a cluster map, served by the
+// /v1/cluster/map admin endpoint.
+type MapInfo struct {
+	Epoch uint64     `json:"epoch"`
+	Nodes []NodeInfo `json:"nodes"`
+}
+
+// Info returns the map's wire representation.
+func (m *Map) Info() MapInfo { return MapInfo{Epoch: m.epoch, Nodes: m.nodes} }
 
 // Nodes returns the membership, sorted by ID. The caller must not
 // mutate it.

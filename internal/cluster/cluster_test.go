@@ -38,6 +38,12 @@ func TestParseSpec(t *testing.T) {
 		t.Fatalf("defaulted node = %+v", a)
 	}
 
+	// File form: one node per line, # comments, blank lines.
+	m = specMap(t, "# test topology\nn0=h0:1/r0/z0\n\nn1=h1:1/r1/z0,n2=h2:1/r2/z0\n")
+	if m.Len() != 3 {
+		t.Fatalf("newline spec len = %d, want 3", m.Len())
+	}
+
 	for _, bad := range []string{
 		"",                   // empty set
 		"n0",                 // no addr

@@ -9,7 +9,9 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dialga/internal/node"
@@ -87,7 +89,6 @@ type GatewayOptions struct {
 // gateway (placement is deterministic), so there is no metadata
 // service to lose.
 type Gateway struct {
-	cmap       *Map
 	k, m       int
 	stripe     int
 	spares     int
@@ -95,13 +96,56 @@ type Gateway struct {
 	hedge      time.Duration
 	seed       uint64
 	reg        *obs.Registry
-	clients    map[NodeID]*node.Client
+	hc         *http.Client
 	codec      *rs.Code
 	quorum     int // shard uploads required to ack a put
 	retries    int // per-shard transient retry budget (-1: disabled)
 	backoff    time.Duration
 	intents    *IntentLog
 	onDegraded func(object string, index int)
+
+	// state is the current membership generation: the map plus one
+	// shard client per member. Every operation loads it exactly once at
+	// entry, so a concurrent UpdateMap never changes the placement or
+	// client set an in-flight stream is using — reads opened under
+	// epoch N complete under epoch N.
+	state  atomic.Pointer[mapState]
+	swapMu sync.Mutex // serializes UpdateMap
+}
+
+// mapState pairs a cluster map with the shard clients built from it.
+// Both are immutable once published.
+type mapState struct {
+	cmap    *Map
+	clients map[NodeID]*node.Client
+}
+
+// ErrUnknownNode reports a placement that names a node the current map
+// has no client for — a stale placement raced a membership change, or
+// the map is inconsistent. Operations return it instead of panicking.
+var ErrUnknownNode = errors.New("cluster: placement names unknown node")
+
+// snap loads the current membership generation.
+func (g *Gateway) snap() *mapState { return g.state.Load() }
+
+// clientFor resolves a node's shard client within one generation,
+// counting (instead of panicking on) placements that name a node the
+// map does not know.
+func (g *Gateway) clientFor(st *mapState, id NodeID) (*node.Client, error) {
+	if c, ok := st.clients[id]; ok {
+		return c, nil
+	}
+	g.counter("cluster_unknown_node_total",
+		"Operations that hit a placement naming a node absent from the map, by node.",
+		obs.Label{Key: "node", Value: string(id)}).Inc()
+	return nil, fmt.Errorf("%w: %s (map epoch %d)", ErrUnknownNode, id, st.cmap.Epoch())
+}
+
+// dial builds a shard client for an address outside the current map —
+// the migrator uses it to read shards back from nodes a map change
+// removed.
+func (g *Gateway) dial(addr string) *node.Client {
+	return node.NewClient(addr).WithHTTPClient(g.hc)
 }
 
 // NewGateway validates opts into a Gateway.
@@ -159,7 +203,6 @@ func NewGateway(opts GatewayOptions) (*Gateway, error) {
 		backoff = 50 * time.Millisecond
 	}
 	g := &Gateway{
-		cmap:       opts.Map,
 		k:          opts.K,
 		m:          opts.M,
 		stripe:     stripeSize,
@@ -168,7 +211,7 @@ func NewGateway(opts GatewayOptions) (*Gateway, error) {
 		hedge:      opts.HedgeAfter,
 		seed:       opts.Seed,
 		reg:        opts.Metrics,
-		clients:    make(map[NodeID]*node.Client, opts.Map.Len()),
+		hc:         hc,
 		codec:      codec,
 		quorum:     quorum,
 		retries:    retries,
@@ -176,10 +219,54 @@ func NewGateway(opts GatewayOptions) (*Gateway, error) {
 		intents:    opts.Intents,
 		onDegraded: opts.OnDegraded,
 	}
-	for _, n := range opts.Map.Nodes() {
-		g.clients[n.ID] = node.NewClient(n.Addr).WithHTTPClient(hc)
-	}
+	g.state.Store(g.buildState(opts.Map, nil))
 	return g, nil
+}
+
+// buildState makes the client set for a map, reusing the previous
+// generation's client for any node whose address did not change so
+// connection pools survive a swap.
+func (g *Gateway) buildState(next *Map, prev *mapState) *mapState {
+	clients := make(map[NodeID]*node.Client, next.Len())
+	for _, n := range next.Nodes() {
+		if prev != nil {
+			if old, ok := prev.cmap.Get(n.ID); ok && old.Addr == n.Addr {
+				clients[n.ID] = prev.clients[n.ID]
+				continue
+			}
+		}
+		clients[n.ID] = g.dial(n.Addr)
+	}
+	return &mapState{cmap: next, clients: clients}
+}
+
+// UpdateMap atomically swaps the cluster map for a newer generation.
+// The new map must carry a higher epoch than the current one and keep
+// enough failure domains for the gateway's geometry. In-flight
+// operations finish on the map they started with; operations started
+// after UpdateMap returns see only the new one. Swapping the map does
+// not move any data — diff the placements with Repairer.Rebalance to
+// converge shards onto the new map.
+func (g *Gateway) UpdateMap(next *Map) error {
+	if next == nil {
+		return errors.New("cluster: UpdateMap needs a map")
+	}
+	if d := next.Domains(); g.k+g.m > d {
+		return fmt.Errorf("cluster: RS(%d,%d) needs %d failure domains, new map has %d",
+			g.k, g.m, g.k+g.m, d)
+	}
+	g.swapMu.Lock()
+	defer g.swapMu.Unlock()
+	cur := g.state.Load()
+	if next.Epoch() <= cur.cmap.Epoch() {
+		return fmt.Errorf("cluster: map epoch %d is not newer than current epoch %d",
+			next.Epoch(), cur.cmap.Epoch())
+	}
+	g.state.Store(g.buildState(next, cur))
+	g.reg.Gauge("cluster_map_epoch", "Epoch of the cluster map currently serving.").
+		Set(float64(next.Epoch()))
+	g.counter("cluster_map_swaps_total", "Cluster map generations swapped in since start.").Inc()
+	return nil
 }
 
 // Shards returns the stripe width K+M.
@@ -191,18 +278,20 @@ func (g *Gateway) Shards() int { return g.k + g.m }
 // without synchronization.
 func (g *Gateway) SetOnDegraded(f func(object string, index int)) { g.onDegraded = f }
 
-// Map returns the gateway's cluster map.
-func (g *Gateway) Map() *Map { return g.cmap }
+// Map returns the gateway's current cluster map. Operations that need
+// a stable view across several calls should hold on to the returned
+// map rather than calling Map repeatedly.
+func (g *Gateway) Map() *Map { return g.snap().cmap }
 
 // Place returns the object's deterministic shard placement under the
-// gateway's geometry.
+// gateway's geometry and current map.
 func (g *Gateway) Place(object string) (Placement, error) {
-	return g.cmap.Place(object, g.k+g.m)
+	return g.snap().cmap.Place(object, g.k+g.m)
 }
 
-// Client returns the shard client for a node in the map.
+// Client returns the shard client for a node in the current map.
 func (g *Gateway) Client(id NodeID) (*node.Client, bool) {
-	c, ok := g.clients[id]
+	c, ok := g.snap().clients[id]
 	return c, ok
 }
 
@@ -257,7 +346,8 @@ func (g *Gateway) PutObject(ctx context.Context, object string, r io.Reader, siz
 	if size < 0 {
 		return nil, fmt.Errorf("cluster: put %q needs a known size", object)
 	}
-	placement, err := g.Place(object)
+	st := g.snap()
+	placement, err := st.cmap.Place(object, g.k+g.m)
 	if err != nil {
 		return nil, err
 	}
@@ -279,13 +369,21 @@ func (g *Gateway) PutObject(ctx context.Context, object string, r io.Reader, siz
 		pr, pw := io.Pipe()
 		pipes[i] = pw
 		writers[i] = pw
+		cli, cerr := g.clientFor(st, placement[i].ID)
 		wg.Add(1)
-		go func(i int, pr *io.PipeReader, hdr []byte) {
+		go func(i int, cli *node.Client, cerr error, pr *io.PipeReader, hdr []byte) {
 			defer wg.Done()
-			if err := g.uploadShard(ctx, object, i, placement[i].ID, class, pr, hdr); err != nil {
+			if cerr != nil {
+				// No destination for this shard; keep the encoder moving.
+				io.Copy(io.Discard, pr)
+				pr.Close()
+				errs[i] = fmt.Errorf("shard %d -> %s: %w", i, placement[i].ID, cerr)
+				return
+			}
+			if err := g.uploadShard(ctx, object, i, cli.WithClass(class), pr, hdr); err != nil {
 				errs[i] = fmt.Errorf("shard %d -> %s: %w", i, placement[i].ID, err)
 			}
-		}(i, pr, h.Marshal())
+		}(i, cli, cerr, pr, h.Marshal())
 	}
 
 	// Count input bytes locally: enc.Stats() aggregates across every
@@ -342,7 +440,9 @@ func (g *Gateway) PutObject(ctx context.Context, object string, r io.Reader, siz
 		defer cleanCancel()
 		for i, err := range errs {
 			if err == nil {
-				g.clients[placement[i].ID].WithClass(class).DeleteShard(cleanCtx, object, i)
+				if cli, cerr := g.clientFor(st, placement[i].ID); cerr == nil {
+					cli.WithClass(class).DeleteShard(cleanCtx, object, i)
+				}
 			}
 		}
 		return fail(fmt.Errorf("only %d of %d shards landed, quorum is %d: %w",
@@ -392,9 +492,8 @@ func (g *Gateway) PutObject(ctx context.Context, object string, r io.Reader, siz
 // the put: the pipe is always drained to EOF so the other shards'
 // encode is unaffected, and the caller decides afterwards whether
 // quorum held.
-func (g *Gateway) uploadShard(ctx context.Context, object string, idx int, id NodeID, class string, pr *io.PipeReader, hdr []byte) error {
+func (g *Gateway) uploadShard(ctx context.Context, object string, idx int, cli *node.Client, pr *io.PipeReader, hdr []byte) error {
 	defer pr.Close()
-	cli := g.clients[id].WithClass(class)
 	if g.retries < 0 {
 		err := cli.PutShard(ctx, object, idx, io.MultiReader(bytes.NewReader(hdr), pr))
 		if err != nil {
@@ -547,9 +646,16 @@ type openSet struct {
 // open fetches shards of object in router preference order until k +
 // spares are streaming (or candidates run out), observing per-node
 // open latency into the router. exclude skips one shard index (the
-// shard being rebuilt; -1 to open any). Callers own the readers — pass
-// them to a decoder with CloseReaders set.
-func (g *Gateway) open(ctx context.Context, object string, placement Placement, class string, spares, exclude int) (openSet, error) {
+// shard being rebuilt; -1 to open any). block/count select a window
+// of blocks within each shard ((0, -1) reads whole shards). Callers
+// own the readers — pass them to a decoder with CloseReaders set.
+//
+// When too few shards open, the error wraps node.ErrNotFound only if
+// *every* failure was a clean not-found — the object is genuinely
+// absent. Any other failure in the mix (node down, bad header) means
+// the object may exist but be unreadable right now, which is a
+// gateway-side 502, not a 404.
+func (g *Gateway) open(ctx context.Context, st *mapState, object string, placement Placement, class string, spares, exclude int, block, count int64) (openSet, error) {
 	n := len(placement)
 	want := g.k + spares
 	if want > n {
@@ -557,6 +663,20 @@ func (g *Gateway) open(ctx context.Context, object string, placement Placement, 
 	}
 	set := openSet{readers: make([]io.Reader, n)}
 	var firstErr error
+	failures, notFound := 0, 0
+	fail := func(err error) {
+		failures++
+		if errors.Is(err, node.ErrNotFound) {
+			notFound++
+		} else if firstErr == nil || errors.Is(firstErr, node.ErrNotFound) {
+			// A non-404 failure is the more telling diagnosis; let it
+			// displace an earlier not-found as the reported cause.
+			firstErr = err
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
 	for _, idx := range g.router.Order(object, placement) {
 		if set.opened >= want {
 			break
@@ -565,14 +685,17 @@ func (g *Gateway) open(ctx context.Context, object string, placement Placement, 
 			continue
 		}
 		info := placement[idx]
-		cli := g.clients[info.ID].WithClass(class)
+		cli, cerr := g.clientFor(st, info.ID)
+		if cerr != nil {
+			fail(fmt.Errorf("shard %d: %w", idx, cerr))
+			continue
+		}
+		cli = cli.WithClass(class)
 		start := time.Now()
-		h, body, err := cli.OpenShard(ctx, object, idx)
+		h, body, err := cli.OpenShardAt(ctx, object, idx, block, count)
 		g.router.Observe(info.ID, time.Since(start), err)
 		if err != nil {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("shard %d from %s: %w", idx, info.ID, err)
-			}
+			fail(fmt.Errorf("shard %d from %s: %w", idx, info.ID, err))
 			g.counter("cluster_open_failures_total",
 				"Shard opens that failed during object reads, by node.",
 				obs.Label{Key: "node", Value: string(info.ID)}).Inc()
@@ -580,10 +703,8 @@ func (g *Gateway) open(ctx context.Context, object string, placement Placement, 
 		}
 		if int(h.Index) != idx || int(h.K) != g.k || int(h.M) != g.m {
 			body.Close()
-			if firstErr == nil {
-				firstErr = fmt.Errorf("shard %d from %s: header (k=%d m=%d index=%d) does not match cluster geometry",
-					idx, info.ID, h.K, h.M, h.Index)
-			}
+			fail(fmt.Errorf("shard %d from %s: header (k=%d m=%d index=%d) does not match cluster geometry",
+				idx, info.ID, h.K, h.M, h.Index))
 			continue
 		}
 		if set.opened == 0 {
@@ -598,6 +719,10 @@ func (g *Gateway) open(ctx context.Context, object string, placement Placement, 
 				c.Close()
 			}
 		}
+		if set.opened == 0 && failures > 0 && notFound == failures {
+			return openSet{}, fmt.Errorf("cluster: get %q: %w on all %d shards",
+				object, node.ErrNotFound, failures)
+		}
 		if firstErr == nil {
 			firstErr = errors.New("no shards reachable")
 		}
@@ -607,52 +732,253 @@ func (g *Gateway) open(ctx context.Context, object string, placement Placement, 
 	return set, nil
 }
 
+// ObjectRead is an opened object read pinned to one map generation:
+// the shards are already streaming when OpenObject returns, so the
+// object's size is known before the first payload byte and a
+// concurrent map swap cannot disturb the read. Stream the bytes with
+// WriteTo, or Close without streaming to release the shards.
+type ObjectRead struct {
+	g        *Gateway
+	object   string
+	set      openSet
+	size     int64 // full object size
+	off      int64 // first payload byte this read yields
+	length   int64 // payload bytes this read yields
+	ranged   bool  // opened as a byte-range read
+	streamed bool
+}
+
+// Size returns the full object size in bytes.
+func (o *ObjectRead) Size() int64 { return o.size }
+
+// Off returns the offset of the first byte WriteTo will produce.
+func (o *ObjectRead) Off() int64 { return o.off }
+
+// Length returns how many bytes WriteTo will produce.
+func (o *ObjectRead) Length() int64 { return o.length }
+
+// Ranged reports whether the read covers a byte range rather than the
+// whole object.
+func (o *ObjectRead) Ranged() bool { return o.ranged }
+
+// Close releases the open shard streams of a read that was never
+// streamed. After WriteTo it is a no-op (the decoder owns the
+// readers).
+func (o *ObjectRead) Close() {
+	if o.streamed {
+		return
+	}
+	o.streamed = true
+	for _, r := range o.set.readers {
+		if c, ok := r.(io.Closer); ok {
+			c.Close()
+		}
+	}
+}
+
+// WriteTo decodes the read's byte window into w — degraded, hedged,
+// and CRC-healed exactly like a local read. It consumes the shard
+// streams; call at most once.
+func (o *ObjectRead) WriteTo(ctx context.Context, w io.Writer) error {
+	g := o.g
+	if o.streamed {
+		return fmt.Errorf("cluster: get %q: read already consumed", o.object)
+	}
+	o.streamed = true
+	opts := g.streamOptions()
+	opts.StripeSize = int(o.set.header.ShardSize) * g.k
+	opts.Checksum = o.set.header.Algo.Stream()
+	opts.CloseReaders = true
+	if o.ranged {
+		// A ranged open holds exactly k shard windows: there is no
+		// spare for a hedge to rejoin from, so run unhedged and read
+		// every block.
+		opts.HedgeAfter = 0
+	}
+	dec, err := stream.NewDecoder(opts)
+	if err != nil {
+		o.streamed = false
+		o.Close()
+		return err
+	}
+	if err := dec.DecodeRange(ctx, o.set.readers, w, o.size, o.off, o.length); err != nil {
+		g.counter("cluster_gets_total", "Object gets, by result.",
+			obs.Label{Key: "result", Value: "error"}).Inc()
+		return fmt.Errorf("cluster: get %q: %w", o.object, err)
+	}
+	g.counter("cluster_gets_total", "Object gets, by result.",
+		obs.Label{Key: "result", Value: "ok"}).Inc()
+	g.counter("cluster_get_bytes_total", "Object payload bytes read.").Add(uint64(o.length))
+	return nil
+}
+
+// OpenObject opens a full-object read: k+spares shards streaming
+// under one map generation, size known up front.
+func (g *Gateway) OpenObject(ctx context.Context, object string, class string) (*ObjectRead, error) {
+	st := g.snap()
+	placement, err := st.cmap.Place(object, g.k+g.m)
+	if err != nil {
+		return nil, err
+	}
+	set, err := g.open(ctx, st, object, placement, class, g.spares, -1, 0, -1)
+	if err != nil {
+		g.counter("cluster_gets_total", "Object gets, by result.",
+			obs.Label{Key: "result", Value: "error"}).Inc()
+		return nil, err
+	}
+	size := int64(set.header.FileSize)
+	return &ObjectRead{g: g, object: object, set: set, size: size, off: 0, length: size}, nil
+}
+
 // GetObject streams the object's bytes into w, reconstructing from any
 // k of its shards: failed nodes are skipped at open, stragglers are
 // hedged around mid-stream, and corrupt blocks are healed by CRC-led
 // reconstruction — the full degraded-read machinery, over the network.
 func (g *Gateway) GetObject(ctx context.Context, object string, w io.Writer, class string) error {
-	placement, err := g.Place(object)
+	o, err := g.OpenObject(ctx, object, class)
 	if err != nil {
 		return err
 	}
-	set, err := g.open(ctx, object, placement, class, g.spares, -1)
+	return o.WriteTo(ctx, w)
+}
+
+// OpenObjectRange opens a byte-range read of the object: only the
+// stripes covering [off, off+length) are fetched — exactly k shard
+// block-windows, no spares — so the work is O(range), not O(object).
+// length < 0 means to the end of the object; off < 0 means a suffix
+// read of the last -off bytes. An off at or past the object's size
+// returns a *RangeError carrying the size for a 416 response.
+func (g *Gateway) OpenObjectRange(ctx context.Context, object string, off, length int64, class string) (*ObjectRead, error) {
+	var spec rangeSpec
+	switch {
+	case off < 0:
+		spec = rangeSpec{start: -off, suffix: true}
+	case length < 0:
+		spec = rangeSpec{start: off, end: -1}
+	default:
+		spec = rangeSpec{start: off, end: off + length - 1}
+	}
+	return g.openRange(ctx, object, spec, class)
+}
+
+// GetObjectRange streams the byte range [off, off+length) of the
+// object into w (see OpenObjectRange for the off/length conventions).
+func (g *Gateway) GetObjectRange(ctx context.Context, object string, w io.Writer, off, length int64, class string) error {
+	o, err := g.OpenObjectRange(ctx, object, off, length, class)
+	if err != nil {
+		return err
+	}
+	return o.WriteTo(ctx, w)
+}
+
+// openRange resolves a range spec against the object's size (learned
+// from one shard stat) and opens the covering stripes' block windows.
+func (g *Gateway) openRange(ctx context.Context, object string, spec rangeSpec, class string) (*ObjectRead, error) {
+	st := g.snap()
+	placement, err := st.cmap.Place(object, g.k+g.m)
+	if err != nil {
+		return nil, err
+	}
+	stat, err := g.statObject(ctx, st, object, placement, class)
 	if err != nil {
 		g.counter("cluster_gets_total", "Object gets, by result.",
 			obs.Label{Key: "result", Value: "error"}).Inc()
-		return err
+		return nil, err
 	}
-	opts := g.streamOptions()
-	opts.StripeSize = int(set.header.ShardSize) * g.k
-	opts.Checksum = set.header.Algo.Stream()
-	opts.CloseReaders = true
-	dec, err := stream.NewDecoder(opts)
+	size := int64(stat.FileSize)
+	off, length, err := spec.resolve(size)
 	if err != nil {
-		return err
+		return nil, fmt.Errorf("cluster: get %q: %w", object, err)
 	}
-	if err := dec.Decode(ctx, set.readers, w, int64(set.header.FileSize)); err != nil {
+	stripeSize := int64(stat.ShardSize) * int64(g.k)
+	if stripeSize <= 0 {
+		return nil, fmt.Errorf("cluster: get %q: shard stat reports zero shard size", object)
+	}
+	// Map the byte window onto whole stripes: block i of every shard
+	// holds the stripe covering object bytes [i·stripe, (i+1)·stripe).
+	firstStripe := off / stripeSize
+	lastByte := off + length
+	if lastByte > size {
+		lastByte = size
+	}
+	count := (lastByte+stripeSize-1)/stripeSize - firstStripe
+	if count < 1 {
+		count = 1
+	}
+	set, err := g.open(ctx, st, object, placement, class, 0, -1, firstStripe, count)
+	if err != nil {
 		g.counter("cluster_gets_total", "Object gets, by result.",
 			obs.Label{Key: "result", Value: "error"}).Inc()
-		return fmt.Errorf("cluster: get %q: %w", object, err)
+		return nil, err
 	}
-	g.counter("cluster_gets_total", "Object gets, by result.",
-		obs.Label{Key: "result", Value: "ok"}).Inc()
-	g.counter("cluster_get_bytes_total", "Object payload bytes read.").Add(set.header.FileSize)
-	return nil
+	g.counter("cluster_range_gets_total", "Object byte-range gets opened.").Inc()
+	return &ObjectRead{
+		g: g, object: object, set: set,
+		size: size, off: off, length: length, ranged: true,
+	}, nil
+}
+
+// statObject learns an object's geometry and size from the first
+// placed shard that answers a stat, in router order. Failures follow
+// open's not-found rule: all-404 means the object is absent.
+func (g *Gateway) statObject(ctx context.Context, st *mapState, object string, placement Placement, class string) (node.Stat, error) {
+	var firstErr error
+	failures, notFound := 0, 0
+	for _, idx := range g.router.Order(object, placement) {
+		info := placement[idx]
+		cli, cerr := g.clientFor(st, info.ID)
+		if cerr != nil {
+			failures++
+			if firstErr == nil {
+				firstErr = fmt.Errorf("shard %d: %w", idx, cerr)
+			}
+			continue
+		}
+		start := time.Now()
+		stat, err := cli.WithClass(class).StatShard(ctx, object, idx)
+		g.router.Observe(info.ID, time.Since(start), err)
+		if err == nil {
+			return stat, nil
+		}
+		failures++
+		if errors.Is(err, node.ErrNotFound) {
+			notFound++
+		} else if firstErr == nil || errors.Is(firstErr, node.ErrNotFound) {
+			firstErr = fmt.Errorf("shard %d from %s: %w", idx, info.ID, err)
+		}
+		if firstErr == nil {
+			firstErr = fmt.Errorf("shard %d from %s: %w", idx, info.ID, err)
+		}
+	}
+	if failures > 0 && notFound == failures {
+		return node.Stat{}, fmt.Errorf("cluster: get %q: %w on all %d shards",
+			object, node.ErrNotFound, failures)
+	}
+	if firstErr == nil {
+		firstErr = errors.New("no shards reachable")
+	}
+	return node.Stat{}, fmt.Errorf("cluster: get %q: no shard stat available: %w", object, firstErr)
 }
 
 // DeleteObject drops every shard of the object from its placement.
 // Unreachable nodes make it return an error, but reachable shards are
 // deleted regardless (deletes are idempotent; re-run to finish).
 func (g *Gateway) DeleteObject(ctx context.Context, object string, class string) error {
-	placement, err := g.Place(object)
+	st := g.snap()
+	placement, err := st.cmap.Place(object, g.k+g.m)
 	if err != nil {
 		return err
 	}
 	var firstErr error
 	for idx, info := range placement {
-		cli := g.clients[info.ID].WithClass(class)
-		if err := cli.DeleteShard(ctx, object, idx); err != nil && firstErr == nil {
+		cli, cerr := g.clientFor(st, info.ID)
+		if cerr != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("cluster: delete %q shard %d: %w", object, idx, cerr)
+			}
+			continue
+		}
+		if err := cli.WithClass(class).DeleteShard(ctx, object, idx); err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("cluster: delete %q shard %d on %s: %w", object, idx, info.ID, err)
 		}
 	}
@@ -661,12 +987,13 @@ func (g *Gateway) DeleteObject(ctx context.Context, object string, class string)
 
 // Objects lists every object any reachable node stores shards for.
 func (g *Gateway) Objects(ctx context.Context) ([]string, error) {
+	st := g.snap()
 	seen := make(map[string]bool)
 	var names []string
 	var firstErr error
 	reached := 0
-	for _, info := range g.cmap.Nodes() {
-		list, err := g.clients[info.ID].Objects(ctx)
+	for _, info := range st.cmap.Nodes() {
+		list, err := st.clients[info.ID].Objects(ctx)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err
@@ -691,15 +1018,19 @@ func (g *Gateway) Objects(ctx context.Context) ([]string, error) {
 // Handler returns the gateway's object API:
 //
 //	PUT    /v1/object/{object}     store an object (Content-Length required)
-//	GET    /v1/object/{object}     fetch an object
+//	GET    /v1/object/{object}     fetch an object (honors single-range Range: headers)
 //	DELETE /v1/object/{object}     delete an object's shards
 //	GET    /v1/objects/all         cluster-wide object listing
 //	GET    /v1/placement/{object}  the object's shard placement as JSON
+//	GET    /v1/cluster/map         the serving cluster map with its epoch
 func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("PUT /v1/object/{object}", g.handlePut)
 	mux.HandleFunc("GET /v1/object/{object}", g.handleGet)
 	mux.HandleFunc("DELETE /v1/object/{object}", g.handleDelete)
+	mux.HandleFunc("GET /v1/cluster/map", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, g.Map().Info())
+	})
 	mux.HandleFunc("GET /v1/objects/all", func(w http.ResponseWriter, r *http.Request) {
 		names, err := g.Objects(r.Context())
 		if err != nil {
@@ -739,12 +1070,66 @@ func (g *Gateway) handlePut(w http.ResponseWriter, r *http.Request) {
 
 func (g *Gateway) handleGet(w http.ResponseWriter, r *http.Request) {
 	object := r.PathValue("object")
-	w.Header().Set("Content-Type", "application/octet-stream")
-	// The body streams as it decodes; an error after the first byte can
-	// only truncate the response (the client sees the connection die).
-	if err := g.GetObject(r.Context(), object, w, node.Class(r)); err != nil {
-		gatewayFail(w, err)
+	class := node.Class(r)
+
+	var o *ObjectRead
+	var err error
+	if spec, ok := parseRange(r.Header.Get("Range")); ok {
+		o, err = g.openRange(r.Context(), object, spec, class)
+		var re *RangeError
+		if errors.As(err, &re) {
+			w.Header().Set("Content-Range", fmt.Sprintf("bytes */%d", re.Size))
+			http.Error(w, err.Error(), http.StatusRequestedRangeNotSatisfiable)
+			return
+		}
+	} else {
+		o, err = g.OpenObject(r.Context(), object, class)
 	}
+	if err != nil {
+		gatewayFail(w, err)
+		return
+	}
+
+	// Everything the client needs to detect a truncated response goes
+	// out before the first payload byte: the shards are open, so the
+	// exact length is known up front.
+	h := w.Header()
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set("Accept-Ranges", "bytes")
+	h.Set("Content-Length", strconv.FormatInt(o.Length(), 10))
+	if o.Ranged() {
+		h.Set("Content-Range",
+			fmt.Sprintf("bytes %d-%d/%d", o.Off(), o.Off()+o.Length()-1, o.Size()))
+		w.WriteHeader(http.StatusPartialContent)
+	}
+
+	cw := &countWriter{w: w}
+	if err := o.WriteTo(r.Context(), cw); err != nil {
+		if cw.n == 0 && !o.Ranged() {
+			// Nothing on the wire yet; a clean error response is still
+			// possible.
+			gatewayFail(w, err)
+			return
+		}
+		// The status line (and possibly payload bytes) already went
+		// out. Error prose appended now would be indistinguishable
+		// from object data, so kill the connection instead: the
+		// Content-Length mismatch tells the client it was truncated.
+		panic(http.ErrAbortHandler)
+	}
+}
+
+// countWriter tallies payload bytes already written to the client, so
+// the handler knows whether an error can still become a status code.
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
 }
 
 func (g *Gateway) handleDelete(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,385 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"dialga/internal/obs"
+	"dialga/internal/shardfile"
+)
+
+// startHTTP wraps the gateway's handler in a real HTTP server, the way
+// clients actually reach it.
+func startHTTP(t *testing.T, tc *testCluster) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(tc.gw.Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func httpPut(t *testing.T, srv *httptest.Server, object string, payload []byte) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPut, srv.URL+"/v1/object/"+object, bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+func httpGet(t *testing.T, srv *httptest.Server, object, rangeHeader string) (*http.Response, []byte, error) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, srv.URL+"/v1/object/"+object, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rangeHeader != "" {
+		req.Header.Set("Range", rangeHeader)
+	}
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, readErr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, body, readErr
+}
+
+// shardGets reads the cluster-wide count of foreground shard-body
+// fetches — the work a read fans out into.
+func shardGets(tc *testCluster) uint64 {
+	return tc.reg.Counter("node_requests_total", "",
+		obs.Label{Key: "route", Value: "shard_get"},
+		obs.Label{Key: "class", Value: "foreground"}).Value()
+}
+
+// TestGatewayHTTPRoundtrip covers the object API end to end over the
+// wire: put, headers on get, delete, and 404 after delete.
+func TestGatewayHTTPRoundtrip(t *testing.T) {
+	tc := startCluster(t, 6, 4, 2, 0, 41)
+	srv := startHTTP(t, tc)
+	payload := clusterPayload(41, 200_000)
+
+	if resp := httpPut(t, srv, "rt", payload); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("put: status %d, want 201", resp.StatusCode)
+	}
+	resp, body, err := httpGet(t, srv, "rt", "")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("get: status %d, err %v", resp.StatusCode, err)
+	}
+	if got := resp.Header.Get("Content-Length"); got != strconv.Itoa(len(payload)) {
+		t.Fatalf("get: Content-Length %q, want %d", got, len(payload))
+	}
+	if got := resp.Header.Get("Accept-Ranges"); got != "bytes" {
+		t.Fatalf("get: Accept-Ranges %q, want bytes", got)
+	}
+	if !bytes.Equal(body, payload) {
+		t.Fatalf("get: body mismatch (%d vs %d bytes)", len(body), len(payload))
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/object/rt", nil)
+	dresp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: status %d, want 204", dresp.StatusCode)
+	}
+	if resp, _, _ := httpGet(t, srv, "rt", ""); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("get after delete: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestGatewayHTTPNotFoundVsUnavailable is the status-mapping
+// regression: an object that no node has ever seen is 404 — every
+// probed shard answered "not found", so the cluster authoritatively
+// does not hold it — while the same read with a node unreachable is
+// 502, because the missing answer could have been the object.
+func TestGatewayHTTPNotFoundVsUnavailable(t *testing.T) {
+	tc := startCluster(t, 6, 4, 2, 2, 43) // spares=m: probe every shard
+	srv := startHTTP(t, tc)
+
+	resp, body, _ := httpGet(t, srv, "never-put", "")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("absent object: status %d (%s), want 404", resp.StatusCode, body)
+	}
+
+	tc.nodes[3].stop()
+	resp, body, _ = httpGet(t, srv, "never-put", "")
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("absent object with node down: status %d (%s), want 502", resp.StatusCode, body)
+	}
+}
+
+// TestGatewayHTTPPutRequiresLength rejects chunked puts up front: the
+// encoder needs the object size before the first stripe.
+func TestGatewayHTTPPutRequiresLength(t *testing.T) {
+	tc := startCluster(t, 6, 4, 2, 0, 44)
+	srv := startHTTP(t, tc)
+
+	// Wrapping the reader hides its concrete type from net/http, so
+	// the request goes out chunked with no Content-Length.
+	req, err := http.NewRequest(http.MethodPut, srv.URL+"/v1/object/chunked",
+		struct{ io.Reader }{bytes.NewReader(make([]byte, 1000))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusLengthRequired {
+		t.Fatalf("chunked put: status %d, want 411", resp.StatusCode)
+	}
+}
+
+// TestGatewayHTTPRange drives Range reads over the wire: single,
+// open-ended, and suffix forms; 416 with "Content-Range: bytes */size"
+// for unsatisfiable ranges; and full 200 for forms the server ignores.
+// It also pins the efficiency claim: a small range fans out into
+// strictly fewer shard fetches than a full read.
+func TestGatewayHTTPRange(t *testing.T) {
+	tc := startCluster(t, 6, 4, 2, 0, 45)
+	srv := startHTTP(t, tc)
+	size := 3*64*1024 + 777 // four stripes at the 64 KiB test stripe size
+	payload := clusterPayload(45, size)
+	if resp := httpPut(t, srv, "ranged", payload); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("put: status %d", resp.StatusCode)
+	}
+
+	cases := []struct {
+		name, header string
+		status       int
+		from, to     int // payload[from:to] when 206; full payload when 200
+	}{
+		{"single", "bytes=100-199", http.StatusPartialContent, 100, 200},
+		{"cross-stripe", "bytes=65000-66000", http.StatusPartialContent, 65000, 66001},
+		{"open-ended", "bytes=196000-", http.StatusPartialContent, 196000, size},
+		{"suffix", "bytes=-500", http.StatusPartialContent, size - 500, size},
+		{"suffix-over-size", fmt.Sprintf("bytes=-%d", size*2), http.StatusPartialContent, 0, size},
+		{"last-byte", fmt.Sprintf("bytes=%d-", size-1), http.StatusPartialContent, size - 1, size},
+		{"past-end", fmt.Sprintf("bytes=%d-", size), http.StatusRequestedRangeNotSatisfiable, 0, 0},
+		{"empty-suffix", "bytes=-0", http.StatusRequestedRangeNotSatisfiable, 0, 0},
+		{"backwards-ignored", "bytes=200-100", http.StatusOK, 0, size},
+		{"multi-ignored", "bytes=0-1,10-11", http.StatusOK, 0, size},
+		{"other-unit-ignored", "chunks=0-100", http.StatusOK, 0, size},
+		{"garbage-ignored", "bytes=abc-def", http.StatusOK, 0, size},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			resp, body, err := httpGet(t, srv, "ranged", c.header)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != c.status {
+				t.Fatalf("status %d, want %d", resp.StatusCode, c.status)
+			}
+			switch c.status {
+			case http.StatusRequestedRangeNotSatisfiable:
+				want := fmt.Sprintf("bytes */%d", size)
+				if got := resp.Header.Get("Content-Range"); got != want {
+					t.Fatalf("Content-Range %q, want %q", got, want)
+				}
+			case http.StatusPartialContent:
+				want := fmt.Sprintf("bytes %d-%d/%d", c.from, c.to-1, size)
+				if got := resp.Header.Get("Content-Range"); got != want {
+					t.Fatalf("Content-Range %q, want %q", got, want)
+				}
+				if got := resp.Header.Get("Content-Length"); got != strconv.Itoa(c.to-c.from) {
+					t.Fatalf("Content-Length %q, want %d", got, c.to-c.from)
+				}
+				if !bytes.Equal(body, payload[c.from:c.to]) {
+					t.Fatalf("body mismatch: got %d bytes, want payload[%d:%d]", len(body), c.from, c.to)
+				}
+			default:
+				if !bytes.Equal(body, payload) {
+					t.Fatalf("ignored range: got %d bytes, want full %d", len(body), size)
+				}
+			}
+		})
+	}
+
+	// O(range) on the wire: a one-stripe window must open strictly
+	// fewer shards than the full read (exactly k, vs k+spares).
+	before := shardGets(tc)
+	if resp, _, err := httpGet(t, srv, "ranged", ""); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("full get: %d, %v", resp.StatusCode, err)
+	}
+	fullGets := shardGets(tc) - before
+	before = shardGets(tc)
+	if resp, _, err := httpGet(t, srv, "ranged", "bytes=100-199"); err != nil || resp.StatusCode != http.StatusPartialContent {
+		t.Fatalf("range get: %d, %v", resp.StatusCode, err)
+	}
+	rangeGets := shardGets(tc) - before
+	if rangeGets >= fullGets {
+		t.Fatalf("range read opened %d shards, full read %d: range must open strictly fewer", rangeGets, fullGets)
+	}
+}
+
+// corruptBlock flips one byte inside a specific block of a stored
+// shard file — targeted damage at a known stripe, so a test can make
+// exactly one stripe of an object undecodable.
+func corruptBlock(t *testing.T, tc *testCluster, object string, idx int, stripe int64) {
+	t.Helper()
+	p, err := tc.gw.Place(object)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn := tc.node(p[idx].ID)
+	path := shardfile.Path(filepath.Join(tn.dir, object), idx)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := shardfile.Parse(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := int64(h.HeaderSize()) + stripe*h.BlockSize() + 7
+	raw[off] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGatewayHTTPTruncationNoErrorProse is the mid-stream-failure
+// contract: once payload bytes are on the wire, a decode failure must
+// surface as a truncated (aborted) response — never as error text
+// appended to object data. The client sees the advertised
+// Content-Length, a clean prefix of the object, and a transport error.
+func TestGatewayHTTPTruncationNoErrorProse(t *testing.T) {
+	tc := startCluster(t, 6, 4, 2, 2, 46) // spares=m: no reopen can dodge the damage
+	srv := startHTTP(t, tc)
+	size := 5 * 64 * 1024
+	payload := clusterPayload(46, size)
+	if resp := httpPut(t, srv, "trunc", payload); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("put: status %d", resp.StatusCode)
+	}
+	// Stripe 3 loses m+1 blocks: unrecoverable, but only discovered
+	// after stripes 0-2 have already been streamed to the client.
+	for _, idx := range []int{0, 2, 4} {
+		corruptBlock(t, tc, "trunc", idx, 3)
+	}
+
+	resp, body, readErr := httpGet(t, srv, "trunc", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200 (failure is mid-stream)", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Content-Length"); got != strconv.Itoa(size) {
+		t.Fatalf("Content-Length %q, want %d", got, size)
+	}
+	if readErr == nil && len(body) == size {
+		t.Fatal("read completed cleanly; want a truncated response")
+	}
+	if readErr == nil {
+		t.Fatalf("got %d of %d bytes with no transport error: truncation must be detectable", len(body), size)
+	}
+	// Whatever did arrive is object data, byte for byte — no error
+	// prose mixed in.
+	if !bytes.Equal(body, payload[:len(body)]) {
+		t.Fatalf("received %d bytes are not a clean prefix of the object", len(body))
+	}
+}
+
+// TestParseRangeResolve pins the Range grammar and its resolution
+// against an object size, including every reject-and-ignore form.
+func TestParseRangeResolve(t *testing.T) {
+	const size = 1000
+	cases := []struct {
+		header      string
+		ok          bool  // parses as a usable spec
+		off, length int64 // resolved window; length -1 = expect RangeError
+	}{
+		{"bytes=0-99", true, 0, 100},
+		{"bytes=500-", true, 500, 500},
+		{"bytes=-200", true, 800, 200},
+		{"bytes=-2000", true, 0, 1000},
+		{"bytes=999-999", true, 999, 1},
+		{"bytes=0-9999", true, 0, 1000},
+		{" bytes=1-2", true, 1, 2},
+		{"bytes=1000-", true, 0, -1},
+		{"bytes=-0", true, 0, -1},
+		{"", false, 0, 0},
+		{"bytes=", false, 0, 0},
+		{"bytes=5-2", false, 0, 0},
+		{"bytes=-", false, 0, 0},
+		{"bytes=a-b", false, 0, 0},
+		{"bytes=0-1,5-6", false, 0, 0},
+		{"chunks=0-5", false, 0, 0},
+		{"bytes=--5", false, 0, 0},
+	}
+	for _, c := range cases {
+		spec, ok := parseRange(c.header)
+		if ok != c.ok {
+			t.Errorf("parseRange(%q): ok=%v, want %v", c.header, ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		off, length, err := spec.resolve(size)
+		if c.length == -1 {
+			var re *RangeError
+			if !errors.As(err, &re) || re.Size != size {
+				t.Errorf("resolve(%q): err %v, want RangeError{%d}", c.header, err, size)
+			}
+			continue
+		}
+		if err != nil || off != c.off || length != c.length {
+			t.Errorf("resolve(%q) = (%d, %d, %v), want (%d, %d)", c.header, off, length, err, c.off, c.length)
+		}
+	}
+}
+
+// TestClientForUnknownNode pins the typed error for a placement that
+// names a node the current map does not know — the case that used to
+// be a nil-map-lookup panic.
+func TestClientForUnknownNode(t *testing.T) {
+	tc := startCluster(t, 4, 2, 2, 0, 47)
+	_, err := tc.gw.clientFor(tc.gw.snap(), "ghost")
+	if !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("err %v, want ErrUnknownNode", err)
+	}
+	if got := tc.reg.Counter("cluster_unknown_node_total", "",
+		obs.Label{Key: "node", Value: "ghost"}).Value(); got != 1 {
+		t.Fatalf("cluster_unknown_node_total = %d, want 1", got)
+	}
+	if cli, err := tc.gw.clientFor(tc.gw.snap(), tc.nodes[0].id); err != nil || cli == nil {
+		t.Fatalf("known node: %v", err)
+	}
+}
+
+// TestGatewayHTTPClusterMap exposes the serving map and its epoch.
+func TestGatewayHTTPClusterMap(t *testing.T) {
+	tc := startCluster(t, 4, 2, 2, 0, 48)
+	srv := startHTTP(t, tc)
+	resp, body, err := func() (*http.Response, []byte, error) {
+		resp, err := srv.Client().Get(srv.URL + "/v1/cluster/map")
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, b, rerr
+	}()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("cluster map: %d, %v", resp.StatusCode, err)
+	}
+	if !bytes.Contains(body, []byte(`"epoch":0`)) || !bytes.Contains(body, []byte(`"n0"`)) {
+		t.Fatalf("cluster map body missing epoch/nodes: %s", body)
+	}
+}

@@ -1,0 +1,240 @@
+// Rebalancing: when the cluster map changes, shards do not move by
+// themselves — placement is a pure function of the map, so a swapped
+// map silently re-homes every object while the bytes stay where the
+// old map put them. Rebalance closes that gap: it diffs each object's
+// placement under the old and current maps and enqueues one bounded
+// migration per moved shard, journaling a durable intent first so a
+// crash mid-rebalance converges when the intents are adopted as
+// repairs at the new placement.
+//
+// Migrations ride the repair queue itself, at redundancy m (the best
+// possible health), so any genuine repair — an object actually missing
+// shards — preempts every migration, and redundancy-0 work preempts
+// everything. Each migration is copy-then-delete: the shard is copied
+// to its new home as exact shardfile bytes (the destination validates
+// it like any upload), and only then removed from the old one, so no
+// step of rebalancing ever reduces the number of live copies. Data
+// movement is paced by the repairer's shared bandwidth budget.
+
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"dialga/internal/node"
+	"dialga/internal/obs"
+)
+
+// Rebalance diffs every object's placement under old against the
+// gateway's current map and enqueues a migration for each shard whose
+// home changed. It returns how many migrations it enqueued. Objects
+// are discovered from every node in either map, so shards stranded on
+// removed nodes are found. Run DrainOnce (or the background Run loop)
+// afterwards to execute the queue.
+func (r *Repairer) Rebalance(ctx context.Context, old *Map) (int, error) {
+	if old == nil {
+		return 0, errors.New("cluster: rebalance needs the previous map")
+	}
+	st := r.gw.snap()
+	names, err := r.objectsAcross(ctx, st, old)
+	if err != nil {
+		return 0, err
+	}
+	n := r.gw.k + r.gw.m
+	moves := 0
+	for _, object := range names {
+		po, err := old.Place(object, n)
+		if err != nil {
+			return moves, fmt.Errorf("cluster: rebalance %q under old map: %w", object, err)
+		}
+		pn, err := st.cmap.Place(object, n)
+		if err != nil {
+			return moves, fmt.Errorf("cluster: rebalance %q: %w", object, err)
+		}
+		for i := 0; i < n; i++ {
+			if po[i].ID == pn[i].ID {
+				continue
+			}
+			// Journal the move before queueing it: if this process dies
+			// before the copy lands, the adopted intent rebuilds the
+			// shard at its new home.
+			if err := r.gw.intents.Add(object, i); err != nil {
+				return moves, err
+			}
+			if r.enqueueItem(&repairItem{
+				repairTask: repairTask{Object: object, Index: i},
+				redundancy: r.gw.m,
+				migrate:    true,
+				srcID:      po[i].ID,
+				srcAddr:    po[i].Addr,
+			}) {
+				moves++
+			}
+		}
+	}
+	r.reg.Counter("cluster_rebalance_runs_total",
+		"Placement-diff rebalance passes started.").Inc()
+	r.reg.Counter("cluster_rebalance_moves_total",
+		"Shard migrations enqueued by rebalance passes.").Add(uint64(moves))
+	return moves, nil
+}
+
+// objectsAcross lists every object any node of either map stores
+// shards for — the current members plus transient clients for nodes
+// only the old map knows, whose shards still need to move off.
+func (r *Repairer) objectsAcross(ctx context.Context, st *mapState, old *Map) ([]string, error) {
+	clients := make(map[string]*node.Client, st.cmap.Len())
+	for _, info := range st.cmap.Nodes() {
+		clients[info.Addr] = st.clients[info.ID]
+	}
+	for _, info := range old.Nodes() {
+		if _, ok := clients[info.Addr]; !ok {
+			clients[info.Addr] = r.gw.dial(info.Addr)
+		}
+	}
+	seen := make(map[string]bool)
+	var names []string
+	var firstErr error
+	reached := 0
+	for _, cli := range clients {
+		list, err := cli.WithClass(node.ClassRepair).Objects(ctx)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		reached++
+		for _, name := range list {
+			if !seen[name] {
+				seen[name] = true
+				names = append(names, name)
+			}
+		}
+	}
+	if reached == 0 {
+		return nil, fmt.Errorf("cluster: rebalance scan: no node reachable: %w", firstErr)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (r *Repairer) migrations(result string) *obs.Counter {
+	return r.reg.Counter("cluster_migrations_total",
+		"Shard migrations completed by rebalancing, by how the shard reached its new home.",
+		obs.Label{Key: "result", Value: result})
+}
+
+// migrateOne executes one queued migration: move shard it.Index of
+// it.Object from its old home to its placement under the current map.
+// The happy path is a paced byte copy (the shard travels as exact
+// shardfile bytes, validated by the destination); if the source no
+// longer has a healthy copy, the shard is rebuilt at its new home by
+// a degraded decode instead. Either way the source's copy is removed
+// afterwards and the move's durable intent is discharged. A transient
+// failure returns an error so DrainOnce requeues the item.
+func (r *Repairer) migrateOne(ctx context.Context, it *repairItem) error {
+	st := r.gw.snap()
+	object, idx := it.Object, it.Index
+	placement, err := st.cmap.Place(object, r.gw.k+r.gw.m)
+	if err != nil {
+		return err
+	}
+	if idx < 0 || idx >= len(placement) {
+		return fmt.Errorf("cluster: migrate %q shard %d out of range", object, idx)
+	}
+
+	// Source: the old home. Reuse the pooled client if the node is
+	// still a member at the same address; otherwise dial it directly —
+	// a removed node keeps serving its shards until they are drained.
+	var src *node.Client
+	if cur, ok := st.cmap.Get(it.srcID); ok && cur.Addr == it.srcAddr {
+		src = st.clients[it.srcID]
+	} else {
+		src = r.gw.dial(it.srcAddr)
+	}
+	src = src.WithClass(node.ClassRepair)
+
+	dstInfo := placement[idx]
+	if dstInfo.ID == it.srcID {
+		// The map changed again and the shard's home moved back;
+		// nothing to move.
+		return r.gw.intents.Done(object, idx)
+	}
+	if err := r.admit(ctx); err != nil {
+		return err
+	}
+	dstCli, err := r.gw.clientFor(st, dstInfo.ID)
+	if err != nil {
+		return fmt.Errorf("cluster: migrate %q shard %d: %w", object, idx, err)
+	}
+	dst := dstCli.WithClass(node.ClassRepair)
+
+	// Fast path: a previous attempt already landed the copy (and maybe
+	// died before cleanup) — finish the delete and settle the intent.
+	if _, err := dst.StatShard(ctx, object, idx); err == nil {
+		src.DeleteShard(ctx, object, idx)
+		r.migrations("already").Inc()
+		return r.gw.intents.Done(object, idx)
+	}
+
+	stat, err := src.StatShard(ctx, object, idx)
+	switch {
+	case errors.Is(err, node.ErrNotFound):
+		// The old home has nothing to give; rebuild at the new one.
+		return r.migrateByRebuild(ctx, it, src)
+	case err != nil && node.Transient(err):
+		return fmt.Errorf("cluster: migrate %q shard %d: source %s: %w", object, idx, it.srcID, err)
+	case err != nil:
+		return r.migrateByRebuild(ctx, it, src)
+	}
+
+	// One shard's bytes spend against the same budget repair uses, so
+	// rebalance and repair together never exceed the configured rate.
+	shardBytes := int64(stat.StripeCount) * int64(stat.ShardSize)
+	if err := r.pacer.wait(ctx, shardBytes); err != nil {
+		return err
+	}
+
+	body, err := src.GetShard(ctx, object, idx)
+	if err != nil {
+		if node.Transient(err) {
+			return fmt.Errorf("cluster: migrate %q shard %d: read %s: %w", object, idx, it.srcID, err)
+		}
+		return r.migrateByRebuild(ctx, it, src)
+	}
+	err = dst.PutShard(ctx, object, idx, body)
+	body.Close()
+	if err != nil {
+		if node.Transient(err) {
+			return fmt.Errorf("cluster: migrate %q shard %d: write %s: %w", object, idx, dstInfo.ID, err)
+		}
+		// The destination rejected the bytes (e.g. the source copy is
+		// corrupt); a rebuild produces a fresh validated shard.
+		return r.migrateByRebuild(ctx, it, src)
+	}
+	// Copy landed and is validated; only now drop the source's copy.
+	// A failed delete strands a harmless extra copy the next scan's
+	// drain pass can retry; it never loses data.
+	src.DeleteShard(ctx, object, idx)
+	r.migrations("copied").Inc()
+	r.reg.Counter("cluster_migrate_bytes_total",
+		"Shard bytes moved to new homes by rebalancing.").Add(uint64(shardBytes))
+	return r.gw.intents.Done(object, idx)
+}
+
+// migrateByRebuild converges a migration whose source cannot supply a
+// healthy copy: the shard is reconstructed at its new placement from
+// the other shards (RepairOne also discharges the durable intent),
+// then whatever stale copy the old home still holds is dropped.
+func (r *Repairer) migrateByRebuild(ctx context.Context, it *repairItem, src *node.Client) error {
+	if err := r.RepairOne(ctx, it.Object, it.Index); err != nil {
+		return err
+	}
+	src.DeleteShard(ctx, it.Object, it.Index)
+	r.migrations("rebuilt").Inc()
+	return nil
+}

@@ -1,0 +1,342 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dialga/internal/fault"
+	"dialga/internal/node"
+)
+
+// TestUpdateMapValidation pins the swap rules: only strictly newer
+// epochs with enough failure domains are accepted, and a surviving
+// node's pooled client is reused across the swap.
+func TestUpdateMapValidation(t *testing.T) {
+	tc := startCluster(t, 6, 4, 2, 0, 52)
+	cur := tc.gw.Map()
+
+	if err := tc.gw.UpdateMap(nil); err == nil {
+		t.Fatal("nil map accepted")
+	}
+	if err := tc.gw.UpdateMap(cur.WithEpoch(0)); err == nil {
+		t.Fatal("same-epoch map accepted")
+	}
+	small, err := New(cur.Nodes()[:4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.gw.UpdateMap(small.WithEpoch(5)); err == nil {
+		t.Fatal("map with too few domains for RS(4,2) accepted")
+	}
+
+	before, _ := tc.gw.Client("n0")
+	if err := tc.gw.UpdateMap(cur.WithEpoch(1)); err != nil {
+		t.Fatalf("valid swap rejected: %v", err)
+	}
+	if got := tc.gw.Map().Epoch(); got != 1 {
+		t.Fatalf("epoch after swap = %d, want 1", got)
+	}
+	after, _ := tc.gw.Client("n0")
+	if before != after {
+		t.Fatal("client for unchanged node was rebuilt, not reused")
+	}
+	if err := tc.gw.UpdateMap(cur.WithEpoch(1)); err == nil {
+		t.Fatal("replayed epoch accepted")
+	}
+}
+
+// TestRepairPreemptsMigration pins the queue's scheduling contract:
+// genuine repairs sort before migrations at equal urgency, lower
+// redundancy preempts everything, and a queued migration is never
+// demoted to a rebuild by a later repair enqueue for the same slot.
+func TestRepairPreemptsMigration(t *testing.T) {
+	infos := make([]NodeInfo, 6)
+	for i := range infos {
+		infos[i] = NodeInfo{
+			ID:   NodeID(fmt.Sprintf("n%d", i)),
+			Addr: fmt.Sprintf("203.0.113.%d:1", i), // never dialed
+			Rack: fmt.Sprintf("r%d", i),
+		}
+	}
+	cmap, err := New(infos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw, err := NewGateway(GatewayOptions{Map: cmap, K: 4, M: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRepairer(gw, nil, nil)
+
+	r.enqueueItem(&repairItem{
+		repairTask: repairTask{Object: "moved", Index: 0},
+		redundancy: 2, migrate: true, srcID: "n0",
+	})
+	r.enqueueItem(&repairItem{
+		repairTask: repairTask{Object: "later", Index: 0},
+		redundancy: 2, migrate: true, srcID: "n1",
+	})
+	r.enqueue(repairTask{Object: "damaged", Index: 0}, 2, 0)
+	// A repair report for an already-queued migration raises its
+	// urgency but keeps the cheap copy as the plan.
+	r.Enqueue("moved", 0)
+
+	want := []struct {
+		object  string
+		migrate bool
+	}{
+		{"moved", true},    // redundancy lowered to m-1 by the repair enqueue
+		{"damaged", false}, // repair before migration at redundancy m
+		{"later", true},
+	}
+	for i, w := range want {
+		it, ok := r.pop()
+		if !ok {
+			t.Fatalf("pop %d: queue empty", i)
+		}
+		if it.Object != w.object || it.migrate != w.migrate {
+			t.Fatalf("pop %d: got %s (migrate=%v), want %s (migrate=%v)",
+				i, it.Object, it.migrate, w.object, w.migrate)
+		}
+	}
+}
+
+// placementDiff counts the shard indices whose home differs for
+// object between two maps.
+func placementDiff(t *testing.T, a, b *Map, object string, n int) int {
+	t.Helper()
+	pa, err := a.Place(object, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := b.Place(object, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := 0; i < n; i++ {
+		if pa[i].ID != pb[i].ID {
+			diff++
+		}
+	}
+	return diff
+}
+
+// TestEpochSwapRebalanceConvergence is the acceptance test for
+// versioned membership: while a seeded fault plan disturbs the
+// network, the cluster map is swapped mid-workload — one node added,
+// one node (a whole rack) removed. A read opened under the old epoch
+// must complete byte-exact on the old epoch; reads during and after
+// the swap must stay byte-exact; Rebalance plus a drain must converge
+// every object onto the new placement with zero lost shards, an
+// emptied removed node, and a drained intent journal; and a Range
+// read afterwards must match the full read's bytes while opening
+// strictly fewer shards.
+func TestEpochSwapRebalanceConvergence(t *testing.T) {
+	ft := fault.NewTransport(&http.Transport{DisableKeepAlives: true})
+	log, err := OpenIntentLog(filepath.Join(t.TempDir(), "intents.log"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	tc := startClusterOpts(t, 6, 4, 2, 2, 51, func(o *GatewayOptions) {
+		o.Intents = log
+		o.HTTPClient = &http.Client{Timeout: 5 * time.Second, Transport: ft}
+	})
+	ctx := context.Background()
+	const n = 6 // k+m
+
+	// The incoming member: a live node the serving map does not know
+	// yet, in a brand-new rack.
+	extra := &testNode{t: t, id: "n6", dir: t.TempDir(), addr: "127.0.0.1:0", reg: tc.reg}
+	extra.start()
+	t.Cleanup(extra.stop)
+
+	oldMap := tc.gw.Map()
+	var infos []NodeInfo
+	for _, in := range oldMap.Nodes() {
+		if in.ID == "n1" { // drop n1: rack r1 leaves the cluster
+			continue
+		}
+		infos = append(infos, in)
+	}
+	infos = append(infos, NodeInfo{ID: extra.id, Addr: extra.addr, Rack: "r6", Zone: "z0"})
+	newMap, err := New(infos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newMap = newMap.WithEpoch(oldMap.Epoch() + 1)
+
+	// Pick objects that stay readable throughout the move: every
+	// object loses its n1 shard, and RS(4,2) with all shards probed
+	// tolerates up to m=2 displaced shards mid-migration.
+	var names []string
+	expectMoves := 0
+	for i := 0; i < 400 && len(names) < 5; i++ {
+		name := fmt.Sprintf("swap-%d", i)
+		if d := placementDiff(t, oldMap, newMap, name, n); d >= 1 && d <= 2 {
+			names = append(names, name)
+			expectMoves += d
+		}
+	}
+	if len(names) < 3 {
+		t.Fatalf("seed yields only %d movable-but-readable objects", len(names))
+	}
+
+	const objSize = 200_000
+	payloads := map[string][]byte{}
+	for i, name := range names {
+		payloads[name] = clusterPayload(uint64(500+i), objSize)
+		if _, err := tc.gw.PutObject(ctx, name, bytes.NewReader(payloads[name]), objSize, node.ClassForeground); err != nil {
+			t.Fatalf("put %s: %v", name, err)
+		}
+	}
+
+	// Open a read under epoch 0, swap to epoch 1 underneath it, then
+	// let it finish: it must stream byte-exact from the epoch-0 shard
+	// set it opened.
+	inflight, err := tc.gw.OpenObject(ctx, names[0], node.ClassForeground)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.gw.UpdateMap(newMap); err != nil {
+		t.Fatalf("swap: %v", err)
+	}
+	if got := tc.gw.Map().Epoch(); got != 1 {
+		t.Fatalf("epoch = %d, want 1", got)
+	}
+	var got bytes.Buffer
+	if err := inflight.WriteTo(ctx, &got); err != nil {
+		t.Fatalf("in-flight read across swap: %v", err)
+	}
+	if !bytes.Equal(got.Bytes(), payloads[names[0]]) {
+		t.Fatal("in-flight read across swap: payload mismatch")
+	}
+
+	// Reads under the new epoch, before any byte has moved: displaced
+	// shards are simply absent at their new homes, within tolerance.
+	for name, want := range payloads {
+		tc.mustGet(ctx, name, want)
+	}
+
+	// Seeded chaos on the migration destination: the first PutShard
+	// attempts to the new node are refused (a transient fault), so the
+	// drain must requeue and retry through it.
+	refuse, err := fault.Parse("refuse@0+2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft.Set(extra.addr, refuse)
+
+	rep := NewRepairerOpts(tc.gw, nil, tc.reg, RepairerOptions{Bandwidth: 64 << 20})
+	moves, err := rep.Rebalance(ctx, oldMap)
+	if err != nil {
+		t.Fatalf("rebalance: %v", err)
+	}
+	if moves != expectMoves {
+		t.Fatalf("rebalance enqueued %d moves, placement diff says %d", moves, expectMoves)
+	}
+
+	// Foreground reads run while the queue drains.
+	stop := make(chan struct{})
+	readErr := make(chan error, 1)
+	go func() {
+		defer close(readErr)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for name, want := range payloads {
+				var out bytes.Buffer
+				if err := tc.gw.GetObject(ctx, name, &out, node.ClassForeground); err != nil {
+					readErr <- fmt.Errorf("read %s during rebalance: %w", name, err)
+					return
+				}
+				if !bytes.Equal(out.Bytes(), want) {
+					readErr <- fmt.Errorf("read %s during rebalance: payload mismatch", name)
+					return
+				}
+			}
+		}
+	}()
+
+	deadline := time.Now().Add(30 * time.Second)
+	for rep.Pending() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("rebalance queue not drained: %d pending", rep.Pending())
+		}
+		rep.DrainOnce(ctx)
+	}
+	close(stop)
+	if err := <-readErr; err != nil {
+		t.Fatal(err)
+	}
+	ft.Heal(extra.addr)
+
+	// Converged: every shard lives at its new home, the removed node
+	// is empty, the journal holds no undischarged moves, and every
+	// object still reads byte-exact.
+	for _, name := range names {
+		p, err := newMap.Place(name, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for idx, info := range p {
+			cli, ok := tc.gw.Client(info.ID)
+			if !ok {
+				t.Fatalf("no client for %s", info.ID)
+			}
+			if _, err := cli.StatShard(ctx, name, idx); err != nil {
+				t.Fatalf("%s shard %d missing at new home %s: %v", name, idx, info.ID, err)
+			}
+		}
+	}
+	left, err := node.NewClient(tc.nodes[1].addr).Objects(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Fatalf("removed node still holds shards for %v", left)
+	}
+	if pend := log.Pending(); len(pend) != 0 {
+		t.Fatalf("intent journal still holds %d moves: %v", len(pend), pend)
+	}
+	for name, want := range payloads {
+		tc.mustGet(ctx, name, want)
+	}
+
+	// Range reads on the rebalanced cluster: byte-identical to slices
+	// of the full read, for strictly fewer shard opens.
+	name, payload := names[0], payloads[names[0]]
+	before := shardGets(tc)
+	var full bytes.Buffer
+	if err := tc.gw.GetObject(ctx, name, &full, node.ClassForeground); err != nil {
+		t.Fatal(err)
+	}
+	fullGets := shardGets(tc) - before
+	for _, win := range [][2]int64{{0, 100}, {70_000, 4_000}, {objSize - 999, 999}} {
+		before = shardGets(tc)
+		var part bytes.Buffer
+		if err := tc.gw.GetObjectRange(ctx, name, &part, win[0], win[1], node.ClassForeground); err != nil {
+			t.Fatalf("range (%d,%d): %v", win[0], win[1], err)
+		}
+		rangeGets := shardGets(tc) - before
+		if !bytes.Equal(part.Bytes(), payload[win[0]:win[0]+win[1]]) {
+			t.Fatalf("range (%d,%d): bytes differ from full-read slice", win[0], win[1])
+		}
+		if !bytes.Equal(part.Bytes(), full.Bytes()[win[0]:win[0]+win[1]]) {
+			t.Fatalf("range (%d,%d): bytes differ from the full GET", win[0], win[1])
+		}
+		if rangeGets >= fullGets {
+			t.Fatalf("range (%d,%d) opened %d shards, full read %d: want strictly fewer",
+				win[0], win[1], rangeGets, fullGets)
+		}
+	}
+}

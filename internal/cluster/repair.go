@@ -31,12 +31,22 @@ func (t repairTask) key() string { return t.Object + "/" + strconv.Itoa(t.Index)
 // before one that can still lose a node, because the cost of being
 // wrong about the ordering is data loss on one side and latency on the
 // other. seq breaks ties FIFO so same-priority work is not starved.
+//
+// A migration item (migrate set) moves a healthy shard from src — its
+// home under a previous map — to the object's placement under the
+// current map. Migrations ride the same heap at redundancy m, so any
+// genuine repair (redundancy < m) preempts rebalancing, and within a
+// priority level repairs still go first.
 type repairItem struct {
 	repairTask
 	redundancy int
 	attempts   int
 	seq        uint64
 	pos        int // index in the heap, maintained by the heap interface
+
+	migrate bool
+	srcID   NodeID // node holding the shard under the old map
+	srcAddr string // its address (the node may be gone from the current map)
 }
 
 type repairHeap []*repairItem
@@ -45,6 +55,9 @@ func (h repairHeap) Len() int { return len(h) }
 func (h repairHeap) Less(i, j int) bool {
 	if h[i].redundancy != h[j].redundancy {
 		return h[i].redundancy < h[j].redundancy
+	}
+	if h[i].migrate != h[j].migrate {
+		return !h[i].migrate // repair before rebalance at equal urgency
 	}
 	return h[i].seq < h[j].seq
 }
@@ -161,22 +174,33 @@ func (r *Repairer) Enqueue(object string, idx int) bool {
 // enqueue adds or re-prioritizes a task. A task already queued keeps
 // its attempt count and takes the lower (more urgent) redundancy.
 func (r *Repairer) enqueue(t repairTask, redundancy, attempts int) bool {
-	if redundancy < 0 {
-		redundancy = 0
+	return r.enqueueItem(&repairItem{repairTask: t, redundancy: redundancy, attempts: attempts})
+}
+
+// enqueueItem adds or re-prioritizes a task, preserving the incoming
+// item's kind (repair vs migration) and source when it is new. A slot
+// already queued only gets more urgent: it takes the lower redundancy
+// and keeps its attempt count. A queued migration is not demoted to a
+// rebuild by a later repair enqueue for the same slot — the copy is
+// cheaper, and migrateOne falls back to rebuilding if its source is
+// gone.
+func (r *Repairer) enqueueItem(it *repairItem) bool {
+	if it.redundancy < 0 {
+		it.redundancy = 0
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if it, ok := r.queued[t.key()]; ok {
-		if redundancy < it.redundancy {
-			it.redundancy = redundancy
-			heap.Fix(&r.heap, it.pos)
+	if cur, ok := r.queued[it.key()]; ok {
+		if it.redundancy < cur.redundancy {
+			cur.redundancy = it.redundancy
+			heap.Fix(&r.heap, cur.pos)
 			r.updateGaugesLocked()
 		}
 		return false
 	}
 	r.seq++
-	it := &repairItem{repairTask: t, redundancy: redundancy, attempts: attempts, seq: r.seq}
-	r.queued[t.key()] = it
+	it.seq = r.seq
+	r.queued[it.key()] = it
 	heap.Push(&r.heap, it)
 	r.updateGaugesLocked()
 	return true
@@ -199,12 +223,20 @@ func (r *Repairer) pop() (*repairItem, bool) {
 // one series per redundancy level so dashboards can see whether the
 // backlog is annoying (redundancy m-1) or dangerous (redundancy 0).
 func (r *Repairer) updateGaugesLocked() {
-	r.reg.Gauge("cluster_repair_queue",
-		"Damaged shards currently queued for rebuild.").Set(float64(len(r.heap)))
 	counts := make(map[int]int)
+	repairs, migrations := 0, 0
 	for _, it := range r.heap {
 		counts[it.redundancy]++
+		if it.migrate {
+			migrations++
+		} else {
+			repairs++
+		}
 	}
+	r.reg.Gauge("cluster_repair_queue",
+		"Damaged shards currently queued for rebuild.").Set(float64(repairs))
+	r.reg.Gauge("cluster_rebalance_queue",
+		"Shard migrations currently queued by rebalancing.").Set(float64(migrations))
 	for red := 0; red <= r.gw.m; red++ {
 		r.reg.Gauge("cluster_repair_queue_priority",
 			"Damaged shards queued for rebuild, by the object's remaining redundancy.",
@@ -238,13 +270,13 @@ func (r *Repairer) admit(ctx context.Context) error {
 // objects lists every object any node stores shards for, over
 // repair-class requests.
 func (r *Repairer) objects(ctx context.Context) ([]string, error) {
+	st := r.gw.snap()
 	seen := make(map[string]bool)
 	var names []string
 	var firstErr error
 	reached := 0
-	for _, info := range r.gw.Map().Nodes() {
-		cli, _ := r.gw.Client(info.ID)
-		list, err := cli.WithClass(node.ClassRepair).Objects(ctx)
+	for _, info := range st.cmap.Nodes() {
+		list, err := st.clients[info.ID].WithClass(node.ClassRepair).Objects(ctx)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err
@@ -280,11 +312,12 @@ func (r *Repairer) ScanOnce(ctx context.Context) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	st := r.gw.snap()
 	enqueued := 0
 	n := r.gw.k + r.gw.m
 	minLive := n
 	for _, object := range names {
-		placement, err := r.gw.Place(object)
+		placement, err := st.cmap.Place(object, n)
 		if err != nil {
 			return enqueued, err
 		}
@@ -293,7 +326,12 @@ func (r *Repairer) ScanOnce(ctx context.Context) (int, error) {
 			if err := r.admit(ctx); err != nil {
 				return enqueued, err
 			}
-			cli, _ := r.gw.Client(info.ID)
+			cli, cerr := r.gw.clientFor(st, info.ID)
+			if cerr != nil {
+				r.reg.Counter("cluster_scrub_unreachable_total",
+					"Placed shards the repair scan could not probe (node down).").Inc()
+				continue
+			}
 			status, err := cli.WithClass(node.ClassRepair).ScrubShard(ctx, object, idx)
 			switch {
 			case errors.Is(err, node.ErrNotFound):
@@ -336,7 +374,8 @@ func (r *Repairer) ScanOnce(ctx context.Context) (int, error) {
 // its placed node as a fresh validated shardfile. A successful rebuild
 // discharges the shard's durable write intent, if one is journaled.
 func (r *Repairer) RepairOne(ctx context.Context, object string, idx int) error {
-	placement, err := r.gw.Place(object)
+	st := r.gw.snap()
+	placement, err := st.cmap.Place(object, r.gw.k+r.gw.m)
 	if err != nil {
 		return err
 	}
@@ -346,7 +385,11 @@ func (r *Repairer) RepairOne(ctx context.Context, object string, idx int) error 
 	if err := r.admit(ctx); err != nil {
 		return err
 	}
-	set, err := r.gw.open(ctx, object, placement, node.ClassRepair, r.gw.spares, idx)
+	dst, err := r.gw.clientFor(st, placement[idx].ID)
+	if err != nil {
+		return fmt.Errorf("cluster: repair %q shard %d: %w", object, idx, err)
+	}
+	set, err := r.gw.open(ctx, st, object, placement, node.ClassRepair, r.gw.spares, idx, 0, -1)
 	if err != nil {
 		return fmt.Errorf("cluster: repair %q shard %d: %w", object, idx, err)
 	}
@@ -403,11 +446,10 @@ func (r *Repairer) RepairOne(ctx context.Context, object string, idx int) error 
 	}
 	writers[idx] = shardW
 
-	cli, _ := r.gw.Client(placement[idx].ID)
 	putErr := make(chan error, 1)
 	go func() {
 		body := io.MultiReader(bytes.NewReader(h.Marshal()), shardR)
-		err := cli.WithClass(node.ClassRepair).PutShard(ctx, object, idx, body)
+		err := dst.WithClass(node.ClassRepair).PutShard(ctx, object, idx, body)
 		if err != nil {
 			shardR.CloseWithError(err)
 			cancel()
@@ -436,10 +478,11 @@ func (r *Repairer) RepairOne(ctx context.Context, object string, idx int) error 
 }
 
 // DrainOnce works the queue until it is empty or ctx ends, returning
-// how many repairs succeeded and failed. A failed task is re-queued
-// (its nodes may be back next pass) with its attempt counter bumped,
-// until MaxAttempts; after that it is dropped — a later scan that
-// still finds the shard damaged starts it over with a fresh budget.
+// how many tasks (repairs and migrations) succeeded and failed. A
+// failed task is re-queued (its nodes may be back next pass) with its
+// attempt counter bumped, until MaxAttempts; after that it is dropped
+// — a later scan that still finds the shard damaged starts it over
+// with a fresh budget.
 func (r *Repairer) DrainOnce(ctx context.Context) (repaired, failed int) {
 	var requeue []*repairItem
 	for {
@@ -447,18 +490,27 @@ func (r *Repairer) DrainOnce(ctx context.Context) (repaired, failed int) {
 		if !ok {
 			break
 		}
-		err := r.RepairOne(ctx, it.Object, it.Index)
+		var err error
+		if it.migrate {
+			err = r.migrateOne(ctx, it)
+		} else {
+			err = r.RepairOne(ctx, it.Object, it.Index)
+		}
 		if err == nil {
 			repaired++
-			r.reg.Counter("cluster_repairs_total", "Shard rebuilds, by result.",
-				obs.Label{Key: "result", Value: "ok"}).Inc()
+			if !it.migrate {
+				r.reg.Counter("cluster_repairs_total", "Shard rebuilds, by result.",
+					obs.Label{Key: "result", Value: "ok"}).Inc()
+			}
 			continue
 		}
 		failed++
-		r.reg.Counter("cluster_repairs_total", "Shard rebuilds, by result.",
-			obs.Label{Key: "result", Value: "error"}).Inc()
-		r.reg.Counter("cluster_repair_failures_total",
-			"Shard rebuild attempts that failed.").Inc()
+		if !it.migrate {
+			r.reg.Counter("cluster_repairs_total", "Shard rebuilds, by result.",
+				obs.Label{Key: "result", Value: "error"}).Inc()
+			r.reg.Counter("cluster_repair_failures_total",
+				"Shard rebuild attempts that failed.").Inc()
+		}
 		if ctx.Err() != nil {
 			// Put the interrupted task back so nothing is stranded.
 			requeue = append(requeue, it)
@@ -473,7 +525,10 @@ func (r *Repairer) DrainOnce(ctx context.Context) (repaired, failed int) {
 		requeue = append(requeue, it)
 	}
 	for _, it := range requeue {
-		r.enqueue(it.repairTask, it.redundancy, it.attempts)
+		// Re-inserting the popped item keeps its kind, source, and
+		// attempt count — a requeued migration stays a migration.
+		it.pos = 0
+		r.enqueueItem(it)
 	}
 	return repaired, failed
 }

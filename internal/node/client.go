@@ -175,10 +175,23 @@ func (c *Client) GetShard(ctx context.Context, object string, idx int) (io.ReadC
 // transient — the reader the streaming decoder's hedged reads,
 // retries, and breakers drive directly. The caller must Close it.
 func (c *Client) OpenShard(ctx context.Context, object string, idx int) (shardfile.Header, io.ReadCloser, error) {
-	body, err := c.GetShard(ctx, object, idx)
+	return c.OpenShardAt(ctx, object, idx, 0, -1)
+}
+
+// OpenShardAt is OpenShard over a block window: the body holds count
+// whole blocks starting at block index `block` (count < 0: through the
+// last block). The parsed header still describes the full shard. A
+// (0, -1) window is wire-identical to OpenShard.
+func (c *Client) OpenShardAt(ctx context.Context, object string, idx int, block, count int64) (shardfile.Header, io.ReadCloser, error) {
+	u := c.shardURL("shard", object, idx)
+	if block != 0 || count >= 0 {
+		u = fmt.Sprintf("%s?block=%d&count=%d", u, block, count)
+	}
+	resp, err := c.do(ctx, http.MethodGet, u, nil)
 	if err != nil {
 		return shardfile.Header{}, nil, err
 	}
+	body := resp.Body
 	h, err := shardfile.Parse(body)
 	if err != nil {
 		body.Close()

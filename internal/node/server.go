@@ -43,7 +43,7 @@ type Admitter interface {
 // checksummed blocks — except where noted):
 //
 //	PUT    /v1/shard/{object}/{idx}   store one shard (validated, atomic)
-//	GET    /v1/shard/{object}/{idx}   fetch one shard
+//	GET    /v1/shard/{object}/{idx}   fetch one shard (?block=N&count=M for a block window)
 //	DELETE /v1/shard/{object}/{idx}   drop one shard (idempotent)
 //	GET    /v1/stat/{object}/{idx}    parsed header as JSON
 //	GET    /v1/scrub/{object}/{idx}   server-side scrub report as JSON
@@ -155,14 +155,44 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	h, body, err := s.store.Get(object, idx)
+	// ?block=N&count=M selects a window of whole blocks — the unit a
+	// range read needs, since blocks carry their own checksum trailers.
+	// Defaults (0, -1) stream the entire shard, wire-identical to a GET
+	// without query parameters.
+	block, count := int64(0), int64(-1)
+	q := r.URL.Query()
+	if v := q.Get("block"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			http.Error(w, "bad block parameter", http.StatusBadRequest)
+			return
+		}
+		block = n
+	}
+	if v := q.Get("count"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n == 0 {
+			http.Error(w, "bad count parameter", http.StatusBadRequest)
+			return
+		}
+		count = n
+	}
+	h, body, err := s.store.GetAt(object, idx, block, count)
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
 	defer body.Close()
+	length := h.ExpectedFileSize()
+	if block != 0 || count >= 0 {
+		blocks := int64(h.StripeCount) - block
+		if count >= 0 && count < blocks {
+			blocks = count
+		}
+		length = int64(h.HeaderSize()) + blocks*int64(h.BlockSize())
+	}
 	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Header().Set("Content-Length", strconv.FormatInt(h.ExpectedFileSize(), 10))
+	w.Header().Set("Content-Length", strconv.FormatInt(length, 10))
 	w.WriteHeader(http.StatusOK)
 	// Re-emit the header we consumed during validation, then stream
 	// the blocks; a broken client connection is the client's problem.

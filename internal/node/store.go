@@ -229,6 +229,51 @@ func (s *Store) Get(object string, idx int) (shardfile.Header, io.ReadCloser, er
 	return h, f, nil
 }
 
+// GetAt opens a window of a shard: the parsed header plus a reader
+// over count whole blocks starting at block index `block` (each block
+// is one stripe's worth of this shard: data plus checksum trailer).
+// count < 0 means through the last block; count is clamped to the
+// blocks that exist. A block index past the end is rejected. The
+// caller must Close the reader.
+func (s *Store) GetAt(object string, idx int, block, count int64) (shardfile.Header, io.ReadCloser, error) {
+	h, f, err := s.Get(object, idx)
+	if err != nil {
+		return shardfile.Header{}, nil, err
+	}
+	if block == 0 && count < 0 {
+		return h, f, nil
+	}
+	stripes := int64(h.StripeCount)
+	if block < 0 || block >= stripes {
+		f.Close()
+		return shardfile.Header{}, nil, fmt.Errorf("%w: block %d outside shard %s/%d (%d blocks)",
+			ErrBadShard, block, object, idx, stripes)
+	}
+	if count < 0 || block+count > stripes {
+		count = stripes - block
+	}
+	blockSize := int64(h.BlockSize())
+	seeker, ok := f.(io.Seeker)
+	if !ok {
+		f.Close()
+		return shardfile.Header{}, nil, fmt.Errorf("stored shard %s/%d not seekable", object, idx)
+	}
+	// Get left the reader at block 0; step straight to the window.
+	if _, err := seeker.Seek(int64(h.HeaderSize())+block*blockSize, io.SeekStart); err != nil {
+		f.Close()
+		return shardfile.Header{}, nil, err
+	}
+	return h, &limitedCloser{Reader: io.LimitReader(f, count*blockSize), c: f}, nil
+}
+
+// limitedCloser bounds a ReadCloser without losing Close.
+type limitedCloser struct {
+	io.Reader
+	c io.Closer
+}
+
+func (l *limitedCloser) Close() error { return l.c.Close() }
+
 // Stat parses and returns a stored shard's header without reading its
 // blocks.
 func (s *Store) Stat(object string, idx int) (shardfile.Header, error) {
